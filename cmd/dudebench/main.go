@@ -1,0 +1,66 @@
+// Command dudebench regenerates every table and figure of the DudeTM
+// paper's evaluation (§5) on the simulated-NVM substrate.
+//
+// Usage:
+//
+//	dudebench [-experiment all|fig2|table1|table2|table3|fig3|fig4|fig5|table4]
+//	          [-threads N] [-maxthreads N] [-quick]
+//
+// Absolute numbers depend on the host; the shapes (which system wins,
+// by roughly what factor, where crossovers fall) are the reproduction
+// target. See EXPERIMENTS.md for recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dudetm/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	threads := flag.Int("threads", 2, "Perform threads (the paper uses 4 on a 12-core host)")
+	maxThreads := flag.Int("maxthreads", 4, "largest thread count in the Figure 5 sweep")
+	quick := flag.Bool("quick", false, "divide per-run transaction counts by 10")
+	flag.Parse()
+
+	cfg := harness.ExpConfig{Threads: *threads, Quick: *quick, Out: os.Stdout}
+	fmt.Printf("dudebench: %d threads on %d CPUs, quick=%v\n\n",
+		*threads, runtime.NumCPU(), *quick)
+
+	type exp struct {
+		name string
+		run  func() error
+	}
+	exps := []exp{
+		{"fig2", func() error { return harness.Fig2(cfg) }},
+		{"table1", func() error { return harness.Table1(cfg) }},
+		{"table2", func() error { return harness.Table2(cfg) }},
+		{"table3", func() error { return harness.Table3(cfg) }},
+		{"fig3", func() error { return harness.Fig3(cfg) }},
+		{"fig4", func() error { return harness.Fig4(cfg) }},
+		{"fig5", func() error { return harness.Fig5(cfg, *maxThreads) }},
+		{"table4", func() error { return harness.Table4(cfg) }},
+	}
+	ran := false
+	for _, e := range exps {
+		if *experiment != "all" && *experiment != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "dudebench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", e.name, time.Since(start).Round(time.Second))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "dudebench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,257 @@
+// Package dudetm is a Go reproduction of DudeTM (Liu et al., ASPLOS
+// 2017): durable transactions for persistent memory built by decoupling
+// each transaction into three asynchronous steps — Perform on a shadow
+// DRAM mirror under an out-of-the-box transactional memory, Persist of
+// the redo log to (simulated) NVM with a single fence per transaction
+// group, and Reproduce of the logged updates into the persistent data.
+//
+// This package is the public facade. A Pool is a mounted persistent
+// memory region; transactions read and write 8-byte words at pool
+// addresses through a Tx:
+//
+//	pool, _ := dudetm.Create(dudetm.Options{})
+//	tid, _ := pool.Update(0, func(tx *dudetm.Tx) error {
+//	    tx.Store(pool.Root(0), 42)
+//	    return nil
+//	})
+//	pool.WaitDurable(tid)
+//
+// Higher-level building blocks live in the internal packages and are
+// re-exported where useful: a transactional heap allocator, hash table,
+// and B+-tree (internal/memdb) run directly over *Tx.
+//
+// The NVM itself is simulated (internal/pmem): stores become durable
+// only after explicit write-back and fencing, a crash discards
+// everything else, and persist barriers stall for a configurable
+// latency/bandwidth model — the same emulation methodology as the
+// paper's evaluation.
+package dudetm
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	idudetm "dudetm/internal/dudetm"
+	"dudetm/internal/memdb"
+	"dudetm/internal/pmem"
+)
+
+// Tx is a durable transaction handle: transactional Load/Store of
+// 8-byte words at pool addresses, plus Abort. It satisfies the
+// transaction context of the bundled data structures.
+type Tx = idudetm.Tx
+
+// Heap is the transactional allocator type usable inside transactions.
+type Heap = memdb.Heap
+
+// rootWords reserves the first page of the pool for application roots.
+const rootWords = 512
+
+// Options configures a Pool.
+type Options struct {
+	// DataSize is the persistent data region size (default 64 MiB).
+	DataSize uint64
+	// Threads is the number of concurrent Update/View callers; each
+	// must pass a distinct slot in [0, Threads). Default 4.
+	Threads int
+	// Sync makes every transaction flush its own log and wait for
+	// durability before returning (the DUDETM-Sync configuration).
+	Sync bool
+	// HTM runs Perform on the simulated hardware TM instead of the STM.
+	HTM bool
+	// GroupSize combines this many consecutive transactions into one
+	// persist group (cross-transaction write combination).
+	GroupSize int
+	// Compress lz4-compresses persisted groups.
+	Compress bool
+	// ShadowBytes, when non-zero, uses a demand-paged shadow memory of
+	// this size instead of a full mirror.
+	ShadowBytes uint64
+	// HWPaging selects simulated hardware paging for the paged shadow.
+	HWPaging bool
+	// Timing enables the NVM delay model.
+	Timing bool
+	// Latency and Bandwidth parameterize the delay model (defaults:
+	// 1000 cycles at 3.4 GHz and 1 GB/s, the paper's baseline).
+	Latency   time.Duration
+	Bandwidth float64
+}
+
+func (o Options) config() idudetm.Config {
+	cfg := idudetm.Config{
+		DataSize:  o.DataSize,
+		Threads:   o.Threads,
+		GroupSize: o.GroupSize,
+		Compress:  o.Compress,
+	}
+	if cfg.Threads == 0 {
+		cfg.Threads = 4
+	}
+	if o.Sync {
+		cfg.Mode = idudetm.ModeSync
+	}
+	if o.HTM {
+		cfg.Engine = idudetm.EngineHTM
+	}
+	if o.ShadowBytes != 0 {
+		cfg.Shadow = idudetm.ShadowSW
+		if o.HWPaging {
+			cfg.Shadow = idudetm.ShadowHW
+		}
+		cfg.ShadowBytes = o.ShadowBytes
+	}
+	cfg.Pmem = pmem.Config{
+		WriteLatency: o.Latency,
+		Bandwidth:    o.Bandwidth,
+		DelayEnabled: o.Timing,
+	}
+	if cfg.Pmem.WriteLatency == 0 {
+		cfg.Pmem.WriteLatency = pmem.Latency1000
+	}
+	if cfg.Pmem.Bandwidth == 0 {
+		cfg.Pmem.Bandwidth = pmem.GB
+	}
+	return cfg
+}
+
+// Pool is a mounted persistent memory pool.
+type Pool struct {
+	sys  *idudetm.System
+	heap Heap
+}
+
+// Create initializes a fresh pool (simulated NVM included) and formats
+// its heap.
+func Create(o Options) (*Pool, error) {
+	sys, err := idudetm.Create(o.config())
+	if err != nil {
+		return nil, err
+	}
+	p := newPool(sys)
+	if _, err := p.Update(0, func(tx *Tx) error {
+		p.heap.Format(tx)
+		return nil
+	}); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+func newPool(sys *idudetm.System) *Pool {
+	return &Pool{
+		sys: sys,
+		heap: Heap{
+			Base: rootWords * 8,
+			Size: sys.DataSize() - rootWords*8,
+		},
+	}
+}
+
+// OpenSnapshot mounts a pool from a snapshot taken by Snapshot or
+// SaveImage, running crash recovery: the durable prefix of the redo logs
+// is replayed and unacknowledged transactions are discarded.
+func OpenSnapshot(img []byte, o Options) (*Pool, error) {
+	dev := pmem.New(pmem.Config{
+		Size:         uint64(len(img)),
+		WriteLatency: o.Latency,
+		Bandwidth:    o.Bandwidth,
+		DelayEnabled: o.Timing,
+	})
+	dev.Restore(img)
+	sys, err := idudetm.Recover(dev, o.config())
+	if err != nil {
+		return nil, err
+	}
+	return newPool(sys), nil
+}
+
+// OpenImage mounts a pool image file written by SaveImage.
+func OpenImage(path string, o Options) (*Pool, error) {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return OpenSnapshot(img, o)
+}
+
+// Update runs fn as a read-write durable transaction on behalf of
+// caller slot and returns its transaction ID. The transaction is
+// guaranteed durable once WaitDurable(tid) returns (immediately at
+// return in Sync mode). Conflicts retry transparently; returning an
+// error or calling Abort rolls back.
+func (p *Pool) Update(slot int, fn func(tx *Tx) error) (uint64, error) {
+	return p.sys.Run(slot, fn)
+}
+
+// View runs fn as a transaction intended for reading. (Writes are not
+// prevented — the underlying TM treats transactions uniformly — but a
+// read-only fn commits without consuming a transaction ID.)
+func (p *Pool) View(slot int, fn func(tx *Tx) error) error {
+	_, err := p.sys.Run(slot, fn)
+	return err
+}
+
+// Root returns the pool address of application root word i (512 words
+// are reserved for roots, e.g. heads of application data structures).
+func (p *Pool) Root(i int) uint64 {
+	if i < 0 || i >= rootWords {
+		panic(fmt.Sprintf("dudetm: root index %d out of range", i))
+	}
+	return uint64(i) * 8
+}
+
+// Heap returns the pool's transactional allocator.
+func (p *Pool) Heap() Heap { return p.heap }
+
+// Alloc allocates n bytes from the pool heap within tx.
+func (p *Pool) Alloc(tx *Tx, n uint64) (uint64, error) { return p.heap.Alloc(tx, n) }
+
+// Free releases an allocation within tx.
+func (p *Pool) Free(tx *Tx, addr uint64) { p.heap.Free(tx, addr) }
+
+// WaitDurable blocks until the transaction with the given ID is durable.
+func (p *Pool) WaitDurable(tid uint64) { p.sys.WaitDurable(tid) }
+
+// Durable returns the global durable transaction ID.
+func (p *Pool) Durable() uint64 { return p.sys.Durable() }
+
+// Reproduced returns the largest transaction ID already applied to
+// persistent data.
+func (p *Pool) Reproduced() uint64 { return p.sys.Reproduced() }
+
+// Stats returns pipeline and device statistics.
+func (p *Pool) Stats() idudetm.Stats { return p.sys.Stats() }
+
+// PausePersist freezes the Persist step (transactions keep committing
+// but stop becoming durable) — for crash drills and tests.
+func (p *Pool) PausePersist() { p.sys.PausePersist() }
+
+// ResumePersist releases PausePersist.
+func (p *Pool) ResumePersist() { p.sys.ResumePersist() }
+
+// PauseReproduce freezes the Reproduce step (transactions become
+// durable in the log but are not applied to persistent data).
+func (p *Pool) PauseReproduce() { p.sys.PauseReproduce() }
+
+// ResumeReproduce releases PauseReproduce.
+func (p *Pool) ResumeReproduce() { p.sys.ResumeReproduce() }
+
+// Snapshot returns the durable contents of the simulated NVM — exactly
+// what a power failure at this instant would leave behind. Callers must
+// ensure the pool is quiescent: either Close it first, or stop issuing
+// transactions and pause both pipeline stages (PausePersist and
+// PauseReproduce block until their stage is idle) for a mid-pipeline
+// snapshot.
+func (p *Pool) Snapshot() []byte { return p.sys.Device().PersistedImage() }
+
+// SaveImage writes Snapshot to a file (readable by OpenImage and the
+// dudectl tool).
+func (p *Pool) SaveImage(path string) error {
+	return os.WriteFile(path, p.Snapshot(), 0o644)
+}
+
+// Close drains the pipeline and stops the pool. All Update/View calls
+// must have returned.
+func (p *Pool) Close() { p.sys.Close() }

@@ -1,0 +1,208 @@
+package dudetm
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dudetm/internal/memdb"
+)
+
+func TestPoolBasics(t *testing.T) {
+	pool, err := Create(Options{DataSize: 1 << 20, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	tid, err := pool.Update(0, func(tx *Tx) error {
+		tx.Store(pool.Root(0), 42)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.WaitDurable(tid)
+	if err := pool.View(0, func(tx *Tx) error {
+		if v := tx.Load(pool.Root(0)); v != 42 {
+			t.Errorf("root = %d", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolSnapshotRecovery(t *testing.T) {
+	pool, err := Create(Options{DataSize: 1 << 20, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := uint64(0); i < 30; i++ {
+		last, _ = pool.Update(0, func(tx *Tx) error {
+			tx.Store(pool.Root(int(i%10)), i+1)
+			return nil
+		})
+	}
+	pool.WaitDurable(last)
+	pool.Close()
+	img := pool.Snapshot()
+
+	pool2, err := OpenSnapshot(img, Options{DataSize: 1 << 20, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	pool2.View(0, func(tx *Tx) error {
+		for r := 0; r < 10; r++ {
+			want := uint64(20 + r + 1)
+			if v := tx.Load(pool2.Root(r)); v != want {
+				t.Errorf("root %d = %d, want %d", r, v, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestPoolImageFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pool.img")
+	pool, err := Create(Options{DataSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, _ := pool.Update(0, func(tx *Tx) error {
+		tx.Store(pool.Root(0), 7)
+		return nil
+	})
+	pool.WaitDurable(tid)
+	pool.Close()
+	if err := pool.SaveImage(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	pool2, err := OpenImage(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	pool2.View(0, func(tx *Tx) error {
+		if v := tx.Load(pool2.Root(0)); v != 7 {
+			t.Errorf("root = %d", v)
+		}
+		return nil
+	})
+}
+
+func TestPoolCrashLosesUnacknowledged(t *testing.T) {
+	pool, err := Create(Options{DataSize: 1 << 20, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial durable state.
+	tid, _ := pool.Update(0, func(tx *Tx) error {
+		tx.Store(pool.Root(0), 1)
+		return nil
+	})
+	pool.WaitDurable(tid)
+	// Freeze persistence, then commit more transactions that never
+	// become durable.
+	pool.PausePersist()
+	for i := 0; i < 10; i++ {
+		pool.Update(0, func(tx *Tx) error {
+			tx.Store(pool.Root(0), 999)
+			return nil
+		})
+	}
+	pool.PauseReproduce()  // quiesce the whole pipeline for the snapshot
+	img := pool.Snapshot() // crash here
+	pool.ResumeReproduce()
+	pool.ResumePersist()
+	pool.Close()
+
+	pool2, err := OpenSnapshot(img, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	pool2.View(0, func(tx *Tx) error {
+		if v := tx.Load(pool2.Root(0)); v != 1 {
+			t.Errorf("root = %d, want last durable value 1", v)
+		}
+		return nil
+	})
+}
+
+func TestPoolWithDataStructures(t *testing.T) {
+	pool, err := Create(Options{DataSize: 8 << 20, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree memdb.BPlusTree
+	if _, err := pool.Update(0, func(tx *Tx) error {
+		rootPtr, err := pool.Alloc(tx, 8)
+		if err != nil {
+			return err
+		}
+		tx.Store(pool.Root(1), rootPtr)
+		tree = memdb.BPlusTree{RootPtr: rootPtr, Heap: pool.Heap()}
+		return tree.Format(tx)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := uint64(w*1000 + i + 1)
+				if _, err := pool.Update(w, func(tx *Tx) error {
+					return tree.Put(tx, k, k*2)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	pool.Close()
+
+	// Recover from the snapshot and verify every key survived.
+	pool2, err := OpenSnapshot(pool.Snapshot(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	pool2.View(0, func(tx *Tx) error {
+		rootPtr := tx.Load(pool2.Root(1))
+		tr := memdb.BPlusTree{RootPtr: rootPtr, Heap: pool2.Heap()}
+		for w := 0; w < 4; w++ {
+			for i := 0; i < 200; i++ {
+				k := uint64(w*1000 + i + 1)
+				if v, ok := tr.Get(tx, k); !ok || v != k*2 {
+					t.Fatalf("key %d: %d,%v", k, v, ok)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestRootOutOfRangePanics(t *testing.T) {
+	pool, err := Create(Options{DataSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pool.Root(512)
+}

@@ -1,0 +1,144 @@
+// KVStore: a durable key-value store built from the library's
+// transactional B+-tree, persisted to a pool image file that survives
+// process restarts (inspect it with `go run ./cmd/dudectl inspect`).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dudetm"
+	"dudetm/internal/memdb"
+)
+
+// Store is a durable KV store: the tree's root pointer lives in pool
+// root word 0 so a remount can find it.
+type Store struct {
+	pool *dudetm.Pool
+	tree memdb.BPlusTree
+}
+
+// create formats a fresh store.
+func create(opts dudetm.Options) (*Store, error) {
+	pool, err := dudetm.Create(opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{pool: pool}
+	_, err = pool.Update(0, func(tx *dudetm.Tx) error {
+		rootPtr, err := pool.Alloc(tx, 8)
+		if err != nil {
+			return err
+		}
+		tx.Store(pool.Root(0), rootPtr)
+		s.tree = memdb.BPlusTree{RootPtr: rootPtr, Heap: pool.Heap()}
+		return s.tree.Format(tx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// open mounts a store from an image file.
+func open(path string, opts dudetm.Options) (*Store, error) {
+	pool, err := dudetm.OpenImage(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{pool: pool}
+	err = pool.View(0, func(tx *dudetm.Tx) error {
+		s.tree = memdb.BPlusTree{RootPtr: tx.Load(pool.Root(0)), Heap: pool.Heap()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Put stores key -> value durably (waits for the durable ack).
+func (s *Store) Put(key, val uint64) error {
+	tid, err := s.pool.Update(0, func(tx *dudetm.Tx) error {
+		return s.tree.Put(tx, key, val)
+	})
+	if err != nil {
+		return err
+	}
+	s.pool.WaitDurable(tid)
+	return nil
+}
+
+// Get looks a key up.
+func (s *Store) Get(key uint64) (uint64, bool, error) {
+	var v uint64
+	var ok bool
+	err := s.pool.View(0, func(tx *dudetm.Tx) error {
+		v, ok = s.tree.Get(tx, key)
+		return nil
+	})
+	return v, ok, err
+}
+
+// Delete removes a key.
+func (s *Store) Delete(key uint64) error {
+	tid, err := s.pool.Update(0, func(tx *dudetm.Tx) error {
+		s.tree.Delete(tx, key)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.pool.WaitDurable(tid)
+	return nil
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "dudetm-kv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "kv.img")
+	opts := dudetm.Options{DataSize: 8 << 20, Threads: 1}
+
+	st, err := create(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 5000
+	for i := uint64(1); i <= n; i++ {
+		if err := st.Put(i, i*i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st.Delete(7)
+	fmt.Printf("stored %d keys, deleted one\n", n)
+
+	st.pool.Close()
+	if err := st.pool.SaveImage(path); err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := os.Stat(path)
+	fmt.Printf("saved image %s (%d MiB) — try: go run ./cmd/dudectl inspect %s\n",
+		filepath.Base(path), fi.Size()>>20, path)
+
+	// Restart: remount the image and verify.
+	st2, err := open(path, dudetm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st2.pool.Close()
+	for _, k := range []uint64{1, 100, n} {
+		v, ok, err := st2.Get(k)
+		if err != nil || !ok || v != k*k {
+			log.Fatalf("key %d: %d,%v,%v", k, v, ok, err)
+		}
+	}
+	if _, ok, _ := st2.Get(7); ok {
+		log.Fatal("deleted key resurrected")
+	}
+	fmt.Println("remounted and verified: ok")
+}

@@ -1,0 +1,3 @@
+module dudetm
+
+go 1.23

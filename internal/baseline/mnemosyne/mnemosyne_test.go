@@ -1,0 +1,184 @@
+package mnemosyne
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"dudetm/internal/pmem"
+	"dudetm/internal/redolog"
+)
+
+func testConfig() Config {
+	return Config{
+		DataSize:    1 << 20,
+		Threads:     4,
+		LogBufBytes: 256 << 10,
+		OrecCount:   1 << 12,
+	}
+}
+
+func TestBasicReadWrite(t *testing.T) {
+	s, err := Create(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := s.Run(0, func(tx *Tx) error {
+		tx.Store(0, 41)
+		tx.Store(8, tx.Load(0)+1) // read own write through the mapping
+		return nil
+	})
+	if err != nil || tid == 0 {
+		t.Fatalf("tid=%d err=%v", tid, err)
+	}
+	s.Run(0, func(tx *Tx) error {
+		if tx.Load(0) != 41 || tx.Load(8) != 42 {
+			t.Errorf("got %d,%d", tx.Load(0), tx.Load(8))
+		}
+		return nil
+	})
+}
+
+func TestDurableAtReturn(t *testing.T) {
+	s, _ := Create(testConfig())
+	s.Run(0, func(tx *Tx) error { tx.Store(16, 7); return nil })
+	// Synchronous durability: a crash right after Run keeps the write.
+	img := s.Device().PersistedImage()
+	dev := pmem.New(pmem.Config{Size: s.Device().Size()})
+	dev.Restore(img)
+	s2, err := Recover(dev, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Run(0, func(tx *Tx) error {
+		if v := tx.Load(16); v != 7 {
+			t.Errorf("durable write lost: %d", v)
+		}
+		return nil
+	})
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	s, _ := Create(testConfig())
+	s.Run(0, func(tx *Tx) error { tx.Store(0, 1); return nil })
+	_, err := s.Run(0, func(tx *Tx) error {
+		tx.Store(0, 99)
+		tx.Abort()
+		return nil
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	s.Run(0, func(tx *Tx) error {
+		if v := tx.Load(0); v != 1 {
+			t.Errorf("abort leaked: %d", v)
+		}
+		return nil
+	})
+}
+
+func TestErrorRollsBack(t *testing.T) {
+	s, _ := Create(testConfig())
+	boom := errors.New("boom")
+	if _, err := s.Run(0, func(tx *Tx) error {
+		tx.Store(0, 5)
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	s.Run(0, func(tx *Tx) error {
+		if v := tx.Load(0); v != 0 {
+			t.Errorf("error leaked: %d", v)
+		}
+		return nil
+	})
+}
+
+func TestConcurrentBank(t *testing.T) {
+	s, _ := Create(testConfig())
+	const accounts = 32
+	const initial = 100
+	s.Run(0, func(tx *Tx) error {
+		for i := uint64(0); i < accounts; i++ {
+			tx.Store(i*8, initial)
+		}
+		return nil
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w)*2654435761 + 3
+			for i := 0; i < 200; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				src := (rng >> 30) % accounts
+				dst := (rng >> 10) % accounts
+				if src == dst {
+					continue
+				}
+				s.Run(w, func(tx *Tx) error {
+					b := tx.Load(src * 8)
+					if b == 0 {
+						tx.Abort()
+					}
+					tx.Store(src*8, b-1)
+					tx.Store(dst*8, tx.Load(dst*8)+1)
+					return nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Run(0, func(tx *Tx) error {
+		var sum uint64
+		for i := uint64(0); i < accounts; i++ {
+			sum += tx.Load(i * 8)
+		}
+		if sum != accounts*initial {
+			t.Errorf("sum = %d", sum)
+		}
+		return nil
+	})
+}
+
+func TestRecoveryReplaysLiveLog(t *testing.T) {
+	// Emulate a crash between log persist and in-place apply: the log
+	// record is durable, the data is not. Recovery must redo it.
+	s, _ := Create(testConfig())
+	s.Run(0, func(tx *Tx) error { tx.Store(0, 1); return nil })
+	// Manually append a committed-but-unapplied record.
+	g := &redolog.Group{MinTid: s.Clock() + 1, MaxTid: s.Clock() + 1,
+		Entries: []redolog.Entry{{Addr: 24, Val: 777}}}
+	s.writers[1].AppendGroup(g)
+
+	img := s.Device().PersistedImage()
+	dev := pmem.New(pmem.Config{Size: s.Device().Size()})
+	dev.Restore(img)
+	s2, err := Recover(dev, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Run(0, func(tx *Tx) error {
+		if v := tx.Load(24); v != 777 {
+			t.Errorf("redo not replayed: %d", v)
+		}
+		if v := tx.Load(0); v != 1 {
+			t.Errorf("earlier data lost: %d", v)
+		}
+		return nil
+	})
+	if s2.Clock() < g.MaxTid {
+		t.Errorf("clock not resumed: %d", s2.Clock())
+	}
+}
+
+func TestReadOnlyNoClockAdvance(t *testing.T) {
+	s, _ := Create(testConfig())
+	s.Run(0, func(tx *Tx) error { tx.Store(0, 1); return nil })
+	before := s.Clock()
+	s.Run(0, func(tx *Tx) error { _ = tx.Load(0); return nil })
+	if s.Clock() != before {
+		t.Fatal("read-only advanced clock")
+	}
+}

@@ -1,0 +1,332 @@
+// Package nvml implements an NVML-style (Intel PMDK libpmemobj) durable
+// transaction baseline, as evaluated against DudeTM in §5.2.2 of the
+// paper.
+//
+// Design points that define the baseline's cost profile:
+//
+//   - Undo logging: old values are persisted before new data may reach
+//     persistent memory. Logging all old values of a transaction at once
+//     needs prior knowledge of the write set, so transactions are
+//     static: the caller declares the lock set up front and all writes
+//     happen under those locks.
+//   - No isolation from the TM: concurrency control is the caller's
+//     striped-lock declaration (the paper implements its NVML hash table
+//     with fine-grained locks for the same reason).
+//   - Three persist barriers per transaction on the critical path: seal
+//     the undo log, flush the in-place data updates, truncate the log.
+//   - Per-transaction metadata is heap-allocated, mirroring NVML's
+//     dynamic allocation of transaction state that the paper identifies
+//     as a first-order cost ("at most 1.14 million empty transactions
+//     per second per thread").
+package nvml
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+
+	"dudetm/internal/pmem"
+)
+
+// ErrAborted is returned by Run when the user function called Abort.
+var ErrAborted = errors.New("nvml: transaction aborted by user")
+
+// Config describes an NVML-style pool.
+type Config struct {
+	// DataSize is the persistent data region size in bytes.
+	DataSize uint64
+	// Threads is the number of concurrent Run callers.
+	Threads int
+	// UndoLogBytes is the per-thread undo-log capacity (default 1 MiB).
+	UndoLogBytes uint64
+	// LockStripes is the size of the striped lock table (default 4096).
+	LockStripes int
+	// Pmem carries the NVM timing model; Size is computed.
+	Pmem pmem.Config
+}
+
+// System is a mounted NVML-style pool.
+type System struct {
+	dev     *pmem.Device
+	dataOff uint64
+	cfg     Config
+
+	locks []sync.Mutex
+	logs  []undoLog
+}
+
+// undoLog is one thread's persistent undo-log region:
+//
+//	+0  count (number of entries; 0 = empty/truncated)
+//	+8  crc of the entries
+//	+16 entries: (addr, old value) pairs
+type undoLog struct {
+	base uint64
+	size uint64
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Create initializes a fresh pool and its simulated device.
+func Create(cfg Config) (*System, error) {
+	applyDefaults(&cfg)
+	lay := poolLayout(cfg)
+	pc := cfg.Pmem
+	pc.Size = lay.total
+	dev := pmem.New(pc)
+	s := build(dev, cfg, lay)
+	// Truncate all logs (persist count=0).
+	for i := range s.logs {
+		s.truncate(&s.logs[i])
+	}
+	return s, nil
+}
+
+func applyDefaults(cfg *Config) {
+	if cfg.Threads == 0 {
+		cfg.Threads = 1
+	}
+	if cfg.UndoLogBytes == 0 {
+		cfg.UndoLogBytes = 1 << 20
+	}
+	if cfg.LockStripes == 0 {
+		cfg.LockStripes = 4096
+	}
+	if cfg.DataSize == 0 {
+		cfg.DataSize = 64 << 20
+	}
+}
+
+type lay struct {
+	logsOff uint64
+	dataOff uint64
+	total   uint64
+}
+
+func poolLayout(cfg Config) lay {
+	n := uint64(cfg.Threads)
+	logsOff := uint64(0)
+	dataOff := (logsOff + n*cfg.UndoLogBytes + 4095) &^ 4095
+	return lay{logsOff: logsOff, dataOff: dataOff, total: dataOff + cfg.DataSize}
+}
+
+func build(dev *pmem.Device, cfg Config, l lay) *System {
+	s := &System{
+		dev:     dev,
+		dataOff: l.dataOff,
+		cfg:     cfg,
+		locks:   make([]sync.Mutex, cfg.LockStripes),
+		logs:    make([]undoLog, cfg.Threads),
+	}
+	for i := range s.logs {
+		s.logs[i] = undoLog{
+			base: l.logsOff + uint64(i)*cfg.UndoLogBytes,
+			size: cfg.UndoLogBytes,
+		}
+	}
+	return s
+}
+
+// Device returns the simulated NVM device.
+func (s *System) Device() *pmem.Device { return s.dev }
+
+// Tx is the transaction handle (satisfies memdb.Ctx). Its metadata is
+// allocated per transaction, as in NVML.
+type Tx struct {
+	s     *System
+	undo  []entry // old values, in first-write order
+	seen  map[uint64]struct{}
+	abort bool
+}
+
+type entry struct {
+	addr, val uint64
+}
+
+// Load reads directly from persistent memory — undo logging permits
+// in-place data, so reads need no remapping.
+func (t *Tx) Load(addr uint64) uint64 {
+	return t.s.dev.Load8(t.s.dataOff + addr)
+}
+
+// Store updates in place after capturing the old value for the undo log.
+func (t *Tx) Store(addr, val uint64) {
+	if _, ok := t.seen[addr]; !ok {
+		t.seen[addr] = struct{}{}
+		t.undo = append(t.undo, entry{addr, t.s.dev.Load8(t.s.dataOff + addr)})
+	}
+	t.s.dev.Store8(t.s.dataOff+addr, val)
+}
+
+// Abort rolls the transaction back; Run returns ErrAborted.
+func (t *Tx) Abort() {
+	t.abort = true
+	panic(txAbort{})
+}
+
+type txAbort struct{}
+
+// Run executes fn as a static durable transaction on behalf of thread
+// slot. lockKeys declares the lock set — the caller's prior knowledge of
+// the write set. When Run returns nil the transaction is durable.
+func (s *System) Run(slot int, lockKeys []uint64, fn func(tx *Tx) error) (err error) {
+	// Acquire declared stripes in sorted order (deadlock freedom).
+	stripes := make([]int, 0, len(lockKeys))
+	for _, k := range lockKeys {
+		stripes = append(stripes, int((k*0x9E3779B97F4A7C15)>>40)%s.cfg.LockStripes)
+	}
+	sort.Ints(stripes)
+	n := 0
+	for i, st := range stripes {
+		if i > 0 && st == stripes[i-1] {
+			continue
+		}
+		stripes[n] = st
+		n++
+	}
+	stripes = stripes[:n]
+	for _, st := range stripes {
+		s.locks[st].Lock()
+	}
+	defer func() {
+		for i := len(stripes) - 1; i >= 0; i-- {
+			s.locks[stripes[i]].Unlock()
+		}
+	}()
+
+	// NVML allocates transaction metadata dynamically per transaction.
+	tx := &Tx{s: s, undo: make([]entry, 0, 16), seen: make(map[uint64]struct{}, 16)}
+	lg := &s.logs[slot]
+
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(txAbort); ok {
+				s.rollback(tx)
+				err = ErrAborted
+				return
+			}
+			s.rollback(tx)
+			panic(r)
+		}
+	}()
+	if ferr := fn(tx); ferr != nil {
+		s.rollback(tx)
+		return ferr
+	}
+
+	if len(tx.undo) == 0 {
+		return nil
+	}
+
+	// Persist barrier 1: seal the undo log before any in-place update
+	// may reach persistent memory.
+	s.seal(lg, tx.undo)
+
+	// Persist barrier 2: write back the in-place updates.
+	b := s.dev.NewBatch()
+	for a := range tx.seen {
+		b.Flush(s.dataOff+a, 8)
+	}
+	b.Fence()
+
+	// Persist barrier 3: truncate the log — the commit point.
+	s.truncate(lg)
+	return nil
+}
+
+// seal writes count, crc and entries, then flushes and fences once.
+func (s *System) seal(lg *undoLog, undo []entry) {
+	need := 16 + uint64(len(undo))*16
+	if need > lg.size {
+		panic(fmt.Sprintf("nvml: undo log overflow: %d > %d", need, lg.size))
+	}
+	buf := make([]byte, need)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(len(undo)))
+	for i, e := range undo {
+		binary.LittleEndian.PutUint64(buf[16+i*16:], e.addr)
+		binary.LittleEndian.PutUint64(buf[24+i*16:], e.val)
+	}
+	crc := crc32.Checksum(buf[16:], crcTable)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(crc))
+	s.dev.Store(lg.base, buf)
+	s.dev.Persist(lg.base, need)
+}
+
+// truncate marks the log empty (persisted).
+func (s *System) truncate(lg *undoLog) {
+	s.dev.Store8(lg.base, 0)
+	s.dev.Persist(lg.base, 8)
+}
+
+// rollback restores old values in reverse order (in cache; nothing was
+// flushed yet) and truncates the log if it was sealed.
+func (s *System) rollback(tx *Tx) {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		e := tx.undo[i]
+		s.dev.Store8(s.dataOff+e.addr, e.val)
+	}
+}
+
+// Recover mounts a crashed pool: any sealed, untruncated undo log marks
+// an interrupted transaction whose old values must be restored.
+func Recover(dev *pmem.Device, cfg Config) (*System, error) {
+	applyDefaults(&cfg)
+	l := poolLayout(cfg)
+	if l.total > dev.Size() {
+		return nil, fmt.Errorf("nvml: device too small for configuration")
+	}
+	s := build(dev, cfg, l)
+	for i := range s.logs {
+		lg := &s.logs[i]
+		count := dev.Load8(lg.base)
+		if count == 0 {
+			continue
+		}
+		need := 16 + count*16
+		if need > lg.size {
+			// Torn count word with garbage: the log was never sealed.
+			s.truncate(lg)
+			continue
+		}
+		buf := make([]byte, need)
+		dev.Load(lg.base, buf)
+		crc := binary.LittleEndian.Uint64(buf[8:])
+		if uint64(crc32.Checksum(buf[16:], crcTable)) != crc {
+			// Seal never completed; in-place data never flushed.
+			s.truncate(lg)
+			continue
+		}
+		// Roll the interrupted transaction back.
+		b := dev.NewBatch()
+		for j := int(count) - 1; j >= 0; j-- {
+			addr := binary.LittleEndian.Uint64(buf[16+j*16:])
+			val := binary.LittleEndian.Uint64(buf[24+j*16:])
+			dev.Store8(s.dataOff+addr, val)
+			b.Flush(s.dataOff+addr, 8)
+		}
+		b.Fence()
+		s.truncate(lg)
+	}
+	return s, nil
+}
+
+// ReadCtx returns a non-transactional, read-only view of the pool, used
+// by lock planners to estimate probe spans before acquiring locks (the
+// estimate is verified under the locks and the transaction retried with
+// a wider span if it was stale).
+func (s *System) ReadCtx() ReadCtx { return ReadCtx{s} }
+
+// ReadCtx is a read-only memdb.Ctx; Store and Abort panic.
+type ReadCtx struct{ s *System }
+
+// Load reads a word directly from persistent memory.
+func (c ReadCtx) Load(addr uint64) uint64 { return c.s.dev.Load8(c.s.dataOff + addr) }
+
+// Store panics: the view is read-only.
+func (c ReadCtx) Store(addr, val uint64) { panic("nvml: store outside transaction") }
+
+// Abort panics: there is no transaction to abort.
+func (c ReadCtx) Abort() { panic("nvml: abort outside transaction") }

@@ -1,0 +1,212 @@
+package nvml
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"dudetm/internal/pmem"
+)
+
+func testConfig() Config {
+	return Config{DataSize: 1 << 20, Threads: 4, UndoLogBytes: 64 << 10}
+}
+
+func clone(s *System) *pmem.Device {
+	img := s.Device().PersistedImage()
+	dev := pmem.New(pmem.Config{Size: s.Device().Size()})
+	dev.Restore(img)
+	return dev
+}
+
+func TestBasicReadWrite(t *testing.T) {
+	s, err := Create(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Run(0, []uint64{0}, func(tx *Tx) error {
+		tx.Store(0, 41)
+		tx.Store(8, tx.Load(0)+1) // in-place: read sees own write directly
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(0, []uint64{0}, func(tx *Tx) error {
+		if tx.Load(0) != 41 || tx.Load(8) != 42 {
+			t.Errorf("got %d,%d", tx.Load(0), tx.Load(8))
+		}
+		return nil
+	})
+}
+
+func TestDurableAtReturn(t *testing.T) {
+	s, _ := Create(testConfig())
+	s.Run(0, []uint64{0}, func(tx *Tx) error { tx.Store(16, 7); return nil })
+	dev := clone(s)
+	s2, err := Recover(dev, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Run(0, nil, func(tx *Tx) error {
+		if v := tx.Load(16); v != 7 {
+			t.Errorf("durable write lost: %d", v)
+		}
+		return nil
+	})
+}
+
+func TestAbortRestoresOldValues(t *testing.T) {
+	s, _ := Create(testConfig())
+	s.Run(0, []uint64{0}, func(tx *Tx) error { tx.Store(0, 1); return nil })
+	err := s.Run(0, []uint64{0}, func(tx *Tx) error {
+		tx.Store(0, 99)
+		tx.Abort()
+		return nil
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	s.Run(0, []uint64{0}, func(tx *Tx) error {
+		if v := tx.Load(0); v != 1 {
+			t.Errorf("abort leaked: %d", v)
+		}
+		return nil
+	})
+}
+
+func TestUncommittedNeverDurable(t *testing.T) {
+	// In-place writes live in the simulated cache until commit flushes
+	// them: a crash mid-transaction must lose them.
+	s, _ := Create(testConfig())
+	boom := errors.New("boom")
+	s.Run(0, []uint64{0}, func(tx *Tx) error {
+		tx.Store(0, 99)
+		return boom
+	})
+	dev := clone(s)
+	s2, _ := Recover(dev, testConfig())
+	s2.Run(0, nil, func(tx *Tx) error {
+		if v := tx.Load(0); v != 0 {
+			t.Errorf("uncommitted write survived: %d", v)
+		}
+		return nil
+	})
+}
+
+func TestRecoveryRollsBackSealedLog(t *testing.T) {
+	// Crash after the undo log is sealed and some in-place updates are
+	// flushed, but before truncation: recovery must restore old values.
+	s, _ := Create(testConfig())
+	s.Run(0, []uint64{0}, func(tx *Tx) error { tx.Store(0, 1); return nil })
+
+	// Hand-craft the interrupted transaction.
+	s.seal(&s.logs[2], []entry{{addr: 0, val: 1}, {addr: 8, val: 0}})
+	s.dev.Store8(s.dataOff+0, 555)
+	s.dev.Store8(s.dataOff+8, 556)
+	s.dev.Persist(s.dataOff, 16) // partially flushed new data
+
+	dev := clone(s)
+	s2, err := Recover(dev, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Run(0, nil, func(tx *Tx) error {
+		if v := tx.Load(0); v != 1 {
+			t.Errorf("old value not restored: %d", v)
+		}
+		if v := tx.Load(8); v != 0 {
+			t.Errorf("old value not restored: %d", v)
+		}
+		return nil
+	})
+	// The log must be truncated after recovery.
+	if c := dev.Load8(s2.logs[2].base); c != 0 {
+		t.Errorf("log not truncated: count=%d", c)
+	}
+}
+
+func TestRecoveryIgnoresTornSeal(t *testing.T) {
+	s, _ := Create(testConfig())
+	s.Run(0, []uint64{0}, func(tx *Tx) error { tx.Store(0, 1); return nil })
+	// A torn seal: count persisted but entries garbage (bad crc).
+	lg := &s.logs[1]
+	s.dev.Store8(lg.base, 2)
+	s.dev.Persist(lg.base, 8)
+
+	dev := clone(s)
+	s2, err := Recover(dev, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Run(0, nil, func(tx *Tx) error {
+		if v := tx.Load(0); v != 1 {
+			t.Errorf("data corrupted by torn seal: %d", v)
+		}
+		return nil
+	})
+}
+
+func TestConcurrentBankWithStripedLocks(t *testing.T) {
+	s, _ := Create(testConfig())
+	const accounts = 32
+	const initial = 100
+	keys := make([]uint64, accounts)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	s.Run(0, keys, func(tx *Tx) error {
+		for i := uint64(0); i < accounts; i++ {
+			tx.Store(i*8, initial)
+		}
+		return nil
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w)*2654435761 + 3
+			for i := 0; i < 200; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				src := (rng >> 30) % accounts
+				dst := (rng >> 10) % accounts
+				if src == dst {
+					continue
+				}
+				s.Run(w, []uint64{src, dst}, func(tx *Tx) error {
+					b := tx.Load(src * 8)
+					if b == 0 {
+						tx.Abort()
+					}
+					tx.Store(src*8, b-1)
+					tx.Store(dst*8, tx.Load(dst*8)+1)
+					return nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Run(0, keys, func(tx *Tx) error {
+		var sum uint64
+		for i := uint64(0); i < accounts; i++ {
+			sum += tx.Load(i * 8)
+		}
+		if sum != accounts*initial {
+			t.Errorf("sum = %d", sum)
+		}
+		return nil
+	})
+}
+
+func TestEmptyTransactionCheap(t *testing.T) {
+	s, _ := Create(testConfig())
+	if err := s.Run(0, nil, func(tx *Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if f := s.Device().Stats().Fences; f > 5 {
+		// Creation truncates each log once (4 fences); an empty tx must
+		// add none.
+		t.Errorf("empty tx fenced: %d", f)
+	}
+}

@@ -1,0 +1,136 @@
+// Package dudetm implements the DudeTM durable transaction system: the
+// decoupled Perform / Persist / Reproduce pipeline of the paper, over the
+// simulated persistent memory in internal/pmem, the TM engines in
+// internal/stm, the shadow memory in internal/shadow, and the redo logs
+// in internal/redolog.
+//
+// A transaction executes in three fully asynchronous steps:
+//
+//	Perform   — run on shadow DRAM under an out-of-the-box TM, emitting a
+//	            volatile redo log per thread (never touching NVM).
+//	Persist   — a background thread merges the volatile logs in commit-ID
+//	            order, optionally combines and compresses groups of
+//	            transactions, and flushes each group to the persistent
+//	            log region with a single persist barrier, advancing the
+//	            global durable ID.
+//	Reproduce — a background thread replays persisted groups, in ID
+//	            order, into the persistent data region, then recycles
+//	            their log space.
+//
+// Dirty shadow data is never written back directly; the redo log is the
+// only channel into persistent memory, so CPU-cache evictions (simulated
+// by pmem) can never corrupt the durable state.
+package dudetm
+
+import (
+	"time"
+
+	"dudetm/internal/pmem"
+)
+
+// Mode selects how the Persist step is driven.
+type Mode int
+
+const (
+	// ModeAsync is DudeTM proper: Run returns after Perform; Persist and
+	// Reproduce happen on background threads.
+	ModeAsync Mode = iota
+	// ModeSync is the DUDETM-Sync baseline (§5.1): each transaction
+	// flushes its own redo log synchronously after Perform and returns
+	// only once it is durable. Perform threads cannot run back-to-back.
+	ModeSync
+)
+
+// EngineKind selects the TM the Perform step runs on.
+type EngineKind int
+
+const (
+	// EngineSTM is the TinySTM-like software TM.
+	EngineSTM EngineKind = iota
+	// EngineHTM is the simulated hardware TM (§4.2).
+	EngineHTM
+)
+
+// ShadowKind selects the shadow-memory configuration.
+type ShadowKind int
+
+const (
+	// ShadowFlat mirrors the whole data region in DRAM (no paging).
+	ShadowFlat ShadowKind = iota
+	// ShadowSW uses software paging over ShadowBytes of DRAM.
+	ShadowSW
+	// ShadowHW uses simulated hardware (Dune-style) paging.
+	ShadowHW
+)
+
+// Config describes a DudeTM system.
+type Config struct {
+	// DataSize is the persistent data region size in bytes (page
+	// aligned).
+	DataSize uint64
+	// Threads is the number of Perform threads; Run's slot argument
+	// must be in [0, Threads).
+	Threads int
+	// Mode selects asynchronous (decoupled) or synchronous persistence.
+	Mode Mode
+	// Engine selects the TM implementation.
+	Engine EngineKind
+	// Shadow selects the shadow-memory configuration.
+	Shadow ShadowKind
+	// ShadowBytes is the shadow DRAM budget for paged configurations.
+	ShadowBytes uint64
+	// PageSize is the paging granularity (default 4096).
+	PageSize uint64
+	// VLogEntries is the per-thread volatile redo-log capacity in
+	// entries (default 1<<20, the paper's one million; use a large
+	// value for the DUDETM-Inf configuration).
+	VLogEntries int
+	// LogBufBytes is the size of each persistent log buffer (default
+	// 8 MiB).
+	LogBufBytes uint64
+	// GroupSize is the number of consecutive transactions combined into
+	// one persist group (default 1 = no cross-transaction combination).
+	GroupSize int
+	// Compress enables lz4 compression of persisted groups.
+	Compress bool
+	// FlushInterval bounds how long a partially filled group may wait
+	// before being persisted anyway (default 50us).
+	FlushInterval time.Duration
+	// RecycleEvery batches log recycling: the reproducer persists log
+	// head metadata every N groups (default 64; a background ticker
+	// bounds how long a pending recycle can be deferred).
+	RecycleEvery int
+	// OrecCount overrides the STM ownership-record table size.
+	OrecCount uint64
+	// Pmem carries the NVM timing model (latency, bandwidth,
+	// DelayEnabled); its Size field is computed from the layout.
+	Pmem pmem.Config
+}
+
+func (c *Config) applyDefaults() {
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.VLogEntries == 0 {
+		c.VLogEntries = 1 << 20
+	}
+	if c.LogBufBytes == 0 {
+		c.LogBufBytes = 8 << 20
+	}
+	if c.GroupSize == 0 {
+		c.GroupSize = 1
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 50 * time.Microsecond
+	}
+	if c.RecycleEvery == 0 {
+		c.RecycleEvery = 64
+	}
+	if c.DataSize == 0 {
+		c.DataSize = 64 << 20
+	}
+	c.DataSize = (c.DataSize + c.PageSize - 1) &^ (c.PageSize - 1)
+}

@@ -1,0 +1,111 @@
+package dudetm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"dudetm/internal/pmem"
+	"dudetm/internal/redolog"
+)
+
+// Pool layout on the simulated NVM device:
+//
+//	[0,   64)               header (magic, nlogs, logSize, dataSize,
+//	                        pageSize, crc)
+//	[64,  64+64*nlogs)      per-log metadata blocks (redolog.MetaSize
+//	                        used, line-aligned so each persists
+//	                        atomically)
+//	[logsOff, ...)          nlogs persistent log buffers
+//	[dataOff, +dataSize)    persistent data region (page aligned)
+const (
+	poolMagic     = 0x44554445544d3031 // "DUDETM01"
+	headerBytes   = 64
+	metaSlotBytes = 64
+)
+
+var headerCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+type layout struct {
+	nlogs    uint64
+	logSize  uint64
+	dataSize uint64
+	pageSize uint64
+
+	metaOff uint64
+	logsOff uint64
+	dataOff uint64
+	total   uint64
+}
+
+func computeLayout(nlogs, logSize, dataSize, pageSize uint64) layout {
+	l := layout{nlogs: nlogs, logSize: logSize, dataSize: dataSize, pageSize: pageSize}
+	l.metaOff = headerBytes
+	l.logsOff = l.metaOff + nlogs*metaSlotBytes
+	l.dataOff = (l.logsOff + nlogs*logSize + pageSize - 1) &^ (pageSize - 1)
+	l.total = l.dataOff + dataSize
+	return l
+}
+
+func (l layout) metaAddr(i int) uint64 { return l.metaOff + uint64(i)*metaSlotBytes }
+func (l layout) logAddr(i int) uint64  { return l.logsOff + uint64(i)*l.logSize }
+
+// writeHeader persists the pool header.
+func writeHeader(dev *pmem.Device, l layout) {
+	var b [headerBytes]byte
+	binary.LittleEndian.PutUint64(b[0:], poolMagic)
+	binary.LittleEndian.PutUint64(b[8:], l.nlogs)
+	binary.LittleEndian.PutUint64(b[16:], l.logSize)
+	binary.LittleEndian.PutUint64(b[24:], l.dataSize)
+	binary.LittleEndian.PutUint64(b[32:], l.pageSize)
+	crc := crc32.Checksum(b[:40], headerCRCTable)
+	binary.LittleEndian.PutUint64(b[40:], uint64(crc))
+	dev.Store(0, b[:])
+	dev.Persist(0, headerBytes)
+}
+
+// readHeader validates and decodes the pool header.
+func readHeader(dev *pmem.Device) (layout, error) {
+	var b [headerBytes]byte
+	dev.Load(0, b[:])
+	if binary.LittleEndian.Uint64(b[0:]) != poolMagic {
+		return layout{}, fmt.Errorf("dudetm: bad pool magic")
+	}
+	crc := binary.LittleEndian.Uint64(b[40:])
+	if uint64(crc32.Checksum(b[:40], headerCRCTable)) != crc {
+		return layout{}, fmt.Errorf("dudetm: corrupt pool header")
+	}
+	l := computeLayout(
+		binary.LittleEndian.Uint64(b[8:]),
+		binary.LittleEndian.Uint64(b[16:]),
+		binary.LittleEndian.Uint64(b[24:]),
+		binary.LittleEndian.Uint64(b[32:]),
+	)
+	if l.total > dev.Size() {
+		return layout{}, fmt.Errorf("dudetm: pool layout (%d bytes) exceeds device (%d bytes)", l.total, dev.Size())
+	}
+	return l, nil
+}
+
+// pmSource adapts the persistent data region as the shadow.Source paged
+// shadow memories swap from.
+type pmSource struct {
+	s *System
+}
+
+// ReadPage implements shadow.Source.
+func (p pmSource) ReadPage(page uint64, dst []byte) {
+	p.s.dev.Load(p.s.lay.dataOff+page*p.s.lay.pageSize, dst)
+}
+
+// Reproduced implements shadow.Source.
+func (p pmSource) Reproduced() uint64 { return p.s.reproduced.Load() }
+
+// repoMsg carries one persisted group to the Reproduce step, along with
+// the writer whose log space it occupies.
+type repoMsg struct {
+	g  *redolog.Group
+	w  *redolog.Writer
+	wi int
+	ep *[]redolog.Entry // pooled backing slice, returned after replay
+}

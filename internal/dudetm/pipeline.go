@@ -1,0 +1,224 @@
+package dudetm
+
+import (
+	"container/heap"
+	"runtime"
+	"time"
+
+	"dudetm/internal/redolog"
+)
+
+// persistLoop is the Persist step (ModeAsync): one background thread
+// merges the per-thread volatile rings in commit-ID order, groups
+// GroupSize consecutive transactions (combining overlapping writes),
+// flushes each group to the persistent log with a single persist
+// barrier, advances the global durable ID, and hands the group to the
+// Reproduce step through an in-DRAM channel (the volatile copy the paper
+// keeps so Reproduce never reads NVM or decompresses, §3.3).
+//
+// Merging across all rings by ID is what makes cross-transaction
+// combination sound: every group covers a globally contiguous ID range,
+// so replaying groups in order equals replaying transactions in order.
+func (s *System) persistLoop() {
+	defer s.wg.Done()
+	w := s.writers[0]
+	comb := redolog.NewCombiner()
+	nextTid := s.startTid + 1
+	var gMin, gMax uint64
+	gCount := 0
+	var ep *[]redolog.Entry
+	lastActivity := time.Now()
+	idle := 0
+
+	seal := func() {
+		if gCount == 0 {
+			return
+		}
+		if s.cfg.GroupSize > 1 {
+			ep = getEntrySlice()
+			*ep = append((*ep)[:0], comb.Entries()...)
+			s.rawEntries.Add(uint64(comb.RawCount()))
+			s.combEntries.Add(uint64(comb.Len()))
+			comb.Reset()
+		}
+		g := &redolog.Group{MinTid: gMin, MaxTid: gMax, Entries: *ep}
+		w.AppendGroup(g)
+		s.groups.Add(1)
+		s.durable.Store(gMax)
+		s.reproCh <- repoMsg{g: g, w: w, wi: 0, ep: ep}
+		ep = nil
+		gCount = 0
+	}
+
+	for {
+		// The gate is held for the whole iteration so PausePersist
+		// blocks until the step is quiescent (crash drills and
+		// snapshots rely on this).
+		s.persistGate.Lock()
+
+		consumed := false
+		for _, th := range s.threads {
+			tid, ok := th.ring.PeekTid()
+			if !ok || tid != nextTid {
+				continue
+			}
+			if s.cfg.GroupSize == 1 {
+				ep = getEntrySlice()
+				*ep, _ = th.ring.ConsumeTx((*ep)[:0])
+				s.rawEntries.Add(uint64(len(*ep)))
+				s.combEntries.Add(uint64(len(*ep)))
+			} else {
+				th.scratch, _ = th.ring.ConsumeTx(th.scratch[:0])
+				comb.AddAll(th.scratch)
+			}
+			if gCount == 0 {
+				gMin = tid
+			}
+			gMax = tid
+			gCount++
+			nextTid++
+			consumed = true
+			lastActivity = time.Now()
+			break
+		}
+		if consumed {
+			idle = 0
+			if gCount >= s.cfg.GroupSize {
+				seal()
+			}
+			s.persistGate.Unlock()
+			continue
+		}
+		if s.engine.Clock() >= nextTid {
+			// The ID is assigned; its end mark is in flight between
+			// commit and AppendTxEnd. Spin briefly.
+			s.persistGate.Unlock()
+			runtime.Gosched()
+			continue
+		}
+		// No committed transaction pending.
+		if gCount > 0 && time.Since(lastActivity) > s.cfg.FlushInterval {
+			seal()
+			s.persistGate.Unlock()
+			continue
+		}
+		if s.stopping.Load() {
+			seal()
+			close(s.reproCh)
+			s.persistGate.Unlock()
+			return
+		}
+		s.persistGate.Unlock()
+		idle++
+		if idle < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// reproduceLoop is the Reproduce step: replay persisted groups in
+// transaction-ID order into the persistent data region, then recycle
+// their log space. Groups may arrive out of order in ModeSync (each
+// Perform thread flushes its own log), so a min-heap buffers them until
+// the next dense ID range is available.
+func (s *System) reproduceLoop() {
+	defer s.wg.Done()
+	var h msgHeap
+	next := s.startTid + 1
+
+	type pending struct {
+		pos, seq uint64
+		count    int
+	}
+	pend := make([]pending, len(s.writers))
+
+	flushRecycles := func() {
+		for i := range pend {
+			if pend[i].count > 0 {
+				s.writers[i].Recycle(pend[i].pos, pend[i].seq, s.reproduced.Load())
+				pend[i].count = 0
+			}
+		}
+	}
+
+	apply := func(m repoMsg) {
+		if len(m.g.Entries) > 0 {
+			// Apply all updates, then one write-back + fence. The only
+			// persist ordering Reproduce needs is data-before-recycle
+			// (§3.4), enforced by fencing here before Recycle below.
+			b := s.dev.NewBatch()
+			for _, e := range m.g.Entries {
+				s.dev.Store8(s.lay.dataOff+e.Addr, e.Val)
+			}
+			for _, e := range m.g.Entries {
+				b.Flush(s.lay.dataOff+e.Addr, 8)
+			}
+			b.Fence()
+		}
+		s.reproduced.Store(m.g.MaxTid)
+		putEntrySlice(m.ep)
+		p := &pend[m.wi]
+		p.pos, p.seq = m.g.EndPos, m.g.Seq+1
+		p.count++
+		if p.count >= s.cfg.RecycleEvery {
+			s.writers[m.wi].Recycle(p.pos, p.seq, m.g.MaxTid)
+			p.count = 0
+		}
+	}
+
+	drainReady := func() {
+		for h.Len() > 0 && h[0].g.MinTid == next {
+			m := heap.Pop(&h).(repoMsg)
+			apply(m)
+			next = m.g.MaxTid + 1
+		}
+	}
+
+	// The ticker bounds how long a batched recycle can be deferred, so a
+	// writer blocked on log space always gets freed even when no new
+	// groups arrive (RecycleEvery > 1).
+	ticker := time.NewTicker(500 * time.Microsecond)
+	defer ticker.Stop()
+
+	for {
+		select {
+		case m, ok := <-s.reproCh:
+			// The gate is held around every device mutation so
+			// PauseReproduce blocks until the step is quiescent.
+			s.reproduceGate.Lock()
+			if !ok {
+				drainReady()
+				if h.Len() > 0 {
+					panic("dudetm: gap in transaction IDs at shutdown")
+				}
+				flushRecycles()
+				s.reproduceGate.Unlock()
+				return
+			}
+			heap.Push(&h, m)
+			drainReady()
+			s.reproduceGate.Unlock()
+		case <-ticker.C:
+			s.reproduceGate.Lock()
+			flushRecycles()
+			s.reproduceGate.Unlock()
+		}
+	}
+}
+
+// msgHeap is a min-heap of groups keyed by MinTid.
+type msgHeap []repoMsg
+
+func (h msgHeap) Len() int           { return len(h) }
+func (h msgHeap) Less(i, j int) bool { return h[i].g.MinTid < h[j].g.MinTid }
+func (h msgHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)        { *h = append(*h, x.(repoMsg)) }
+func (h *msgHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	*h = old[:n-1]
+	return m
+}

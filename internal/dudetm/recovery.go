@@ -1,0 +1,94 @@
+package dudetm
+
+import (
+	"sort"
+
+	"dudetm/internal/pmem"
+	"dudetm/internal/redolog"
+)
+
+// Recover mounts a pool image after a crash (§3.5): it scans every
+// persistent log, replays the dense prefix of unreproduced groups in
+// transaction-ID order into the persistent data region, abandons any
+// group beyond the first missing ID (those transactions were never
+// acknowledged as durable), and restarts the pipeline with fresh, empty
+// logs and a fresh shadow memory.
+//
+// cfg supplies the runtime configuration (threads, mode, engine, shadow,
+// timing model); the pool geometry (data size, page size, log size) is
+// read from the pool header and overrides the corresponding cfg fields.
+func Recover(dev *pmem.Device, cfg Config) (*System, error) {
+	cfg.applyDefaults()
+	lay, err := readHeader(dev)
+	if err != nil {
+		return nil, err
+	}
+	cfg.DataSize = lay.dataSize
+	cfg.PageSize = lay.pageSize
+	cfg.LogBufBytes = lay.logSize
+	if uint64(cfg.Threads) > lay.nlogs {
+		// The pool was created with fewer Perform threads than the
+		// mount configuration asks for; the persistent geometry wins.
+		cfg.Threads = int(lay.nlogs)
+	}
+
+	// Scan all logs; the replay anchor is the largest reproduced-ID any
+	// recycle persisted.
+	results := make([]redolog.ScanResult, lay.nlogs)
+	var anchor uint64
+	type gref struct {
+		g  redolog.Group
+		wi int
+	}
+	var groups []gref
+	for i := 0; i < int(lay.nlogs); i++ {
+		res, err := redolog.Scan(dev, lay.metaAddr(i), lay.logAddr(i), lay.logSize)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+		if res.ReproTid > anchor {
+			anchor = res.ReproTid
+		}
+		for _, g := range res.Groups {
+			groups = append(groups, gref{g, i})
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].g.MinTid < groups[j].g.MinTid })
+
+	// Replay the dense prefix above the anchor. Groups at or below the
+	// anchor were already reproduced before the crash (recycling lagged
+	// behind); groups beyond the first gap were never durable.
+	next := anchor + 1
+	frontier := anchor
+	b := dev.NewBatch()
+	for _, gr := range groups {
+		if gr.g.MaxTid <= anchor {
+			continue
+		}
+		if gr.g.MinTid != next {
+			break
+		}
+		for _, e := range gr.g.Entries {
+			dev.Store8(lay.dataOff+e.Addr, e.Val)
+		}
+		for _, e := range gr.g.Entries {
+			b.Flush(lay.dataOff+e.Addr, 8)
+		}
+		next = gr.g.MaxTid + 1
+		frontier = gr.g.MaxTid
+	}
+	b.Fence()
+
+	s, err := build(cfg, dev, lay, frontier)
+	if err != nil {
+		return nil, err
+	}
+	for i := range s.writers {
+		s.writers[i] = redolog.Resume(dev, lay.metaAddr(i), lay.logAddr(i), lay.logSize,
+			cfg.Compress, results[i], frontier)
+	}
+	s.bindWriters()
+	s.start()
+	return s, nil
+}

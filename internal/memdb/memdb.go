@@ -1,0 +1,43 @@
+// Package memdb provides transactional data structures — a heap
+// allocator, an open-addressing hash table, and a B+-tree — written
+// against a generic transaction context, so the same structure code runs
+// unchanged on DudeTM, on the volatile TM engines, and on the Mnemosyne-
+// and NVML-style baselines.
+//
+// All structures operate on 8-byte words at 8-aligned pool-logical
+// addresses, matching the word-granular transactional memories in this
+// repository.
+package memdb
+
+import "errors"
+
+// Ctx is the transactional context: the intersection of every
+// transaction handle in this repository (dudetm.Tx, stm.Tx, and the
+// baseline transactions all satisfy it).
+type Ctx interface {
+	// Load reads the 8-byte word at addr within the transaction.
+	Load(addr uint64) uint64
+	// Store transactionally writes the 8-byte word at addr.
+	Store(addr, val uint64)
+	// Abort rolls the transaction back; it does not return.
+	Abort()
+}
+
+// Errors shared by the structures.
+var (
+	// ErrOutOfMemory is returned when a Heap cannot satisfy an
+	// allocation.
+	ErrOutOfMemory = errors.New("memdb: out of persistent memory")
+	// ErrFull is returned when a fixed-size hash table has no free
+	// bucket on the probe path.
+	ErrFull = errors.New("memdb: hash table full")
+)
+
+// Table is the common key-value interface of HashTable and BPlusTree,
+// letting TPC-C and TATP swap their storage engine (the paper evaluates
+// both variants).
+type Table interface {
+	Put(ctx Ctx, key, val uint64) error
+	Get(ctx Ctx, key uint64) (uint64, bool)
+	Delete(ctx Ctx, key uint64) bool
+}

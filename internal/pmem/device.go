@@ -1,0 +1,386 @@
+// Package pmem simulates a byte-addressable non-volatile memory device.
+//
+// Real persistent memory exposes ordinary loads and stores; stores become
+// durable only after the affected cache lines are written back (CLWB /
+// CLFLUSHOPT) and ordered by a fence (SFENCE). Portable Go offers no control
+// over the CPU cache, so this package models the cache explicitly: every
+// store lands in a simulated volatile cache (per-line dirty tracking), and
+// only FlushRange followed by Fence makes data durable. Crash discards all
+// non-persisted lines, reverting them to their last persisted contents,
+// which makes crash-consistency protocols testable instead of assumed.
+//
+// The device also models the performance of persist barriers the same way
+// the DudeTM paper's evaluation does (§5.1): a synchronous persist of a
+// batch of writes stalls the caller for
+//
+//	max(WriteLatency, totalBytes/Bandwidth)
+//
+// and a persist of a single small write stalls for WriteLatency.
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dudetm/internal/word"
+)
+
+// LineSize is the cache-line granularity of flushes, matching x86.
+const LineSize = 64
+
+const lineShift = 6
+
+// numShards shards the dirty-line bookkeeping to reduce contention.
+const numShards = 256
+
+// Config describes a simulated device.
+type Config struct {
+	// Size is the capacity of the device in bytes. It is rounded up to a
+	// multiple of LineSize.
+	Size uint64
+
+	// WriteLatency is the stall applied to each persist barrier,
+	// modelling NVM write latency. The paper uses 1000 and 3500 CPU
+	// cycles at 3.4 GHz; see Latency1000 and Latency3500.
+	WriteLatency time.Duration
+
+	// Bandwidth is the sustained write bandwidth in bytes per second used
+	// for batched persists. Zero means unlimited.
+	Bandwidth float64
+
+	// DelayEnabled turns the timing model on. When false, persist
+	// barriers are free (useful for unit tests).
+	DelayEnabled bool
+}
+
+// Latency presets matching the paper's emulation (3.4 GHz clock).
+const (
+	// Latency1000 is 1000 cycles at 3.4 GHz, the paper's optimistic
+	// future-NVM write latency (about 300 ns).
+	Latency1000 = 294 * time.Nanosecond
+	// Latency3500 is 3500 cycles at 3.4 GHz, the paper's PCM-like write
+	// latency (about 1 us).
+	Latency3500 = 1029 * time.Nanosecond
+)
+
+// GB expresses bandwidths in the units the paper sweeps (GB/s).
+const GB = float64(1 << 30)
+
+// Stats is a snapshot of device activity counters.
+type Stats struct {
+	// Stores counts store operations issued to the device.
+	Stores uint64
+	// BytesStored counts bytes written by stores (durable or not).
+	BytesStored uint64
+	// BytesFlushed counts bytes of dirty lines made durable; this is the
+	// NVM write traffic the paper reports.
+	BytesFlushed uint64
+	// LinesFlushed counts dirty cache lines written back.
+	LinesFlushed uint64
+	// Fences counts persist barriers.
+	Fences uint64
+	// DelayNanos is the total simulated stall time in nanoseconds.
+	DelayNanos uint64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	saved map[uint64][]byte // line index -> last persisted copy
+}
+
+// Device is a simulated NVM device. All methods are safe for concurrent
+// use; concurrent stores to overlapping ranges race exactly as concurrent
+// unsynchronized stores to real memory would.
+type Device struct {
+	cfg   Config
+	data  []byte
+	dirty []uint32 // atomic bitset, one bit per line
+	sh    [numShards]shard
+
+	stores       atomic.Uint64
+	bytesStored  atomic.Uint64
+	bytesFlushed atomic.Uint64
+	linesFlushed atomic.Uint64
+	fences       atomic.Uint64
+	delayNanos   atomic.Uint64
+}
+
+// New creates a device of the configured size, zero-filled and fully
+// persisted.
+func New(cfg Config) *Device {
+	if cfg.Size == 0 {
+		panic("pmem: zero-size device")
+	}
+	cfg.Size = (cfg.Size + LineSize - 1) &^ uint64(LineSize-1)
+	d := &Device{
+		cfg:   cfg,
+		data:  word.Alloc(cfg.Size),
+		dirty: make([]uint32, (cfg.Size>>lineShift+31)/32),
+	}
+	for i := range d.sh {
+		d.sh[i].saved = make(map[uint64][]byte)
+	}
+	return d
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() uint64 { return d.cfg.Size }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+func (d *Device) check(addr, n uint64) {
+	if addr+n > d.cfg.Size || addr+n < addr {
+		panic(fmt.Sprintf("pmem: access [%d,%d) out of range (size %d)", addr, addr+n, d.cfg.Size))
+	}
+}
+
+func (d *Device) lineDirty(line uint64) bool {
+	return atomic.LoadUint32(&d.dirty[line/32])&(1<<(line%32)) != 0
+}
+
+// markDirty ensures the persisted copy of line is saved before the caller
+// modifies it.
+func (d *Device) markDirty(line uint64) {
+	if d.lineDirty(line) {
+		return
+	}
+	s := &d.sh[line%numShards]
+	s.mu.Lock()
+	if !d.lineDirty(line) {
+		// Copy word-atomically: a concurrent Store8 to another word of
+		// this line may be in flight (its dirty-bit check can race with
+		// a flush clearing the bit), and either snapshot is a legal
+		// "persisted" image for a store concurrent with a write-back.
+		cp := make([]byte, LineSize)
+		base := line << lineShift
+		for o := uint64(0); o < LineSize; o += 8 {
+			binary.LittleEndian.PutUint64(cp[o:], word.Load(d.data, base+o))
+		}
+		s.saved[line] = cp
+		// Publish the bit only after the persisted copy is saved, so a
+		// concurrent fast-path store cannot modify the line first.
+		atomic.OrUint32(&d.dirty[line/32], 1<<(line%32))
+	}
+	s.mu.Unlock()
+}
+
+// Store writes b at addr. The write is volatile until the covering lines
+// are flushed and fenced.
+func (d *Device) Store(addr uint64, b []byte) {
+	n := uint64(len(b))
+	if n == 0 {
+		return
+	}
+	d.check(addr, n)
+	for line := addr >> lineShift; line <= (addr+n-1)>>lineShift; line++ {
+		d.markDirty(line)
+	}
+	copy(d.data[addr:], b)
+	d.stores.Add(1)
+	d.bytesStored.Add(n)
+}
+
+// Store8 atomically writes the 8-byte word at addr, which must be
+// 8-aligned — modelling the single-copy atomicity of aligned stores on
+// real hardware. Optimistic TM readers may race with this store and
+// detect the conflict afterwards.
+func (d *Device) Store8(addr, val uint64) {
+	d.check(addr, 8)
+	d.markDirty(addr >> lineShift)
+	word.Store(d.data, addr, val)
+	d.stores.Add(1)
+	d.bytesStored.Add(8)
+}
+
+// Load reads len(b) bytes at addr into b, observing the latest (possibly
+// unpersisted) contents, as a CPU load through the cache would.
+func (d *Device) Load(addr uint64, b []byte) {
+	d.check(addr, uint64(len(b)))
+	copy(b, d.data[addr:])
+}
+
+// Load8 atomically reads the 8-byte word at addr, which must be
+// 8-aligned.
+func (d *Device) Load8(addr uint64) uint64 {
+	d.check(addr, 8)
+	return word.Load(d.data, addr)
+}
+
+// FlushRange writes back all dirty lines covering [addr, addr+n), like a
+// sequence of CLWB instructions. It returns the number of bytes written
+// back. The write-back is not ordered until a subsequent Fence.
+func (d *Device) FlushRange(addr, n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	d.check(addr, n)
+	var bytes uint64
+	for line := addr >> lineShift; line <= (addr+n-1)>>lineShift; line++ {
+		if !d.lineDirty(line) {
+			continue
+		}
+		s := &d.sh[line%numShards]
+		s.mu.Lock()
+		if d.lineDirty(line) {
+			delete(s.saved, line)
+			atomic.AndUint32(&d.dirty[line/32], ^uint32(1<<(line%32)))
+			bytes += LineSize
+		}
+		s.mu.Unlock()
+	}
+	if bytes > 0 {
+		d.bytesFlushed.Add(bytes)
+		d.linesFlushed.Add(bytes / LineSize)
+	}
+	return bytes
+}
+
+// Fence orders previously issued flushes (SFENCE) and stalls the caller
+// according to the delay model: max(WriteLatency, bytes/Bandwidth), where
+// bytes is the write-back volume being ordered by this fence.
+func (d *Device) Fence(bytes uint64) {
+	d.fences.Add(1)
+	if !d.cfg.DelayEnabled {
+		return
+	}
+	delay := d.cfg.WriteLatency
+	if d.cfg.Bandwidth > 0 && bytes > 0 {
+		bw := time.Duration(float64(bytes) / d.cfg.Bandwidth * float64(time.Second))
+		if bw > delay {
+			delay = bw
+		}
+	}
+	if delay > 0 {
+		spinWait(delay)
+		d.delayNanos.Add(uint64(delay))
+	}
+}
+
+// Persist flushes and fences a single range: the paper's "persist
+// operation" (CLWB ... SFENCE) used once per transaction or per update.
+func (d *Device) Persist(addr, n uint64) {
+	b := d.FlushRange(addr, n)
+	d.Fence(b)
+}
+
+// Batch accumulates flushes whose ordering cost is paid by one fence, the
+// pattern used when persisting a whole redo log at once.
+type Batch struct {
+	d     *Device
+	bytes uint64
+}
+
+// NewBatch starts a flush batch.
+func (d *Device) NewBatch() *Batch { return &Batch{d: d} }
+
+// Flush writes back the dirty lines of the range, accumulating volume.
+func (b *Batch) Flush(addr, n uint64) { b.bytes += b.d.FlushRange(addr, n) }
+
+// Fence orders the batch and stalls for max(latency, volume/bandwidth).
+// The batch can be reused afterwards.
+func (b *Batch) Fence() {
+	b.d.Fence(b.bytes)
+	b.bytes = 0
+}
+
+// Crash simulates a power failure: every line not made durable reverts to
+// its last persisted contents. The caller must have quiesced all other
+// users of the device.
+func (d *Device) Crash() {
+	for i := range d.sh {
+		s := &d.sh[i]
+		s.mu.Lock()
+		for line, cp := range s.saved {
+			copy(d.data[line<<lineShift:], cp)
+			delete(s.saved, line)
+			atomic.AndUint32(&d.dirty[line/32], ^uint32(1<<(line%32)))
+		}
+		s.mu.Unlock()
+	}
+}
+
+// PersistedImage returns a copy of the durable contents of the device:
+// what a crash right now would leave behind. The caller must have
+// quiesced all other users of the device.
+func (d *Device) PersistedImage() []byte {
+	img := make([]byte, d.cfg.Size)
+	copy(img, d.data)
+	for i := range d.sh {
+		s := &d.sh[i]
+		s.mu.Lock()
+		for line, cp := range s.saved {
+			copy(img[line<<lineShift:], cp)
+		}
+		s.mu.Unlock()
+	}
+	return img
+}
+
+// Restore loads img as the fully persisted contents of the device,
+// discarding all current state. It is used to remount a pool image after
+// a simulated crash in a separate process or example.
+func (d *Device) Restore(img []byte) {
+	if uint64(len(img)) != d.cfg.Size {
+		panic("pmem: restore image size mismatch")
+	}
+	for i := range d.sh {
+		d.sh[i].mu.Lock()
+	}
+	copy(d.data, img)
+	for i := range d.sh {
+		s := &d.sh[i]
+		for line := range s.saved {
+			delete(s.saved, line)
+			atomic.AndUint32(&d.dirty[line/32], ^uint32(1<<(line%32)))
+		}
+		s.mu.Unlock()
+	}
+}
+
+// DirtyLines reports the number of lines that would be lost on a crash.
+func (d *Device) DirtyLines() int {
+	n := 0
+	for i := range d.sh {
+		s := &d.sh[i]
+		s.mu.Lock()
+		n += len(s.saved)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the activity counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Stores:       d.stores.Load(),
+		BytesStored:  d.bytesStored.Load(),
+		BytesFlushed: d.bytesFlushed.Load(),
+		LinesFlushed: d.linesFlushed.Load(),
+		Fences:       d.fences.Load(),
+		DelayNanos:   d.delayNanos.Load(),
+	}
+}
+
+// ResetStats zeroes the activity counters.
+func (d *Device) ResetStats() {
+	d.stores.Store(0)
+	d.bytesStored.Store(0)
+	d.bytesFlushed.Store(0)
+	d.linesFlushed.Store(0)
+	d.fences.Store(0)
+	d.delayNanos.Store(0)
+}
+
+// spinWait busy-waits for roughly dur. time.Sleep has coarse granularity
+// (often 1 ms in containers) while NVM persist latencies are hundreds of
+// nanoseconds, so a calibrated spin is the only faithful option — the
+// paper's emulation loops on RDTSC for the same reason.
+func spinWait(dur time.Duration) {
+	start := time.Now()
+	for time.Since(start) < dur {
+	}
+}

@@ -1,0 +1,54 @@
+package redolog
+
+// Combiner coalesces writes across a group of consecutive transactions
+// (§3.3, "Log Combination"): if two writes in the group modify the same
+// address, only the last survives, because the whole group is flushed —
+// and later replayed — atomically. Entries must be added in transaction
+// order.
+type Combiner struct {
+	idx     map[uint64]int
+	entries []Entry
+	raw     int // entries added before combination
+}
+
+// NewCombiner creates an empty combiner.
+func NewCombiner() *Combiner {
+	return &Combiner{idx: make(map[uint64]int, 1024)}
+}
+
+// Add records a write, overwriting any earlier write to the same address
+// in the current group.
+func (c *Combiner) Add(addr, val uint64) {
+	c.raw++
+	if i, ok := c.idx[addr]; ok {
+		c.entries[i].Val = val
+		return
+	}
+	c.idx[addr] = len(c.entries)
+	c.entries = append(c.entries, Entry{Addr: addr, Val: val})
+}
+
+// AddAll records a slice of writes in order.
+func (c *Combiner) AddAll(entries []Entry) {
+	for _, e := range entries {
+		c.Add(e.Addr, e.Val)
+	}
+}
+
+// Entries returns the combined group. The slice is owned by the combiner
+// and invalidated by Reset.
+func (c *Combiner) Entries() []Entry { return c.entries }
+
+// RawCount returns the number of writes added since the last Reset,
+// before combination.
+func (c *Combiner) RawCount() int { return c.raw }
+
+// Len returns the number of combined entries.
+func (c *Combiner) Len() int { return len(c.entries) }
+
+// Reset clears the combiner for the next group.
+func (c *Combiner) Reset() {
+	clear(c.idx)
+	c.entries = c.entries[:0]
+	c.raw = 0
+}

@@ -1,0 +1,53 @@
+// Package redolog implements DudeTM's redo logs: the per-thread volatile
+// rings filled by the Perform step, the cross-transaction write
+// combination applied by the Persist step, and the persistent log region
+// those groups are flushed to (with the recovery scanner that reads them
+// back after a crash).
+//
+// The volatile and persistent logs are the only channel between shadow
+// memory and persistent memory — dirty shadow data is never written back
+// directly (§3.1 of the paper).
+package redolog
+
+import "encoding/binary"
+
+// Entry is one redo-log record: a word write at a pool-logical address.
+type Entry struct {
+	Addr uint64
+	Val  uint64
+}
+
+// EntrySize is the serialized size of an Entry in bytes.
+const EntrySize = 16
+
+// txEndAddr marks a transaction-end entry inside a volatile ring; its Val
+// is the commit transaction ID. Pool addresses are always far below it.
+const txEndAddr = ^uint64(0)
+
+// AppendEntries serializes entries little-endian onto dst.
+func AppendEntries(dst []byte, entries []Entry) []byte {
+	for _, e := range entries {
+		var b [EntrySize]byte
+		binary.LittleEndian.PutUint64(b[0:], e.Addr)
+		binary.LittleEndian.PutUint64(b[8:], e.Val)
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// DecodeEntries parses a payload produced by AppendEntries. It returns
+// false if the payload length is not a multiple of EntrySize.
+func DecodeEntries(payload []byte) ([]Entry, bool) {
+	if len(payload)%EntrySize != 0 {
+		return nil, false
+	}
+	entries := make([]Entry, len(payload)/EntrySize)
+	for i := range entries {
+		off := i * EntrySize
+		entries[i] = Entry{
+			Addr: binary.LittleEndian.Uint64(payload[off:]),
+			Val:  binary.LittleEndian.Uint64(payload[off+8:]),
+		}
+	}
+	return entries, true
+}

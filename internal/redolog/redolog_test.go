@@ -1,0 +1,482 @@
+package redolog
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dudetm/internal/pmem"
+)
+
+// --- Ring ---
+
+func TestRingSingleTx(t *testing.T) {
+	r := NewRing(16)
+	r.Append(8, 100)
+	r.Append(16, 200)
+	if _, ok := r.PeekTid(); ok {
+		t.Fatal("uncommitted tx visible to consumer")
+	}
+	r.AppendTxEnd(7)
+	tid, ok := r.PeekTid()
+	if !ok || tid != 7 {
+		t.Fatalf("PeekTid = %d,%v", tid, ok)
+	}
+	entries, tid := r.ConsumeTx(nil)
+	if tid != 7 {
+		t.Fatalf("tid = %d", tid)
+	}
+	want := []Entry{{8, 100}, {16, 200}}
+	if !reflect.DeepEqual(entries, want) {
+		t.Fatalf("entries = %v", entries)
+	}
+	if _, ok := r.PeekTid(); ok {
+		t.Fatal("consumed tx still visible")
+	}
+}
+
+func TestRingAbortDiscards(t *testing.T) {
+	r := NewRing(16)
+	r.Append(8, 1)
+	r.AppendTxEnd(1)
+	r.Append(16, 2)
+	r.Append(24, 3)
+	r.PopToLastTx() // abort
+	r.Append(32, 4)
+	r.AppendTxEnd(2)
+
+	e1, tid1 := r.ConsumeTx(nil)
+	e2, tid2 := r.ConsumeTx(nil)
+	if tid1 != 1 || tid2 != 2 {
+		t.Fatalf("tids %d,%d", tid1, tid2)
+	}
+	if !reflect.DeepEqual(e1, []Entry{{8, 1}}) {
+		t.Fatalf("e1 = %v", e1)
+	}
+	if !reflect.DeepEqual(e2, []Entry{{32, 4}}) {
+		t.Fatalf("aborted entries leaked: %v", e2)
+	}
+}
+
+func TestRingEmptyTx(t *testing.T) {
+	r := NewRing(16)
+	r.AppendTxEnd(5) // burned-tid no-op commit
+	entries, tid := r.ConsumeTx(nil)
+	if tid != 5 || len(entries) != 0 {
+		t.Fatalf("got %v, %d", entries, tid)
+	}
+}
+
+func TestRingBackPressure(t *testing.T) {
+	r := NewRing(8) // tiny: producer must block until consumer drains
+	const txs = 100
+	var got []uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for len(got) < txs {
+			if _, ok := r.PeekTid(); !ok {
+				continue
+			}
+			_, tid := r.ConsumeTx(nil)
+			got = append(got, tid)
+		}
+	}()
+	for i := 1; i <= txs; i++ {
+		r.Append(uint64(i*8), uint64(i))
+		r.Append(uint64(i*16), uint64(i))
+		r.AppendTxEnd(uint64(i))
+	}
+	<-done
+	for i, tid := range got {
+		if tid != uint64(i+1) {
+			t.Fatalf("tx order broken at %d: %d", i, tid)
+		}
+	}
+}
+
+func TestRingConcurrentProducerConsumer(t *testing.T) {
+	r := NewRing(1024)
+	const txs = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var sum uint64
+	go func() {
+		defer wg.Done()
+		var buf []Entry
+		for consumed := 0; consumed < txs; {
+			if _, ok := r.PeekTid(); !ok {
+				continue
+			}
+			buf = buf[:0]
+			var tid uint64
+			buf, tid = r.ConsumeTx(buf)
+			for _, e := range buf {
+				sum += e.Val
+			}
+			_ = tid
+			consumed++
+		}
+	}()
+	var want uint64
+	rng := rand.New(rand.NewSource(1))
+	for i := 1; i <= txs; i++ {
+		n := rng.Intn(5)
+		for j := 0; j < n; j++ {
+			v := rng.Uint64() % 1000
+			r.Append(uint64(j*8), v)
+			want += v
+		}
+		r.AppendTxEnd(uint64(i))
+	}
+	wg.Wait()
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+// --- Combiner ---
+
+func TestCombinerCoalesces(t *testing.T) {
+	c := NewCombiner()
+	c.Add(8, 1)
+	c.Add(16, 2)
+	c.Add(8, 3) // overwrites
+	if c.Len() != 2 || c.RawCount() != 3 {
+		t.Fatalf("len=%d raw=%d", c.Len(), c.RawCount())
+	}
+	m := map[uint64]uint64{}
+	for _, e := range c.Entries() {
+		m[e.Addr] = e.Val
+	}
+	if m[8] != 3 || m[16] != 2 {
+		t.Fatalf("entries = %v", c.Entries())
+	}
+	c.Reset()
+	if c.Len() != 0 || c.RawCount() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCombinerQuickLastWriteWins(t *testing.T) {
+	f := func(writes []struct{ A, V uint8 }) bool {
+		c := NewCombiner()
+		model := map[uint64]uint64{}
+		for _, w := range writes {
+			addr := uint64(w.A) * 8
+			c.Add(addr, uint64(w.V))
+			model[addr] = uint64(w.V)
+		}
+		if c.Len() != len(model) {
+			return false
+		}
+		for _, e := range c.Entries() {
+			if model[e.Addr] != e.Val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Writer / Scanner ---
+
+const (
+	testMeta = 0
+	testBase = 64
+	testSize = 8192
+)
+
+func newLogDev() *pmem.Device {
+	return pmem.New(pmem.Config{Size: testBase + testSize})
+}
+
+func scanAll(t *testing.T, dev *pmem.Device) ScanResult {
+	t.Helper()
+	res, err := Scan(dev, testMeta, testBase, testSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriterScanRoundTrip(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		dev := newLogDev()
+		w := NewWriter(dev, testMeta, testBase, testSize, compress)
+		var want [][]Entry
+		for i := 0; i < 5; i++ {
+			g := &Group{MinTid: uint64(i*10 + 1), MaxTid: uint64(i*10 + 9)}
+			for j := 0; j <= i*3; j++ {
+				g.Entries = append(g.Entries, Entry{Addr: uint64(j * 8), Val: uint64(i*100 + j)})
+			}
+			w.AppendGroup(g)
+			want = append(want, g.Entries)
+		}
+		dev.Crash() // everything appended must already be durable
+		res := scanAll(t, dev)
+		if len(res.Groups) != 5 {
+			t.Fatalf("compress=%v: got %d groups, want 5", compress, len(res.Groups))
+		}
+		for i, g := range res.Groups {
+			if !reflect.DeepEqual(g.Entries, want[i]) {
+				t.Fatalf("group %d entries mismatch: %v != %v", i, g.Entries, want[i])
+			}
+			if g.MinTid != uint64(i*10+1) || g.MaxTid != uint64(i*10+9) {
+				t.Fatalf("group %d tids: %d-%d", i, g.MinTid, g.MaxTid)
+			}
+			if g.Seq != uint64(i+1) {
+				t.Fatalf("group %d seq = %d", i, g.Seq)
+			}
+		}
+	}
+}
+
+func TestScanEmptyLog(t *testing.T) {
+	dev := newLogDev()
+	NewWriter(dev, testMeta, testBase, testSize, false)
+	dev.Crash()
+	res := scanAll(t, dev)
+	if len(res.Groups) != 0 || res.NextPos != 0 || res.NextSeq != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestScanCorruptMetaErrors(t *testing.T) {
+	dev := newLogDev()
+	// Never initialized as a log, but non-zero junk.
+	dev.Store8(0, 12345)
+	dev.Persist(0, 8)
+	if _, err := Scan(dev, testMeta, testBase, testSize); err == nil {
+		t.Fatal("corrupt meta accepted")
+	}
+}
+
+func TestScanDropsTornRecord(t *testing.T) {
+	dev := newLogDev()
+	w := NewWriter(dev, testMeta, testBase, testSize, false)
+	g1 := &Group{MinTid: 1, MaxTid: 1, Entries: []Entry{{8, 1}}}
+	w.AppendGroup(g1)
+	// Simulate a torn append: write a record but corrupt its payload
+	// before "crash" — emulate by appending then flipping a persisted
+	// payload byte of the second record.
+	g2 := &Group{MinTid: 2, MaxTid: 2, Entries: []Entry{{16, 2}}}
+	w.AppendGroup(g2)
+	// Corrupt g2's payload directly (persisted).
+	addr := testBase + g2.EndPos - 8
+	dev.Store8(addr, dev.Load8(addr)^1)
+	dev.Persist(addr, 8)
+	dev.Crash()
+
+	res := scanAll(t, dev)
+	if len(res.Groups) != 1 {
+		t.Fatalf("got %d groups, want 1 (torn tail dropped)", len(res.Groups))
+	}
+	if res.Groups[0].MaxTid != 1 {
+		t.Fatalf("wrong surviving group: %+v", res.Groups[0])
+	}
+}
+
+func TestWriterWrapAround(t *testing.T) {
+	dev := newLogDev()
+	w := NewWriter(dev, testMeta, testBase, testSize, false)
+	// Each group ~ 56 + 10*16 = 216 bytes; push enough to wrap several
+	// times, recycling as we go.
+	entries := make([]Entry, 10)
+	for i := range entries {
+		entries[i] = Entry{Addr: uint64(i * 8), Val: uint64(i)}
+	}
+	var lastEnd, lastSeq uint64
+	for i := 1; i <= 200; i++ {
+		g := &Group{MinTid: uint64(i), MaxTid: uint64(i), Entries: entries}
+		w.AppendGroup(g)
+		lastEnd, lastSeq = g.EndPos, g.Seq
+		// Recycle immediately: everything replayed.
+		w.Recycle(g.EndPos, g.Seq+1, g.MaxTid)
+	}
+	_ = lastEnd
+	dev.Crash()
+	res := scanAll(t, dev)
+	if len(res.Groups) != 0 {
+		t.Fatalf("fully recycled log still has %d groups", len(res.Groups))
+	}
+	if res.NextSeq != lastSeq+1 {
+		t.Fatalf("NextSeq = %d, want %d", res.NextSeq, lastSeq+1)
+	}
+}
+
+func TestWrapWithLiveRecords(t *testing.T) {
+	dev := newLogDev()
+	w := NewWriter(dev, testMeta, testBase, testSize, false)
+	entries := make([]Entry, 20) // record ~ 56+320 = 376 bytes
+	for i := range entries {
+		entries[i] = Entry{Addr: uint64(i * 8), Val: uint64(i)}
+	}
+	// Fill ~70% then recycle, then fill again so live records straddle
+	// the wrap point.
+	var groups []*Group
+	for i := 1; i <= 15; i++ {
+		g := &Group{MinTid: uint64(i), MaxTid: uint64(i), Entries: entries}
+		w.AppendGroup(g)
+		groups = append(groups, g)
+	}
+	// Recycle the first 12.
+	w.Recycle(groups[11].EndPos, groups[11].Seq+1, 12)
+	// Append more, wrapping.
+	for i := 16; i <= 25; i++ {
+		g := &Group{MinTid: uint64(i), MaxTid: uint64(i), Entries: entries}
+		w.AppendGroup(g)
+		groups = append(groups, g)
+	}
+	dev.Crash()
+	res := scanAll(t, dev)
+	// Live: groups 13..25 = 13 groups.
+	if len(res.Groups) != 13 {
+		t.Fatalf("got %d live groups, want 13", len(res.Groups))
+	}
+	if res.Groups[0].MinTid != 13 || res.Groups[12].MinTid != 25 {
+		t.Fatalf("live range %d..%d", res.Groups[0].MinTid, res.Groups[12].MinTid)
+	}
+}
+
+func TestStaleRecordNotReplayed(t *testing.T) {
+	// After recycling, old records remain as persisted bytes. A scan
+	// must not resurrect them (their seq is stale).
+	dev := newLogDev()
+	w := NewWriter(dev, testMeta, testBase, testSize, false)
+	g1 := &Group{MinTid: 1, MaxTid: 1, Entries: []Entry{{8, 111}}}
+	w.AppendGroup(g1)
+	g2 := &Group{MinTid: 2, MaxTid: 2, Entries: []Entry{{16, 222}}}
+	w.AppendGroup(g2)
+	w.Recycle(g2.EndPos, g2.Seq+1, 2) // all replayed
+	dev.Crash()
+	res := scanAll(t, dev)
+	if len(res.Groups) != 0 {
+		t.Fatalf("stale records resurrected: %+v", res.Groups)
+	}
+}
+
+func TestResumeAfterScan(t *testing.T) {
+	dev := newLogDev()
+	w := NewWriter(dev, testMeta, testBase, testSize, false)
+	g := &Group{MinTid: 1, MaxTid: 3, Entries: []Entry{{8, 1}, {16, 2}}}
+	w.AppendGroup(g)
+	dev.Crash()
+
+	res := scanAll(t, dev)
+	if len(res.Groups) != 1 {
+		t.Fatalf("groups = %d", len(res.Groups))
+	}
+	w2 := Resume(dev, testMeta, testBase, testSize, false, res, 3)
+	g2 := &Group{MinTid: 4, MaxTid: 4, Entries: []Entry{{24, 3}}}
+	w2.AppendGroup(g2)
+	dev.Crash()
+
+	res2 := scanAll(t, dev)
+	if len(res2.Groups) != 1 {
+		t.Fatalf("after resume: groups = %d, want 1 (old one recycled by resume)", len(res2.Groups))
+	}
+	if res2.Groups[0].MinTid != 4 {
+		t.Fatalf("wrong group: %+v", res2.Groups[0])
+	}
+}
+
+func TestCompressedGroupsSmaller(t *testing.T) {
+	mk := func(compress bool) uint64 {
+		dev := newLogDev()
+		w := NewWriter(dev, testMeta, testBase, testSize, compress)
+		entries := make([]Entry, 100)
+		for i := range entries {
+			entries[i] = Entry{Addr: uint64(i%10) * 8, Val: 7} // highly compressible
+		}
+		g := &Group{MinTid: 1, MaxTid: 1, Entries: entries}
+		w.AppendGroup(g)
+		w.Recycle(g.EndPos, g.Seq+1, g.MaxTid)
+		return w.BytesAppended()
+	}
+	plain, comp := mk(false), mk(true)
+	if comp >= plain {
+		t.Fatalf("compression did not shrink log: %d >= %d", comp, plain)
+	}
+}
+
+func TestQuickWriterScanRoundTrip(t *testing.T) {
+	f := func(seed int64, compress bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := newLogDev()
+		w := NewWriter(dev, testMeta, testBase, testSize, compress)
+		n := 1 + rng.Intn(6)
+		var want [][]Entry
+		tid := uint64(1)
+		for i := 0; i < n; i++ {
+			cnt := rng.Intn(30)
+			es := make([]Entry, cnt)
+			for j := range es {
+				es[j] = Entry{Addr: uint64(rng.Intn(1000)) * 8, Val: rng.Uint64()}
+			}
+			g := &Group{MinTid: tid, MaxTid: tid + uint64(cnt), Entries: es}
+			tid += uint64(cnt) + 1
+			w.AppendGroup(g)
+			want = append(want, es)
+		}
+		dev.Crash()
+		res, err := Scan(dev, testMeta, testBase, testSize)
+		if err != nil || len(res.Groups) != n {
+			return false
+		}
+		for i, g := range res.Groups {
+			if len(g.Entries) != len(want[i]) {
+				return false
+			}
+			for j := range g.Entries {
+				if g.Entries[j] != want[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Entry serialization ---
+
+func TestEntryCodecRoundTrip(t *testing.T) {
+	f := func(addrs, vals []uint64) bool {
+		n := len(addrs)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		entries := make([]Entry, n)
+		for i := 0; i < n; i++ {
+			entries[i] = Entry{Addr: addrs[i], Val: vals[i]}
+		}
+		b := AppendEntries(nil, entries)
+		got, ok := DecodeEntries(b)
+		if !ok || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEntriesRejectsBadLength(t *testing.T) {
+	if _, ok := DecodeEntries(make([]byte, 17)); ok {
+		t.Fatal("accepted non-multiple length")
+	}
+}

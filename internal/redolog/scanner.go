@@ -1,0 +1,123 @@
+package redolog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"dudetm/internal/lz4"
+	"dudetm/internal/pmem"
+)
+
+// ScanResult is the outcome of scanning one persistent log after a crash.
+type ScanResult struct {
+	// Groups are the valid, complete groups in append order. Incomplete
+	// or torn trailing records are dropped (their transactions were
+	// never acknowledged as durable).
+	Groups []Group
+	// NextPos and NextSeq are where a resumed writer continues.
+	NextPos uint64
+	NextSeq uint64
+	// ReproTid is the global Reproduce watermark persisted at this
+	// log's last recycle; recovery anchors its replay at the maximum
+	// across all logs.
+	ReproTid uint64
+}
+
+// Scan reads the persistent log at dev[base:base+size) with metadata at
+// meta, returning every valid group that has not been recycled. It stops
+// at the first record that is torn (bad checksum), stale (wrong sequence
+// number), or malformed — everything after that point was not part of
+// the durable prefix.
+func Scan(dev *pmem.Device, meta, base, size uint64) (ScanResult, error) {
+	var mb [MetaSize]byte
+	dev.Load(meta, mb[:])
+	headPos := binary.LittleEndian.Uint64(mb[0:])
+	headSeq := binary.LittleEndian.Uint64(mb[8:])
+	reproTid := binary.LittleEndian.Uint64(mb[16:])
+	crc := binary.LittleEndian.Uint64(mb[24:])
+	if uint64(crc32.Checksum(mb[:24], crcTable)) != crc {
+		return ScanResult{}, fmt.Errorf("redolog: corrupt log metadata at %#x", meta)
+	}
+
+	res := ScanResult{NextPos: headPos, NextSeq: headSeq, ReproTid: reproTid}
+	pos, seq := headPos, headSeq
+	hdr := make([]byte, headerSize)
+	// The log holds at most size bytes of live records; bound the walk.
+	for scanned := uint64(0); scanned < size; {
+		idx := pos % size
+		if size-idx < 8 {
+			break // cannot even hold a wrap marker; malformed
+		}
+		first := dev.Load8(base + idx)
+		if first == wrapMarker {
+			skip := size - idx
+			pos += skip
+			scanned += skip
+			continue
+		}
+		if size-idx < headerSize {
+			break
+		}
+		dev.Load(base+idx, hdr)
+		payloadLen := binary.LittleEndian.Uint64(hdr[0:])
+		uncomp := binary.LittleEndian.Uint64(hdr[8:])
+		recSeq := binary.LittleEndian.Uint64(hdr[16:])
+		minTid := binary.LittleEndian.Uint64(hdr[24:])
+		maxTid := binary.LittleEndian.Uint64(hdr[32:])
+		flags := binary.LittleEndian.Uint64(hdr[40:])
+		wantCRC := binary.LittleEndian.Uint64(hdr[48:])
+
+		// Bound fields before arithmetic: a torn header can hold garbage.
+		if payloadLen >= size || uncomp > size<<8 || uncomp%EntrySize != 0 {
+			break
+		}
+		padded := (payloadLen + 7) &^ 7
+		if recSeq != seq || headerSize+padded > size-idx {
+			break
+		}
+		payload := make([]byte, payloadLen)
+		dev.Load(base+idx+headerSize, payload)
+		crc := crc32.Checksum(hdr[:48], crcTable)
+		crc = crc32.Update(crc, crcTable, payload)
+		if uint64(crc) != wantCRC {
+			break
+		}
+		body := payload
+		if flags&flagCompressed != 0 {
+			dec, err := lz4.Decompress(body, int(uncomp))
+			if err != nil {
+				break
+			}
+			body = dec
+		} else if uncomp != payloadLen {
+			break
+		}
+		entries, ok := DecodeEntries(body)
+		if !ok {
+			break
+		}
+		recSize := headerSize + padded
+		res.Groups = append(res.Groups, Group{
+			Seq:     recSeq,
+			MinTid:  minTid,
+			MaxTid:  maxTid,
+			Entries: entries,
+			EndPos:  pos + recSize,
+		})
+		pos += recSize
+		scanned += recSize
+		seq++
+	}
+	res.NextPos = pos
+	res.NextSeq = seq
+	return res, nil
+}
+
+// Resume creates a writer that continues an existing log after Scan: the
+// log restarts empty at res.NextPos with sequence res.NextSeq, so stale
+// pre-crash records can never be confused with new ones.
+// reproTid is the post-recovery global watermark to persist.
+func Resume(dev *pmem.Device, meta, base, size uint64, compress bool, res ScanResult, reproTid uint64) *Writer {
+	return resumeWriter(dev, meta, base, size, compress, res.NextPos, res.NextSeq, reproTid)
+}

@@ -1,0 +1,291 @@
+package stm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// HTMEngine simulates a restricted hardware TM (Intel RTM) for the
+// paper's §4.2/§5.7 experiments, using a NOrec-style design: reads go
+// straight to memory and are validated by value against a single global
+// sequence lock; writes are buffered and applied while the sequence lock
+// is held at commit, so execution is fully concurrent and only the
+// write-back is serialized — the concurrency profile of an eager HTM
+// with lazy conflict detection. After MaxRetries aborted attempts the
+// transaction runs under the lock from the start, mirroring RTM's
+// software fallback path.
+//
+// Transaction IDs come from an atomic counter incremented while the
+// commit lock is held, so IDs agree with the write-back order. In real
+// RTM a shared counter would conflict-abort every transaction; the paper
+// proposes a minor hardware change (ignore conflicts on designated
+// addresses) and evaluates with the counter outside conflict detection —
+// the behaviour simulated here.
+type HTMEngine struct {
+	space Space
+	// seq is the global sequence lock: even = unlocked, odd = a commit
+	// (or fallback transaction) is writing.
+	seq   atomic.Uint64
+	clock atomic.Uint64
+
+	commits   atomic.Uint64
+	aborts    atomic.Uint64
+	fallbacks atomic.Uint64
+
+	maxRetries int
+	txs        []hTx
+}
+
+// HTMConfig configures an HTMEngine.
+type HTMConfig struct {
+	// MaxRetries is the number of optimistic attempts before the
+	// global-lock fallback; the paper uses 5.
+	MaxRetries int
+	// MaxSlots is the maximum number of concurrent Run callers.
+	MaxSlots int
+}
+
+type rEntry struct {
+	addr, val uint64
+}
+
+type wEntry struct {
+	addr, val uint64
+}
+
+type hTx struct {
+	e        *HTMEngine
+	snapshot uint64
+	locked   bool // holding the sequence lock (fallback mode)
+	reads    []rEntry
+	writes   []wEntry
+	wmap     map[uint64]int
+	_pad     [4]uint64
+}
+
+// resetWriteSet empties the write set. Go maps never shrink, so after an
+// unusually large transaction (e.g. a bulk load) the map is reallocated —
+// clear() on a huge map costs a bucket sweep on every later transaction.
+func (t *hTx) resetWriteSet() {
+	t.writes = t.writes[:0]
+	if len(t.wmap) > 256 {
+		t.wmap = make(map[uint64]int, 64)
+	} else {
+		clear(t.wmap)
+	}
+}
+
+// NewHTM creates an HTM-simulation engine over space.
+func NewHTM(space Space, cfg HTMConfig) *HTMEngine {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 5
+	}
+	if cfg.MaxSlots == 0 {
+		cfg.MaxSlots = defaultMaxSlots
+	}
+	e := &HTMEngine{space: space, maxRetries: cfg.MaxRetries}
+	e.txs = make([]hTx, cfg.MaxSlots)
+	for i := range e.txs {
+		e.txs[i] = hTx{
+			e:      e,
+			reads:  make([]rEntry, 0, 256),
+			writes: make([]wEntry, 0, 256),
+			wmap:   make(map[uint64]int, 64),
+		}
+	}
+	return e
+}
+
+// Clock returns the largest transaction ID assigned so far.
+func (e *HTMEngine) Clock() uint64 { return e.clock.Load() }
+
+// SetClock initializes the commit clock (see Engine.SetClock).
+func (e *HTMEngine) SetClock(v uint64) { e.clock.Store(v) }
+
+// Stats returns cumulative counters.
+func (e *HTMEngine) Stats() Stats {
+	return Stats{
+		Commits:   e.commits.Load(),
+		Aborts:    e.aborts.Load(),
+		Fallbacks: e.fallbacks.Load(),
+	}
+}
+
+// Run implements TM.
+func (e *HTMEngine) Run(slot int, fn func(Tx) error) (uint64, error) {
+	if slot < 0 || slot >= len(e.txs) {
+		panic("stm: slot out of range")
+	}
+	tx := &e.txs[slot]
+	for attempt := 0; ; attempt++ {
+		fallback := attempt >= e.maxRetries
+		if fallback {
+			e.fallbacks.Add(1)
+		}
+		tx.begin(fallback)
+		tid, err, retry := tx.attempt(fn)
+		if !retry {
+			if err == nil {
+				e.commits.Add(1)
+			}
+			return tid, err
+		}
+		e.aborts.Add(1)
+		runtime.Gosched()
+	}
+}
+
+// begin samples an even (unlocked) sequence value; in fallback mode it
+// acquires the lock up front, making the attempt immune to conflicts.
+func (t *hTx) begin(fallback bool) {
+	t.reads = t.reads[:0]
+	t.resetWriteSet()
+	t.locked = false
+	for {
+		s := t.e.seq.Load()
+		if s&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		if fallback {
+			if !t.e.seq.CompareAndSwap(s, s+1) {
+				continue
+			}
+			t.locked = true
+		}
+		t.snapshot = s
+		return
+	}
+}
+
+func (t *hTx) attempt(fn func(Tx) error) (tid uint64, err error, retry bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case conflict:
+				tid, err, retry = 0, nil, true
+			case userAbort:
+				tid, err, retry = 0, ErrAborted, false
+			default:
+				t.rollback()
+				panic(r)
+			}
+		}
+	}()
+	if err := fn(Tx(t)); err != nil {
+		t.rollback()
+		return 0, err, false
+	}
+	return t.commit()
+}
+
+// Load implements Tx: a direct memory read validated against the global
+// sequence — the closest software analogue of HTM's uninstrumented
+// reads. Buffered own writes are returned from the write set.
+func (t *hTx) Load(addr uint64) uint64 {
+	if len(t.writes) > 0 {
+		if i, ok := t.wmap[addr]; ok {
+			return t.writes[i].val
+		}
+	}
+	for {
+		v := t.e.space.Load8(addr)
+		if t.locked || t.e.seq.Load() == t.snapshot {
+			t.reads = append(t.reads, rEntry{addr: addr, val: v})
+			return v
+		}
+		// Someone committed since the snapshot: revalidate the read
+		// set by value and advance the snapshot, then re-read.
+		t.revalidate()
+	}
+}
+
+// revalidate advances the snapshot to the current (even) sequence after
+// checking every prior read still returns the same value; any change
+// aborts the attempt.
+func (t *hTx) revalidate() {
+	for {
+		s := t.e.seq.Load()
+		if s&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		ok := true
+		for i := range t.reads {
+			if t.e.space.Load8(t.reads[i].addr) != t.reads[i].val {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			t.conflictAbort()
+		}
+		if t.e.seq.Load() == s {
+			t.snapshot = s
+			return
+		}
+	}
+}
+
+// Store implements Tx: writes are buffered until commit.
+func (t *hTx) Store(addr, val uint64) {
+	if i, ok := t.wmap[addr]; ok {
+		t.writes[i].val = val
+		return
+	}
+	t.wmap[addr] = len(t.writes)
+	t.writes = append(t.writes, wEntry{addr: addr, val: val})
+}
+
+// Abort implements Tx.
+func (t *hTx) Abort() {
+	t.rollback()
+	panic(userAbort{})
+}
+
+func (t *hTx) conflictAbort() {
+	t.rollback()
+	panic(conflict{})
+}
+
+// rollback discards the buffers (no memory was modified before commit)
+// and releases the fallback lock if held.
+func (t *hTx) rollback() {
+	t.reads = t.reads[:0]
+	t.resetWriteSet()
+	if t.locked {
+		t.e.seq.Store(t.snapshot + 2)
+		t.locked = false
+	}
+}
+
+// commit acquires the sequence lock (a successful CAS from the snapshot
+// also proves the read set is still valid), applies the buffered writes,
+// assigns the transaction ID under the lock, and releases.
+func (t *hTx) commit() (uint64, error, bool) {
+	if len(t.writes) == 0 {
+		// Read-only: reads were validated continuously.
+		if t.locked {
+			t.e.seq.Store(t.snapshot + 2)
+			t.locked = false
+		}
+		return t.e.clock.Load(), nil, false
+	}
+	if !t.locked {
+		for !t.e.seq.CompareAndSwap(t.snapshot, t.snapshot+1) {
+			// The sequence moved: revalidate (possibly aborting) and
+			// retry the acquisition from the new snapshot.
+			t.revalidate()
+		}
+		t.locked = true
+	}
+	for i := range t.writes {
+		t.e.space.Store8(t.writes[i].addr, t.writes[i].val)
+	}
+	tid := t.e.clock.Add(1)
+	t.reads = t.reads[:0]
+	t.resetWriteSet()
+	t.e.seq.Store(t.snapshot + 2)
+	t.locked = false
+	return tid, nil, false
+}

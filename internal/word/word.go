@@ -1,0 +1,49 @@
+// Package word provides 8-byte-aligned byte buffers with atomic word
+// access.
+//
+// Transactional memories race by design: an optimistic reader may load a
+// word concurrently with a writer and detect the conflict afterwards.
+// Real hardware makes aligned 8-byte accesses single-copy atomic; to model
+// that (and stay clean under the Go race detector), every word-granular
+// load and store in this repository goes through the atomic accessors
+// here. Buffers must be allocated with Alloc so word offsets are
+// guaranteed to be 8-byte aligned in memory.
+//
+// Words are read and written in native byte order; this repository
+// assumes a little-endian host (as every platform in the paper's
+// evaluation is), keeping atomic word access and encoding/binary
+// little-endian views of the same bytes interchangeable.
+package word
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Alloc returns a zeroed byte slice of length n whose backing array is
+// 8-byte aligned, so any 8-aligned offset supports atomic word access.
+func Alloc(n uint64) []byte {
+	w := make([]uint64, (n+7)/8)
+	if len(w) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), len(w)*8)[:n]
+}
+
+// Load atomically reads the little-endian word at off, which must be
+// 8-byte aligned.
+func Load(b []byte, off uint64) uint64 {
+	if off%8 != 0 {
+		panic("word: unaligned load")
+	}
+	return atomic.LoadUint64((*uint64)(unsafe.Pointer(&b[off])))
+}
+
+// Store atomically writes the little-endian word at off, which must be
+// 8-byte aligned.
+func Store(b []byte, off, val uint64) {
+	if off%8 != 0 {
+		panic("word: unaligned store")
+	}
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(&b[off])), val)
+}

@@ -1,0 +1,77 @@
+package word
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	for _, n := range []uint64{0, 1, 7, 8, 9, 63, 64, 4096} {
+		b := Alloc(n)
+		if uint64(len(b)) != n {
+			t.Fatalf("Alloc(%d) returned %d bytes", n, len(b))
+		}
+		if n >= 8 {
+			Store(b, 0, 0x1122334455667788) // must not fault
+			if Load(b, 0) != 0x1122334455667788 {
+				t.Fatal("round trip failed")
+			}
+		}
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	b := Alloc(128)
+	for off := uint64(0); off < 128; off += 8 {
+		Store(b, off, off*3+1)
+	}
+	for off := uint64(0); off < 128; off += 8 {
+		if Load(b, off) != off*3+1 {
+			t.Fatalf("offset %d", off)
+		}
+	}
+	// Byte view agrees with word view (little-endian host).
+	Store(b, 0, 0x01)
+	if b[0] != 1 || b[1] != 0 {
+		t.Fatal("byte/word view mismatch")
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	b := Alloc(64)
+	for _, f := range []func(){
+		func() { Load(b, 4) },
+		func() { Store(b, 12, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConcurrentWordAccessIsRaceClean(t *testing.T) {
+	// Concurrent atomic word access to the same location must be clean
+	// under the race detector — this is the property the whole
+	// repository's optimistic TMs rely on.
+	b := Alloc(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if w%2 == 0 {
+					Store(b, 0, uint64(i))
+				} else {
+					_ = Load(b, 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,201 @@
+// Package tatp implements the TATP Update Location transaction over the
+// transactional tables in internal/memdb (§5.1 of the paper): a mobile
+// carrier database records the handoff of a subscriber between cell
+// towers — one index search plus a single field update, the shortest
+// transaction in the evaluation.
+package tatp
+
+import (
+	"math/rand"
+
+	"dudetm/internal/memdb"
+)
+
+// StorageKind selects the table implementation.
+type StorageKind int
+
+const (
+	// BTreeStorage backs the subscriber table with a B+-tree.
+	BTreeStorage StorageKind = iota
+	// HashStorage backs it with an open-addressing hash table.
+	HashStorage
+)
+
+// Subscriber row field offsets.
+const (
+	subVLRLocation = 0  // current cell tower
+	subBits        = 8  // bit flags
+	subHandoffs    = 16 // handoff count (repo extension, used by tests)
+)
+
+// Config sets the database scale.
+type Config struct {
+	// Subscribers (default 65536; the TATP spec default is 100000).
+	Subscribers int
+	// Storage selects the table kind.
+	Storage StorageKind
+}
+
+// DB is a loaded TATP database.
+type DB struct {
+	Cfg         Config
+	Heap        memdb.Heap
+	Subscribers memdb.Table
+}
+
+// SubscriberKey encodes subscriber s (offset by 1: 0 is reserved).
+func SubscriberKey(s int) uint64 { return uint64(s) + 1 }
+
+// Setup formats the heap, creates the subscriber table and loads it.
+func Setup(cfg Config, heap memdb.Heap, txRun func(fn func(memdb.Ctx) error) error) (*DB, error) {
+	if cfg.Subscribers == 0 {
+		cfg.Subscribers = 65536
+	}
+	db := &DB{Cfg: cfg, Heap: heap}
+
+	if err := txRun(func(ctx memdb.Ctx) error {
+		heap.Format(ctx)
+		var err error
+		if cfg.Storage == HashStorage {
+			buckets := uint64(4)
+			for buckets < uint64(cfg.Subscribers)*2 {
+				buckets <<= 1
+			}
+			base, aerr := heap.Alloc(ctx, buckets*16)
+			if aerr != nil {
+				return aerr
+			}
+			db.Subscribers = memdb.NewHashTable(base, buckets)
+			return nil
+		}
+		rootPtr, aerr := heap.Alloc(ctx, 8)
+		if aerr != nil {
+			return aerr
+		}
+		t := memdb.BPlusTree{RootPtr: rootPtr, Heap: heap}
+		err = t.Format(ctx)
+		db.Subscribers = t
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	const batch = 512
+	for start := 0; start < cfg.Subscribers; start += batch {
+		end := start + batch
+		if end > cfg.Subscribers {
+			end = cfg.Subscribers
+		}
+		if err := txRun(func(ctx memdb.Ctx) error {
+			for s := start; s < end; s++ {
+				row, err := heap.Alloc(ctx, 24)
+				if err != nil {
+					return err
+				}
+				ctx.Store(row+subVLRLocation, uint64(s%1000))
+				ctx.Store(row+subBits, uint64(s)&0xff)
+				if err := db.Subscribers.Put(ctx, SubscriberKey(s), row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// GenSubscriber draws a random subscriber id.
+func (db *DB) GenSubscriber(rng *rand.Rand) int { return rng.Intn(db.Cfg.Subscribers) }
+
+// UpdateLocation executes the Update Location transaction: one search,
+// one write.
+func (db *DB) UpdateLocation(ctx memdb.Ctx, sub int, location uint64) {
+	row, ok := db.Subscribers.Get(ctx, SubscriberKey(sub))
+	if !ok {
+		panic("tatp: missing subscriber")
+	}
+	ctx.Store(row+subVLRLocation, location)
+}
+
+// Location reads a subscriber's current location (for tests).
+func (db *DB) Location(ctx memdb.Ctx, sub int) uint64 {
+	row, ok := db.Subscribers.Get(ctx, SubscriberKey(sub))
+	if !ok {
+		panic("tatp: missing subscriber")
+	}
+	return ctx.Load(row + subVLRLocation)
+}
+
+// The paper evaluates only Update Location; the operations below
+// implement the rest of the TATP mix touching the subscriber row (a
+// repository extension): a read-only data lookup and a flag update,
+// with the standard 80/14/2/4-style read-dominated blend approximated
+// as 80% reads / 20% writes.
+
+// SubscriberData is the read-only lookup result.
+type SubscriberData struct {
+	Location uint64
+	Bits     uint64
+	Handoffs uint64
+}
+
+// GetSubscriberData reads a subscriber row (read-only transaction).
+func (db *DB) GetSubscriberData(ctx memdb.Ctx, sub int) SubscriberData {
+	row, ok := db.Subscribers.Get(ctx, SubscriberKey(sub))
+	if !ok {
+		panic("tatp: missing subscriber")
+	}
+	return SubscriberData{
+		Location: ctx.Load(row + subVLRLocation),
+		Bits:     ctx.Load(row + subBits),
+		Handoffs: ctx.Load(row + subHandoffs),
+	}
+}
+
+// UpdateSubscriberData flips a subscriber's bit flags.
+func (db *DB) UpdateSubscriberData(ctx memdb.Ctx, sub int, bits uint64) {
+	row, ok := db.Subscribers.Get(ctx, SubscriberKey(sub))
+	if !ok {
+		panic("tatp: missing subscriber")
+	}
+	ctx.Store(row+subBits, bits)
+}
+
+// Handoff is UpdateLocation plus a handoff counter increment (used by
+// the crash-consistency tests to audit totals).
+func (db *DB) Handoff(ctx memdb.Ctx, sub int, location uint64) {
+	row, ok := db.Subscribers.Get(ctx, SubscriberKey(sub))
+	if !ok {
+		panic("tatp: missing subscriber")
+	}
+	ctx.Store(row+subVLRLocation, location)
+	ctx.Store(row+subHandoffs, ctx.Load(row+subHandoffs)+1)
+}
+
+// MixOp identifies a transaction of the TATP blend.
+type MixOp int
+
+// TATP mix operations.
+const (
+	OpGetSubscriberData MixOp = iota
+	OpUpdateLocation
+	OpUpdateSubscriberData
+)
+
+// RunMix executes one randomly drawn TATP transaction (~80% reads).
+func (db *DB) RunMix(ctx memdb.Ctx, rng *rand.Rand) MixOp {
+	sub := db.GenSubscriber(rng)
+	switch r := rng.Intn(100); {
+	case r < 80:
+		db.GetSubscriberData(ctx, sub)
+		return OpGetSubscriberData
+	case r < 94:
+		db.UpdateLocation(ctx, sub, rng.Uint64()%10000)
+		return OpUpdateLocation
+	default:
+		db.UpdateSubscriberData(ctx, sub, rng.Uint64()&0xff)
+		return OpUpdateSubscriberData
+	}
+}

@@ -1,0 +1,86 @@
+package tatp
+
+import (
+	"math/rand"
+	"testing"
+
+	"dudetm/internal/memdb"
+)
+
+type flatCtx struct{ w []uint64 }
+
+func (c *flatCtx) Load(addr uint64) uint64 { return c.w[addr/8] }
+func (c *flatCtx) Store(addr, val uint64)  { c.w[addr/8] = val }
+func (c *flatCtx) Abort()                  { panic("abort") }
+
+func TestUpdateLocationBothStorages(t *testing.T) {
+	for _, st := range []StorageKind{BTreeStorage, HashStorage} {
+		ctx := &flatCtx{w: make([]uint64, (32<<20)/8)}
+		heap := memdb.Heap{Base: 0, Size: 32 << 20}
+		db, err := Setup(Config{Subscribers: 2000, Storage: st}, heap,
+			func(fn func(memdb.Ctx) error) error { return fn(ctx) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		want := map[int]uint64{}
+		for i := 0; i < 1000; i++ {
+			s := db.GenSubscriber(rng)
+			loc := rng.Uint64() % 10000
+			db.UpdateLocation(ctx, s, loc)
+			want[s] = loc
+		}
+		for s, loc := range want {
+			if got := db.Location(ctx, s); got != loc {
+				t.Fatalf("storage %d: subscriber %d at %d, want %d", st, s, got, loc)
+			}
+		}
+		// Untouched subscribers keep their initial location.
+		for s := 0; s < 100; s++ {
+			if _, ok := want[s]; ok {
+				continue
+			}
+			if got := db.Location(ctx, s); got != uint64(s%1000) {
+				t.Fatalf("subscriber %d corrupted: %d", s, got)
+			}
+		}
+	}
+}
+
+func TestTATPMix(t *testing.T) {
+	ctx := &flatCtx{w: make([]uint64, (32<<20)/8)}
+	heap := memdb.Heap{Base: 0, Size: 32 << 20}
+	db, err := Setup(Config{Subscribers: 1000}, heap,
+		func(fn func(memdb.Ctx) error) error { return fn(ctx) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	counts := map[MixOp]int{}
+	for i := 0; i < 5000; i++ {
+		counts[db.RunMix(ctx, rng)]++
+	}
+	if counts[OpGetSubscriberData] < 3500 {
+		t.Fatalf("read share too low: %v", counts)
+	}
+	if counts[OpUpdateLocation] == 0 || counts[OpUpdateSubscriberData] == 0 {
+		t.Fatalf("mix never ran a write op: %v", counts)
+	}
+}
+
+func TestHandoffCounts(t *testing.T) {
+	ctx := &flatCtx{w: make([]uint64, (32<<20)/8)}
+	heap := memdb.Heap{Base: 0, Size: 32 << 20}
+	db, err := Setup(Config{Subscribers: 100}, heap,
+		func(fn func(memdb.Ctx) error) error { return fn(ctx) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		db.Handoff(ctx, 5, uint64(i))
+	}
+	d := db.GetSubscriberData(ctx, 5)
+	if d.Handoffs != 7 || d.Location != 6 {
+		t.Fatalf("data = %+v", d)
+	}
+}

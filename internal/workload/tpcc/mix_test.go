@@ -1,0 +1,180 @@
+package tpcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"dudetm/internal/memdb"
+)
+
+func TestPaymentYTDConsistency(t *testing.T) {
+	ctx := &flatCtx{w: make([]uint64, (64<<20)/8)}
+	heap := memdb.Heap{Base: 0, Size: 64 << 20}
+	db, err := Setup(smallConfig(BTreeStorage), heap, direct(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var total uint64
+	for i := 0; i < 300; i++ {
+		w := i % db.Cfg.Warehouses
+		amount := uint64(100 + rng.Intn(10000))
+		db.Payment(ctx, w, rng.Intn(db.Cfg.Districts), rng.Intn(db.Cfg.Customers), amount)
+		if w == 0 {
+			total += amount
+		}
+	}
+	wYTD, dYTD := db.YTD(ctx, 0)
+	if wYTD != dYTD {
+		t.Fatalf("warehouse YTD %d != district sum %d", wYTD, dYTD)
+	}
+	if wYTD != total {
+		t.Fatalf("warehouse 0 YTD %d, want %d", wYTD, total)
+	}
+}
+
+func TestPaymentBalanceGoesNegative(t *testing.T) {
+	ctx := &flatCtx{w: make([]uint64, (64<<20)/8)}
+	heap := memdb.Heap{Base: 0, Size: 64 << 20}
+	db, err := Setup(smallConfig(HashStorage), heap, direct(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Payment(ctx, 0, 0, 0, 5000)
+	if got := db.Balance(ctx, 0, 0, 0); got != -5000 {
+		t.Fatalf("balance = %d, want -5000", got)
+	}
+}
+
+func TestOrderStatusSeesLastOrder(t *testing.T) {
+	ctx := &flatCtx{w: make([]uint64, (64<<20)/8)}
+	heap := memdb.Heap{Base: 0, Size: 64 << 20}
+	db, err := Setup(smallConfig(BTreeStorage), heap, direct(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	// No orders yet.
+	if res := db.OrderStatus(ctx, 0, 0, 0); res.HasOrder {
+		t.Fatal("phantom order")
+	}
+	in := db.GenInput(rng, 0)
+	in.C = 5
+	if err := db.NewOrder(ctx, in); err != nil {
+		t.Fatal(err)
+	}
+	res := db.OrderStatus(ctx, in.W, in.D, in.C)
+	if !res.HasOrder {
+		t.Fatal("order not found")
+	}
+	if res.Lines != len(in.Items) {
+		t.Fatalf("lines = %d, want %d", res.Lines, len(in.Items))
+	}
+	if res.Total == 0 {
+		t.Fatal("zero total")
+	}
+}
+
+func TestDeliveryLifecycle(t *testing.T) {
+	for _, st := range []StorageKind{BTreeStorage, HashStorage} {
+		ctx := &flatCtx{w: make([]uint64, (64<<20)/8)}
+		heap := memdb.Heap{Base: 0, Size: 64 << 20}
+		db, err := Setup(smallConfig(st), heap, direct(ctx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		// Place 3 orders in district 0 of warehouse 0 for customer 7.
+		var want uint64
+		for i := 0; i < 3; i++ {
+			in := db.GenInput(rng, 0)
+			in.D = 0
+			in.C = 7
+			if err := db.NewOrder(ctx, in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Deliver: the first call delivers the oldest order per district.
+		n := db.Delivery(ctx, 0, 3)
+		if n != 1 {
+			t.Fatalf("storage %d: delivered %d orders, want 1 (one district has orders)", st, n)
+		}
+		res := db.OrderStatus(ctx, 0, 0, 7)
+		_ = res
+		// Deliver the rest.
+		n = db.Delivery(ctx, 0, 3) // second oldest
+		n += db.Delivery(ctx, 0, 3)
+		if n != 2 {
+			t.Fatalf("storage %d: delivered %d more, want 2", st, n)
+		}
+		// Nothing left.
+		if db.Delivery(ctx, 0, 3) != 0 {
+			t.Fatalf("storage %d: delivery found phantom orders", st)
+		}
+		// Customer balance grew by the total of their 3 orders.
+		bal := db.Balance(ctx, 0, 0, 7)
+		if bal <= 0 {
+			t.Fatalf("storage %d: balance %d after deliveries", st, bal)
+		}
+		_ = want
+	}
+}
+
+func TestStockLevel(t *testing.T) {
+	ctx := &flatCtx{w: make([]uint64, (64<<20)/8)}
+	heap := memdb.Heap{Base: 0, Size: 64 << 20}
+	db, err := Setup(smallConfig(BTreeStorage), heap, direct(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	// Initially all stock is 100: nothing below 50.
+	if low := db.StockLevel(ctx, 0, 0, 50); low != 0 {
+		t.Fatalf("low = %d on fresh stock", low)
+	}
+	// Hammer orders in district 0 until some stock drains below 100.
+	for i := 0; i < 30; i++ {
+		in := db.GenInput(rng, 0)
+		in.D = 0
+		if err := db.NewOrder(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if low := db.StockLevel(ctx, 0, 0, 100); low == 0 {
+		t.Fatal("no stock below 100 after 30 orders")
+	}
+}
+
+func TestRunMixDistributionAndSafety(t *testing.T) {
+	ctx := &flatCtx{w: make([]uint64, (64<<20)/8)}
+	heap := memdb.Heap{Base: 0, Size: 64 << 20}
+	db, err := Setup(smallConfig(BTreeStorage), heap, direct(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	counts := map[MixOp]int{}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		op, err := db.RunMix(ctx, rng, i%db.Cfg.Warehouses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[op]++
+	}
+	if counts[OpNewOrder] < n*35/100 || counts[OpPayment] < n*35/100 {
+		t.Fatalf("mix off: %v", counts)
+	}
+	for _, op := range []MixOp{OpOrderStatus, OpDelivery, OpStockLevel} {
+		if counts[op] == 0 {
+			t.Fatalf("mix never ran op %d: %v", op, counts)
+		}
+	}
+	// Money consistency must hold at the end.
+	for w := 0; w < db.Cfg.Warehouses; w++ {
+		wy, dy := db.YTD(ctx, w)
+		if wy != dy {
+			t.Fatalf("warehouse %d YTD %d != district sum %d", w, wy, dy)
+		}
+	}
+}

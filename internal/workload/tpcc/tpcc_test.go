@@ -1,0 +1,134 @@
+package tpcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"dudetm/internal/memdb"
+)
+
+type flatCtx struct{ w []uint64 }
+
+func (c *flatCtx) Load(addr uint64) uint64 { return c.w[addr/8] }
+func (c *flatCtx) Store(addr, val uint64)  { c.w[addr/8] = val }
+func (c *flatCtx) Abort()                  { panic("abort") }
+
+func direct(ctx *flatCtx) func(func(memdb.Ctx) error) error {
+	return func(fn func(memdb.Ctx) error) error { return fn(ctx) }
+}
+
+func smallConfig(st StorageKind) Config {
+	return Config{
+		Warehouses: 2,
+		Districts:  4,
+		Customers:  16,
+		Items:      64,
+		MaxOrders:  1 << 12,
+		Storage:    st,
+	}
+}
+
+func TestNewOrderBothStorages(t *testing.T) {
+	for _, st := range []StorageKind{BTreeStorage, HashStorage} {
+		ctx := &flatCtx{w: make([]uint64, (64<<20)/8)}
+		heap := memdb.Heap{Base: 0, Size: 64 << 20}
+		db, err := Setup(smallConfig(st), heap, direct(ctx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+
+		perDistrict := map[[2]int]uint64{}
+		var inputs []Input
+		for i := 0; i < 200; i++ {
+			in := db.GenInput(rng, i%db.Cfg.Warehouses)
+			if err := db.NewOrder(ctx, in); err != nil {
+				t.Fatal(err)
+			}
+			inputs = append(inputs, in)
+			perDistrict[[2]int{in.W, in.D}]++
+		}
+
+		// District order counters advanced exactly once per order.
+		for wd, n := range perDistrict {
+			if got := db.NextOID(ctx, wd[0], wd[1]); got != n+1 {
+				t.Fatalf("storage %d: district %v nextOID = %d, want %d", st, wd, got, n+1)
+			}
+		}
+
+		// Every order and its lines must be retrievable and consistent.
+		oidSeen := map[[2]int]uint64{}
+		for _, in := range inputs {
+			oidSeen[[2]int{in.W, in.D}]++
+			oid := oidSeen[[2]int{in.W, in.D}]
+			orow, ok := db.Orders.Get(ctx, db.OrderKey(in.W, in.D, oid))
+			if !ok {
+				t.Fatalf("storage %d: order (%d,%d,%d) missing", st, in.W, in.D, oid)
+			}
+			if cnt := ctx.Load(orow + oOLCnt); cnt != uint64(len(in.Items)) {
+				t.Fatalf("olCnt = %d, want %d", cnt, len(in.Items))
+			}
+			for i, item := range in.Items {
+				olrow, ok := db.OrderLines.Get(ctx, db.OrderLineKey(in.W, in.D, oid, i))
+				if !ok {
+					t.Fatalf("order line %d missing", i)
+				}
+				if got := ctx.Load(olrow + olItem); got != uint64(item) {
+					t.Fatalf("line item = %d, want %d", got, item)
+				}
+				if got := ctx.Load(olrow + olQty); got != uint64(in.Qty[i]) {
+					t.Fatalf("line qty = %d, want %d", got, in.Qty[i])
+				}
+				if ctx.Load(olrow+olAmount) == 0 {
+					t.Fatal("zero amount")
+				}
+			}
+		}
+
+		// Stock YTD equals total quantity ordered per (w, item).
+		ytd := map[[2]int]uint64{}
+		for _, in := range inputs {
+			for i, item := range in.Items {
+				ytd[[2]int{in.W, item}] += uint64(in.Qty[i])
+			}
+		}
+		for wi, want := range ytd {
+			srow, ok := db.Stocks.Get(ctx, db.StockKey(wi[0], wi[1]))
+			if !ok {
+				t.Fatalf("stock %v missing", wi)
+			}
+			if got := ctx.Load(srow + sYTD); got != want {
+				t.Fatalf("stock %v ytd = %d, want %d", wi, got, want)
+			}
+		}
+	}
+}
+
+func TestGenInputShape(t *testing.T) {
+	ctx := &flatCtx{w: make([]uint64, (32<<20)/8)}
+	heap := memdb.Heap{Base: 0, Size: 32 << 20}
+	db, err := Setup(smallConfig(BTreeStorage), heap, direct(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		in := db.GenInput(rng, 1)
+		if len(in.Items) < 5 || len(in.Items) > 15 {
+			t.Fatalf("order lines = %d", len(in.Items))
+		}
+		seen := map[int]bool{}
+		for j, it := range in.Items {
+			if it < 0 || it >= db.Cfg.Items {
+				t.Fatalf("item %d out of range", it)
+			}
+			if seen[it] {
+				t.Fatal("duplicate item in order")
+			}
+			seen[it] = true
+			if in.Qty[j] < 1 || in.Qty[j] > 10 {
+				t.Fatalf("qty %d", in.Qty[j])
+			}
+		}
+	}
+}

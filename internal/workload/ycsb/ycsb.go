@@ -1,0 +1,205 @@
+// Package ycsb implements the YCSB "Session Store" workload used for the
+// paper's log-optimization experiment (Figure 3): a key-value store
+// loaded with 10 K records, driven by a 50/50 mix of read and update
+// transactions whose keys follow a Zipfian distribution with constant
+// 0.99.
+package ycsb
+
+import (
+	"math/rand"
+	"sync"
+
+	"dudetm/internal/memdb"
+	"dudetm/internal/workload/zipf"
+)
+
+// Config sets the store scale and mix.
+type Config struct {
+	// Records loaded initially (default 10000, as in §5.4).
+	Records int
+	// ReadFraction of operations (default 0.5).
+	ReadFraction float64
+	// Theta is the Zipfian constant (default 0.99).
+	Theta float64
+	// ValueWords is the record payload size in 8-byte words (default 4;
+	// updates rewrite the whole payload, giving combination something
+	// to coalesce).
+	ValueWords int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Records == 0 {
+		c.Records = 10000
+	}
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.5
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.99
+	}
+	if c.ValueWords == 0 {
+		c.ValueWords = 4
+	}
+}
+
+// DB is a loaded session store over a B+-tree.
+type DB struct {
+	Cfg  Config
+	Heap memdb.Heap
+	Tree memdb.BPlusTree
+
+	// Workload E insert cursor.
+	insertMu sync.Mutex
+	inserted uint64
+}
+
+func recordKey(i int) uint64 { return uint64(i) + 1 }
+
+// Setup formats the heap and loads the records.
+func Setup(cfg Config, heap memdb.Heap, txRun func(fn func(memdb.Ctx) error) error) (*DB, error) {
+	cfg.applyDefaults()
+	db := &DB{Cfg: cfg, Heap: heap}
+	if err := txRun(func(ctx memdb.Ctx) error {
+		heap.Format(ctx)
+		rootPtr, err := heap.Alloc(ctx, 8)
+		if err != nil {
+			return err
+		}
+		db.Tree = memdb.BPlusTree{RootPtr: rootPtr, Heap: heap}
+		return db.Tree.Format(ctx)
+	}); err != nil {
+		return nil, err
+	}
+	const batch = 512
+	for start := 0; start < cfg.Records; start += batch {
+		end := start + batch
+		if end > cfg.Records {
+			end = cfg.Records
+		}
+		if err := txRun(func(ctx memdb.Ctx) error {
+			for i := start; i < end; i++ {
+				row, err := heap.Alloc(ctx, uint64(cfg.ValueWords)*8)
+				if err != nil {
+					return err
+				}
+				for w := 0; w < cfg.ValueWords; w++ {
+					ctx.Store(row+uint64(w)*8, uint64(i*cfg.ValueWords+w))
+				}
+				if err := db.Tree.Put(ctx, recordKey(i), row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Driver draws Session Store operations for one client.
+type Driver struct {
+	db   *DB
+	rng  *rand.Rand
+	keys *zipf.Generator
+}
+
+// NewDriver creates a client-local operation generator.
+func (db *DB) NewDriver(rng *rand.Rand) *Driver {
+	return &Driver{db: db, rng: rng, keys: zipf.New(rng, uint64(db.Cfg.Records), db.Cfg.Theta)}
+}
+
+// Op executes one workload operation (read or whole-record update) in
+// the given transaction. It reports whether the op was a read.
+func (d *Driver) Op(ctx memdb.Ctx) bool {
+	key := recordKey(int(d.keys.Next()))
+	read := d.rng.Float64() < d.db.Cfg.ReadFraction
+	row, ok := d.db.Tree.Get(ctx, key)
+	if !ok {
+		panic("ycsb: missing record")
+	}
+	if read {
+		var sum uint64
+		for w := 0; w < d.db.Cfg.ValueWords; w++ {
+			sum += ctx.Load(row + uint64(w)*8)
+		}
+		_ = sum
+		return true
+	}
+	v := d.rng.Uint64()
+	for w := 0; w < d.db.Cfg.ValueWords; w++ {
+		ctx.Store(row+uint64(w)*8, v+uint64(w))
+	}
+	return false
+}
+
+// The paper uses only the Session Store mix; the standard YCSB core
+// workloads are provided as a repository extension. Workload E adds
+// range scans (exercising the B+-tree leaf chain) and inserts.
+
+// Workload identifies a YCSB core workload.
+type Workload int
+
+// Standard YCSB core workloads.
+const (
+	// WorkloadA is update-heavy: 50% reads, 50% updates (the paper's
+	// Session Store).
+	WorkloadA Workload = iota
+	// WorkloadB is read-heavy: 95% reads, 5% updates.
+	WorkloadB
+	// WorkloadC is read-only.
+	WorkloadC
+	// WorkloadE is scan-heavy: 95% short range scans, 5% inserts.
+	WorkloadE
+)
+
+// ConfigFor returns the session-store configuration of a core workload
+// (records and value size as in the paper's Figure 3 setup).
+func ConfigFor(w Workload) Config {
+	c := Config{Records: 10000}
+	switch w {
+	case WorkloadA:
+		c.ReadFraction = 0.5
+	case WorkloadB:
+		c.ReadFraction = 0.95
+	case WorkloadC:
+		c.ReadFraction = 1.0
+	case WorkloadE:
+		c.ReadFraction = 0 // ops drawn by OpE instead
+	}
+	return c
+}
+
+// nextKey tracks inserts for Workload E (shared across drivers).
+func (db *DB) insertKey() uint64 { return recordKey(db.Cfg.Records + int(db.inserted)) }
+
+// OpE executes one Workload E operation: a short range scan (95%) or an
+// insert of a fresh record (5%). It reports whether the op was a scan.
+func (d *Driver) OpE(ctx memdb.Ctx) bool {
+	if d.rng.Float64() < 0.95 {
+		start := recordKey(int(d.keys.Next()))
+		n := 1 + d.rng.Intn(20)
+		count := 0
+		d.db.Tree.Scan(ctx, start, ^uint64(0), func(k, v uint64) bool {
+			count++
+			return count < n
+		})
+		return true
+	}
+	// Insert a fresh record past the loaded range.
+	d.db.insertMu.Lock()
+	key := d.db.insertKey()
+	d.db.inserted++
+	d.db.insertMu.Unlock()
+	row, err := d.db.Heap.Alloc(ctx, uint64(d.db.Cfg.ValueWords)*8)
+	if err != nil {
+		panic(err)
+	}
+	for w := 0; w < d.db.Cfg.ValueWords; w++ {
+		ctx.Store(row+uint64(w)*8, key+uint64(w))
+	}
+	if err := d.db.Tree.Put(ctx, key, row); err != nil {
+		panic(err)
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"dudetm/internal/memdb"
+)
+
+type flatCtx struct{ w []uint64 }
+
+func (c *flatCtx) Load(addr uint64) uint64 { return c.w[addr/8] }
+func (c *flatCtx) Store(addr, val uint64)  { c.w[addr/8] = val }
+func (c *flatCtx) Abort()                  { panic("abort") }
+
+func TestSessionStore(t *testing.T) {
+	ctx := &flatCtx{w: make([]uint64, (32<<20)/8)}
+	heap := memdb.Heap{Base: 0, Size: 32 << 20}
+	db, err := Setup(Config{Records: 2000}, heap,
+		func(fn func(memdb.Ctx) error) error { return fn(ctx) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.NewDriver(rand.New(rand.NewSource(1)))
+	reads := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if d.Op(ctx) {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("read fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestRecordsReadable(t *testing.T) {
+	ctx := &flatCtx{w: make([]uint64, (32<<20)/8)}
+	heap := memdb.Heap{Base: 0, Size: 32 << 20}
+	db, err := Setup(Config{Records: 500, ValueWords: 4}, heap,
+		func(fn func(memdb.Ctx) error) error { return fn(ctx) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		row, ok := db.Tree.Get(ctx, recordKey(i))
+		if !ok {
+			t.Fatalf("record %d missing", i)
+		}
+		if v := ctx.Load(row); v != uint64(i*4) {
+			t.Fatalf("record %d word 0 = %d", i, v)
+		}
+	}
+}
+
+func TestCoreWorkloadMixes(t *testing.T) {
+	for _, w := range []Workload{WorkloadA, WorkloadB, WorkloadC} {
+		ctx := &flatCtx{w: make([]uint64, (32<<20)/8)}
+		heap := memdb.Heap{Base: 0, Size: 32 << 20}
+		cfg := ConfigFor(w)
+		cfg.Records = 1000
+		db, err := Setup(cfg, heap,
+			func(fn func(memdb.Ctx) error) error { return fn(ctx) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := db.NewDriver(rand.New(rand.NewSource(int64(w))))
+		reads := 0
+		const n = 4000
+		for i := 0; i < n; i++ {
+			if d.Op(ctx) {
+				reads++
+			}
+		}
+		frac := float64(reads) / n
+		want := cfg.ReadFraction
+		if frac < want-0.05 || frac > want+0.05 {
+			t.Fatalf("workload %d: read fraction %.3f, want ~%.2f", w, frac, want)
+		}
+	}
+}
+
+func TestWorkloadEScansAndInserts(t *testing.T) {
+	ctx := &flatCtx{w: make([]uint64, (32<<20)/8)}
+	heap := memdb.Heap{Base: 0, Size: 32 << 20}
+	cfg := ConfigFor(WorkloadE)
+	cfg.Records = 500
+	db, err := Setup(cfg, heap,
+		func(fn func(memdb.Ctx) error) error { return fn(ctx) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.NewDriver(rand.New(rand.NewSource(7)))
+	scans, inserts := 0, 0
+	for i := 0; i < 2000; i++ {
+		if d.OpE(ctx) {
+			scans++
+		} else {
+			inserts++
+		}
+	}
+	if inserts == 0 || scans < inserts*10 {
+		t.Fatalf("scans=%d inserts=%d", scans, inserts)
+	}
+	// Inserted records must be retrievable beyond the loaded range.
+	found := 0
+	db.Tree.Scan(ctx, recordKey(cfg.Records), ^uint64(0), func(k, v uint64) bool {
+		found++
+		return true
+	})
+	if found == 0 {
+		t.Fatal("no inserted records found")
+	}
+}

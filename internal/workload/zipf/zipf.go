@@ -1,0 +1,78 @@
+// Package zipf generates Zipfian-distributed ranks for the skewed
+// workloads in the paper's evaluation: YCSB Session Store with constant
+// 0.99 (Figure 3) and the swap-overhead workloads with constants 0.99
+// and 1.07 (Figure 4).
+//
+// For theta < 1 it implements the Gray et al. "Quickly Generating
+// Billion-Record Synthetic Databases" algorithm (the one YCSB uses); for
+// theta > 1, where that derivation does not apply, it delegates to
+// math/rand's rejection-sampling Zipf generator. Rank 0 is always the
+// most popular item.
+package zipf
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Generator produces Zipfian ranks in [0, N).
+type Generator struct {
+	n     uint64
+	theta float64
+	rng   *rand.Rand
+
+	// Gray et al. state (theta < 1).
+	alpha, zetan, eta, zeta2 float64
+
+	// Stdlib generator (theta > 1).
+	z *rand.Zipf
+}
+
+// New creates a generator over [0, n) with skew theta (> 0, != 1; the
+// paper uses 0.99, 0.99 and 1.07). rng must not be shared across
+// goroutines.
+func New(rng *rand.Rand, n uint64, theta float64) *Generator {
+	if n == 0 {
+		panic("zipf: empty range")
+	}
+	if theta <= 0 || theta == 1 {
+		panic("zipf: theta must be positive and != 1")
+	}
+	g := &Generator{n: n, theta: theta, rng: rng}
+	if theta > 1 {
+		g.z = rand.NewZipf(rng, theta, 1, n-1)
+		return g
+	}
+	g.zeta2 = zeta(2, theta)
+	g.zetan = zeta(n, theta)
+	g.alpha = 1 / (1 - theta)
+	g.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - g.zeta2/g.zetan)
+	return g
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next rank.
+func (g *Generator) Next() uint64 {
+	if g.z != nil {
+		return g.z.Uint64()
+	}
+	u := g.rng.Float64()
+	uz := u * g.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, g.theta) {
+		return 1
+	}
+	return uint64(float64(g.n) * math.Pow(g.eta*u-g.eta+1, g.alpha))
+}
+
+// N returns the range size.
+func (g *Generator) N() uint64 { return g.n }

@@ -1,0 +1,86 @@
+package zipf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBounds(t *testing.T) {
+	for _, theta := range []float64{0.5, 0.99, 1.07} {
+		g := New(rand.New(rand.NewSource(1)), 1000, theta)
+		for i := 0; i < 20000; i++ {
+			if v := g.Next(); v >= 1000 {
+				t.Fatalf("theta %.2f: out of range: %d", theta, v)
+			}
+		}
+	}
+}
+
+func TestSkew(t *testing.T) {
+	for _, theta := range []float64{0.99, 1.07} {
+		g := New(rand.New(rand.NewSource(2)), 10000, theta)
+		counts := make([]int, 10000)
+		const n = 200000
+		for i := 0; i < n; i++ {
+			counts[g.Next()]++
+		}
+		// Rank 0 must be far above uniform (uniform = 20 hits).
+		if counts[0] < 200 {
+			t.Fatalf("theta %.2f: rank 0 hit %d times, want heavy skew", theta, counts[0])
+		}
+		// Top 100 ranks should take a large share.
+		top := 0
+		for i := 0; i < 100; i++ {
+			top += counts[i]
+		}
+		if float64(top)/n < 0.3 {
+			t.Fatalf("theta %.2f: top-100 share %.3f, want >= 0.3", theta, float64(top)/n)
+		}
+	}
+}
+
+func TestHigherThetaMoreSkewed(t *testing.T) {
+	share := func(theta float64) float64 {
+		g := New(rand.New(rand.NewSource(3)), 10000, theta)
+		counts := make([]int, 10000)
+		const n = 100000
+		for i := 0; i < n; i++ {
+			counts[g.Next()]++
+		}
+		top := 0
+		for i := 0; i < 10; i++ {
+			top += counts[i]
+		}
+		return float64(top) / n
+	}
+	if s99, s107 := share(0.99), share(1.07); s107 <= s99 {
+		t.Fatalf("1.07 share %.3f <= 0.99 share %.3f", s107, s99)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := New(rand.New(rand.NewSource(7)), 100, 0.99)
+	b := New(rand.New(rand.NewSource(7)), 100, 0.99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("non-deterministic")
+		}
+	}
+}
+
+func TestInvalidArgsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(rand.New(rand.NewSource(1)), 0, 0.99) },
+		func() { New(rand.New(rand.NewSource(1)), 10, 1.0) },
+		func() { New(rand.New(rand.NewSource(1)), 10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
