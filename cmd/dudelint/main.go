@@ -1,0 +1,100 @@
+// Command dudelint runs the repository's persist-ordering and
+// concurrency static-analysis suite (internal/lint) over the module.
+//
+// Usage:
+//
+//	dudelint [-json] [packages]
+//
+// Packages may be "./..." (the whole module, the default) or directory
+// paths. Output is stable and sorted (file, line, column, analyzer) so
+// CI can diff runs. Exit status: 0 clean, 1 unsuppressed diagnostics,
+// 2 usage or load error.
+//
+// Diagnostics are suppressed, with a mandatory justification, by
+//
+//	//dudelint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line directly above.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dudetm/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	verbose := flag.Bool("v", false, "print loader warnings and suppression counts")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dudelint [-json] [-v] [./... | dirs]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var res *lint.Result
+	if len(args) == 1 && (args[0] == "./..." || args[0] == "...") {
+		res, err = lint.RunModule(root, nil)
+	} else {
+		dirs := make([]string, 0, len(args))
+		for _, a := range args {
+			d, aerr := filepath.Abs(a)
+			if aerr != nil {
+				fatal(aerr)
+			}
+			dirs = append(dirs, d)
+		}
+		res, err = lint.Run(root, dirs, nil)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *verbose {
+		for _, w := range res.Warnings {
+			fmt.Fprintln(os.Stderr, "dudelint: warning:", w)
+		}
+		fmt.Fprintf(os.Stderr, "dudelint: %d diagnostic(s), %d suppressed\n",
+			len(res.Diags), res.Suppressed)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if res.Diags == nil {
+			res.Diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(res.Diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range res.Diags {
+			fmt.Println(d)
+		}
+	}
+	if len(res.Diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dudelint:", err)
+	os.Exit(2)
+}

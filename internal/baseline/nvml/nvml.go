@@ -158,6 +158,7 @@ func (t *Tx) Store(addr, val uint64) {
 		t.seen[addr] = struct{}{}
 		t.undo = append(t.undo, entry{addr, t.s.dev.Load8(t.s.dataOff + addr)})
 	}
+	//dudelint:ignore persistorder in-place update is made durable by Run's barrier 2 after the undo log seals
 	t.s.dev.Store8(t.s.dataOff+addr, val)
 }
 
@@ -266,6 +267,7 @@ func (s *System) truncate(lg *undoLog) {
 func (s *System) rollback(tx *Tx) {
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		e := tx.undo[i]
+		//dudelint:ignore persistorder rollback restores cached old values; nothing was flushed, so the durable state is already the old values
 		s.dev.Store8(s.dataOff+e.addr, e.val)
 	}
 }

@@ -434,6 +434,7 @@ func (s *System) Stats() Stats {
 // (no in-flight log append), so a Device snapshot taken afterwards is
 // coherent. ResumePersist releases it; the step must be resumed before
 // Close.
+//dudelint:ignore unlockpath pause gate is intentionally held across the call; ResumePersist releases it
 func (s *System) PausePersist() { s.persistGate.Lock() }
 
 // ResumePersist releases PausePersist.
@@ -443,6 +444,7 @@ func (s *System) ResumePersist() { s.persistGate.Unlock() }
 // durable in the log but are not applied to persistent data. It returns
 // only once the step is quiescent (no in-flight replay or recycle).
 // ResumeReproduce releases it; the step must be resumed before Close.
+//dudelint:ignore unlockpath pause gate is intentionally held across the call; ResumeReproduce releases it
 func (s *System) PauseReproduce() { s.reproduceGate.Lock() }
 
 // ResumeReproduce releases PauseReproduce.

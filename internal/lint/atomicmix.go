@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerAtomicMix finds struct fields and package-level variables
+// that are accessed both through sync/atomic package functions (by
+// address: atomic.AddUint64(&x.f, 1)) and through plain reads or
+// writes elsewhere in the same package. Mixed access is a data race:
+// the plain access is invisible to the atomic protocol, which is
+// exactly the failure mode of a clock or version word in the stm /
+// redolog hot paths. Fields of the typed atomic.* value kinds are
+// immune by construction and not tracked.
+//
+// Initialization in composite literals (Device{dirty: make(...)}) is
+// pre-publication and not counted as plain access.
+var analyzerAtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic must never be accessed plainly in the same package",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	pkg := pass.Pkg
+	// Pass 1: collect every variable reached by address through a
+	// sync/atomic function call, and remember those exact AST nodes as
+	// sanctioned atomic accesses.
+	atomicSites := make(map[types.Object][]token.Pos)
+	sanctioned := make(map[ast.Node]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := isAtomicFuncCall(pkg, call); !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				base, node := addressedVar(pkg, un.X)
+				if base != nil {
+					atomicSites[base] = append(atomicSites[base], un.Pos())
+					sanctioned[node] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicSites) == 0 {
+		return
+	}
+	// Pass 2: any other use of those variables is a plain access.
+	for _, f := range pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			obj := usedVar(pkg, n)
+			if obj == nil {
+				return true
+			}
+			sites, tracked := atomicSites[obj]
+			if !tracked || sanctionedAccess(n, stack, sanctioned) || compositeKey(n, stack) {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"%s is accessed with sync/atomic %d time(s) elsewhere in this package; this plain access is a data race",
+				obj.Name(), len(sites))
+			return true
+		})
+	}
+}
+
+// addressedVar resolves &expr's base variable: a struct field selector
+// (possibly through indexing) or a package-level variable declared in
+// this package. Returns the object and the AST node that names it.
+func addressedVar(pkg *Package, e ast.Expr) (types.Object, ast.Node) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			obj := pkg.Info.Uses[x.Sel]
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				return v, x
+			}
+			return nil, nil
+		case *ast.Ident:
+			obj := pkg.Info.Uses[x]
+			if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Parent() == pkg.Types.Scope() {
+				return v, x
+			}
+			return nil, nil
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// usedVar reports the tracked-variable object n refers to, if n is a
+// field selector or package-level identifier use.
+func usedVar(pkg *Package, n ast.Node) types.Object {
+	switch x := n.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok && !v.IsField() && pkg.Types != nil && v.Parent() == pkg.Types.Scope() {
+			return v
+		}
+	}
+	return nil
+}
+
+// sanctionedAccess reports whether node n (or a selector ancestor that
+// was recorded in pass 1) is the operand of a sanctioned atomic call.
+func sanctionedAccess(n ast.Node, stack []ast.Node, sanctioned map[ast.Node]bool) bool {
+	if sanctioned[n] {
+		return true
+	}
+	// The ident inside a sanctioned selector (the "f" of x.f) also
+	// appears in the walk; treat any ancestor being sanctioned as ok.
+	for _, a := range stack {
+		if sanctioned[a] {
+			return true
+		}
+	}
+	return false
+}
+
+// compositeKey reports whether n is the key of a composite-literal
+// field initialization (Device{dirty: ...}).
+func compositeKey(n ast.Node, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	kv, ok := stack[len(stack)-2].(*ast.KeyValueExpr)
+	return ok && kv.Key == n
+}

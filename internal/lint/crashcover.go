@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// analyzerCrashCover keeps crash tests honest: a test function that
+// simulates a power failure with Crash() must afterwards observe the
+// surviving durable state — by remounting (Recover/Restore/Scan),
+// snapshotting (PersistedImage/DirtyLines), or reading the device
+// (Load/Load8) — otherwise the crash asserts nothing and the test
+// passes vacuously no matter what the persist ordering did.
+//
+// Every Crash() call in a Test function (closures included) must be
+// followed, in source order, by at least one verification call.
+var analyzerCrashCover = &Analyzer{
+	Name: "crashcover",
+	Doc:  "a test that calls Crash() must verify the durable state afterwards",
+	Run:  runCrashCover,
+}
+
+// crashVerifiers are exact call names accepted as post-crash
+// verification; crashVerifierSubstrings additionally accept helper
+// names built around a verification verb (scanAll, verifyBalances,
+// checkImage, mustRecover, ...).
+var (
+	crashVerifiers          = []string{"Load", "Load8", "DirtyLines"}
+	crashVerifierSubstrings = []string{"scan", "recover", "restore", "verify", "reopen", "persistedimage", "check"}
+)
+
+func isCrashVerifier(name string) bool {
+	if contains(crashVerifiers, name) {
+		return true
+	}
+	lower := strings.ToLower(name)
+	for _, sub := range crashVerifierSubstrings {
+		if strings.Contains(lower, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func runCrashCover(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if !f.Test {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !strings.HasPrefix(fn.Name.Name, "Test") {
+				continue
+			}
+			checkCrashCover(pass, fn)
+		}
+	}
+}
+
+func checkCrashCover(pass *Pass, fn *ast.FuncDecl) {
+	var crashes, verifies []token.Pos
+	// Closures (t.Run subtests, helpers defined inline) run within the
+	// test, so the whole body is one stream here — unlike the persist
+	// analyzers, source order across a closure boundary is still the
+	// order the assertions appear in the test.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		_, name := callee(call)
+		switch {
+		case name == "Crash":
+			crashes = append(crashes, call.Pos())
+		case isCrashVerifier(name):
+			verifies = append(verifies, call.Pos())
+		}
+		return true
+	})
+	for _, c := range crashes {
+		covered := false
+		for _, v := range verifies {
+			if v > c {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(c,
+				"%s calls Crash() but never verifies the durable state afterwards (Restore/Recover/PersistedImage/Scan/Load): the crash asserts nothing",
+				fn.Name.Name)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// analyzerFencePair checks that write-backs and persist barriers come
+// in pairs (paper §2.1: CLWB ... SFENCE). Within each function body, in
+// statement order:
+//
+//   - a Device.Fence or Batch.Fence with no preceding flush-like call
+//     is a wasted barrier (it orders nothing this function wrote back);
+//   - a FlushRange or Batch.Flush never followed by a fence on any
+//     textual path out of the function leaves the write-back unordered,
+//     i.e. not durable.
+//
+// Device.Persist is a self-contained flush+fence and participates in
+// neither rule. Functions that flush into a batch fenced by their
+// caller suppress with a justification. The pmem package itself and
+// test files (which deliberately leave data unflushed to exercise
+// Crash()) are exempt.
+var analyzerFencePair = &Analyzer{
+	Name: "fencepair",
+	Doc:  "every flush needs a following fence; every fence needs a preceding flush",
+	Run:  runFencePair,
+}
+
+func runFencePair(pass *Pass) {
+	if strings.TrimSuffix(pass.Pkg.Name, "_test") == "pmem" {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, scope := range funcScopes(f.AST) {
+			checkFencePairScope(pass, scope)
+		}
+	}
+}
+
+func checkFencePairScope(pass *Pass, scope funcScope) {
+	var flushes, fences []token.Pos
+	walkScope(scope.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isDeviceCall(pass.Pkg, call, "FlushRange") || isBatchCall(pass.Pkg, call, "Flush"):
+			flushes = append(flushes, call.Pos())
+		case isDeviceCall(pass.Pkg, call, "Fence") || isBatchCall(pass.Pkg, call, "Fence"):
+			fences = append(fences, call.Pos())
+		}
+		return true
+	})
+	for _, fe := range fences {
+		preceded := false
+		for _, fl := range flushes {
+			if fl < fe {
+				preceded = true
+				break
+			}
+		}
+		if !preceded {
+			pass.Reportf(fe,
+				"fence in %s has no preceding flush in this function: a wasted persist barrier (if the flushes happen in a caller, suppress with a reason)",
+				scope.name)
+		}
+	}
+	for _, fl := range flushes {
+		followed := false
+		for _, fe := range fences {
+			if fe > fl {
+				followed = true
+				break
+			}
+		}
+		if !followed {
+			pass.Reportf(fl,
+				"flush in %s is never followed by a fence before the function returns: the write-back is unordered and not durable",
+				scope.name)
+		}
+	}
+}

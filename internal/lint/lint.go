@@ -1,0 +1,261 @@
+// Package lint is a from-scratch static-analysis framework for this
+// repository, built only on go/ast, go/parser and go/types (go/packages
+// is unavailable, so parsing and type-checking are driven directly by
+// the loader in load.go).
+//
+// It machine-checks the persist-ordering and concurrency invariants the
+// DudeTM reproduction rests on: a store to the simulated NVM device is
+// durable only after a FlushRange/Persist of its lines followed by a
+// Fence, the durable ID may only be published after the covering log
+// records are persistent, and the hot paths must not mix atomic and
+// plain access to the same field. See the analyzer files (persistorder,
+// fencepair, atomicmix, unlockpath, crashcover) for the individual
+// rules, and DESIGN.md "Checked invariants" for the paper invariant
+// each one encodes.
+//
+// A diagnostic can be suppressed with a justified comment on the same
+// line or the line directly above:
+//
+//	//dudelint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// The reason is mandatory; a bare directive is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, formatted as "file:line:col: analyzer: message".
+type Diagnostic struct {
+	File     string `json:"file"` // path relative to the module root
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pass *Pass)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Pkg      *Package
+	Analyzer *Analyzer
+	report   func(Diagnostic)
+	root     string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	file := position.Filename
+	if rel, err := filepath.Rel(p.root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	p.report(Diagnostic{
+		File:     file,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All is the analyzer suite, in the order diagnostics are attributed.
+var All = []*Analyzer{
+	analyzerPersistOrder,
+	analyzerFencePair,
+	analyzerAtomicMix,
+	analyzerUnlockPath,
+	analyzerCrashCover,
+}
+
+func analyzerNames() map[string]bool {
+	m := make(map[string]bool, len(All))
+	for _, a := range All {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// ignoreDirective is one parsed //dudelint:ignore comment.
+type ignoreDirective struct {
+	line      int
+	analyzers map[string]bool // nil means malformed
+	reason    string
+}
+
+const ignorePrefix = "//dudelint:ignore"
+
+// ignoresForFile parses every suppression directive in f. Malformed
+// directives (missing analyzer or reason, unknown analyzer name) are
+// returned separately as diagnostics of the pseudo-analyzer "dudelint".
+func ignoresForFile(fset *token.FileSet, f *ast.File, root string) (map[int][]ignoreDirective, []Diagnostic) {
+	known := analyzerNames()
+	byLine := make(map[int][]ignoreDirective)
+	var bad []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			fields := strings.Fields(rest)
+			file := pos.Filename
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+			malformed := func(msg string) {
+				bad = append(bad, Diagnostic{
+					File: file, Line: pos.Line, Col: pos.Column,
+					Analyzer: "dudelint", Message: msg,
+				})
+			}
+			if len(fields) == 0 {
+				malformed("ignore directive names no analyzer (want //dudelint:ignore <analyzer> <reason>)")
+				continue
+			}
+			names := make(map[string]bool)
+			ok := true
+			for _, n := range strings.Split(fields[0], ",") {
+				if n != "*" && !known[n] {
+					malformed(fmt.Sprintf("ignore directive names unknown analyzer %q", n))
+					ok = false
+					break
+				}
+				names[n] = true
+			}
+			if !ok {
+				continue
+			}
+			if len(fields) < 2 {
+				malformed("ignore directive has no justification (want //dudelint:ignore <analyzer> <reason>)")
+				continue
+			}
+			byLine[pos.Line] = append(byLine[pos.Line], ignoreDirective{
+				line:      pos.Line,
+				analyzers: names,
+				reason:    strings.Join(fields[1:], " "),
+			})
+		}
+	}
+	return byLine, bad
+}
+
+// suppressed reports whether d is covered by a directive on its own
+// line or the line directly above.
+func suppressed(d Diagnostic, ignores map[int][]ignoreDirective) bool {
+	for _, line := range []int{d.Line, d.Line - 1} {
+		for _, ig := range ignores[line] {
+			if ig.analyzers["*"] || ig.analyzers[d.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Result is the outcome of a lint run.
+type Result struct {
+	Diags      []Diagnostic // unsuppressed findings, sorted
+	Suppressed int          // findings silenced by ignore directives
+	Warnings   []string     // loader problems (partial type info etc.)
+}
+
+// Run lints the packages in dirs (module directories) with the given
+// analyzers (nil means All), resolving imports against the module
+// rooted at root.
+func Run(root string, dirs []string, analyzers []*Analyzer) (*Result, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	if analyzers == nil {
+		analyzers = All
+	}
+	res := &Result{}
+	for _, dir := range dirs {
+		pkgs, err := loader.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, pkg := range pkgs {
+			res.lintPackage(pkg, analyzers, root)
+		}
+	}
+	res.Warnings = loader.Warnings
+	sortDiags(res.Diags)
+	return res, nil
+}
+
+// RunModule lints every package of the module rooted at root.
+func RunModule(root string, analyzers []*Analyzer) (*Result, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loader.ModuleDirs()
+	if err != nil {
+		return nil, err
+	}
+	return Run(root, dirs, analyzers)
+}
+
+func (r *Result) lintPackage(pkg *Package, analyzers []*Analyzer, root string) {
+	ignores := make(map[int][]ignoreDirective)
+	for _, f := range pkg.Files {
+		ig, bad := ignoresForFile(pkg.Fset, f.AST, root)
+		for line, ds := range ig {
+			ignores[line] = append(ignores[line], ds...)
+		}
+		r.Diags = append(r.Diags, bad...)
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Pkg:      pkg,
+			Analyzer: a,
+			root:     root,
+			report: func(d Diagnostic) {
+				if suppressed(d, ignores) {
+					r.Suppressed++
+					return
+				}
+				r.Diags = append(r.Diags, d)
+			},
+		}
+		a.Run(pass)
+	}
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

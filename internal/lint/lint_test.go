@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func runTestdata(t *testing.T, root, pkg string, analyzers []*Analyzer) *Result {
+	t.Helper()
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", pkg)
+	res, err := Run(root, []string{dir}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func formatDiags(res *Result) string {
+	var b strings.Builder
+	for _, d := range res.Diags {
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestGoldenAnalyzers runs each analyzer alone over its testdata
+// package and compares the full diagnostic list against a golden file.
+// The golden file demonstrates the true positives; every unflagged
+// construct in the testdata file is a verified correct negative.
+func TestGoldenAnalyzers(t *testing.T) {
+	root := moduleRoot(t)
+	for _, a := range All {
+		t.Run(a.Name, func(t *testing.T) {
+			res := runTestdata(t, root, a.Name, []*Analyzer{a})
+			if !*update && len(res.Diags) == 0 {
+				t.Fatalf("analyzer %s found no true positives in its testdata", a.Name)
+			}
+			compareGolden(t, a.Name, formatDiags(res))
+		})
+	}
+}
+
+// TestSuppression checks the //dudelint:ignore machinery: justified
+// directives silence findings, mismatched or malformed ones do not,
+// and malformed directives are themselves diagnosed.
+func TestSuppression(t *testing.T) {
+	root := moduleRoot(t)
+	res := runTestdata(t, root, "suppress", nil)
+	if want := 2; res.Suppressed != want {
+		t.Errorf("suppressed = %d, want %d", res.Suppressed, want)
+	}
+	compareGolden(t, "suppress", formatDiags(res))
+}
+
+// TestRepoLintClean wires the suite into tier-1 verification: the
+// repository's own packages must lint clean (fixed or explicitly
+// suppressed with a justification).
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lints the whole module; skipped in -short mode")
+	}
+	root := moduleRoot(t)
+	res, err := RunModule(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("%s", d)
+	}
+	if len(res.Diags) > 0 {
+		t.Log("fix the findings above or add //dudelint:ignore <analyzer> <reason>")
+	}
+}
+
+// TestDiagnosticOrdering pins the stable sort CI relies on to diff
+// -json runs: file, then line, column, analyzer, message.
+func TestDiagnosticOrdering(t *testing.T) {
+	ds := []Diagnostic{
+		{File: "b.go", Line: 1, Col: 1, Analyzer: "z", Message: "m"},
+		{File: "a.go", Line: 9, Col: 1, Analyzer: "z", Message: "m"},
+		{File: "a.go", Line: 2, Col: 5, Analyzer: "b", Message: "m"},
+		{File: "a.go", Line: 2, Col: 5, Analyzer: "a", Message: "m"},
+		{File: "a.go", Line: 2, Col: 1, Analyzer: "z", Message: "m"},
+	}
+	sortDiags(ds)
+	var got []string
+	for _, d := range ds {
+		got = append(got, d.String())
+	}
+	want := []string{
+		"a.go:2:1: z: m",
+		"a.go:2:5: a: m",
+		"a.go:2:5: b: m",
+		"a.go:9:1: z: m",
+		"b.go:1:1: z: m",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

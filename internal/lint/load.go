@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is one parsed source file of a package under analysis.
+type File struct {
+	AST  *ast.File
+	Path string // absolute path
+	Test bool   // *_test.go
+}
+
+// Package is a type-checked unit handed to analyzers. For a directory
+// with both in-package and external (foo_test) test files, the loader
+// produces two Packages sharing the same Dir.
+type Package struct {
+	Name string // package name as written in the source
+	Path string // import path ("dudetm/internal/pmem") or a synthetic one
+	Dir  string
+	Fset *token.FileSet
+
+	Files []*File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of a single module without
+// go/packages: module-local imports are resolved recursively from
+// source, stdlib imports through the go/importer source importer, and
+// anything unresolvable degrades to an empty stub package so analysis
+// still runs with partial type information.
+type Loader struct {
+	Root    string // module root (directory containing go.mod)
+	ModPath string
+	Fset    *token.FileSet
+
+	// Warnings collects non-fatal load problems (stubbed imports,
+	// type-check errors). Analysis proceeds regardless.
+	Warnings []string
+
+	src     types.Importer
+	imports map[string]*types.Package // import-view cache (no test files)
+	loading map[string]bool
+}
+
+// NewLoader creates a loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    root,
+		ModPath: mod,
+		Fset:    fset,
+		src:     importer.ForCompiler(fset, "source", nil),
+		imports: make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// ModuleDirs lists every directory under the module root containing .go
+// files, excluding testdata, vendor, and hidden directories.
+func (l *Loader) ModuleDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.Root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// LoadDir parses and type-checks the package(s) in dir, including test
+// files: the primary package (with in-package tests merged) and, if
+// present, the external _test package.
+func (l *Loader) LoadDir(dir string) ([]*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	// Split into units by package name; the external test package (name
+	// ending in _test) is checked separately from the primary one.
+	units := make(map[string][]*File)
+	var names []string
+	for _, f := range files {
+		n := f.AST.Name.Name
+		if _, ok := units[n]; !ok {
+			names = append(names, n)
+		}
+		units[n] = append(units[n], f)
+	}
+	sort.Strings(names)
+	importPath := l.importPathFor(dir)
+	var pkgs []*Package
+	for _, n := range names {
+		path := importPath
+		if strings.HasSuffix(n, "_test") {
+			path += "_test"
+		}
+		pkgs = append(pkgs, l.check(n, path, dir, units[n]))
+	}
+	return pkgs, nil
+}
+
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "lint.local/" + filepath.Base(dir)
+	}
+	if rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+func (l *Loader) parseDir(dir string, tests bool) ([]*File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !tests {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		files = append(files, &File{AST: f, Path: path, Test: isTest})
+	}
+	return files, nil
+}
+
+// check type-checks one unit tolerantly: type errors are recorded as
+// warnings and analysis proceeds with whatever information resolved.
+func (l *Loader) check(name, path, dir string, files []*File) *Package {
+	asts := make([]*ast.File, len(files))
+	for i, f := range files {
+		asts[i] = f.AST
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error: func(err error) {
+			l.Warnings = append(l.Warnings, fmt.Sprintf("typecheck %s: %v", path, err))
+		},
+	}
+	tpkg, _ := conf.Check(path, l.Fset, asts, info) // errors already collected
+	return &Package{Name: name, Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+}
+
+// Import implements types.Importer. Module-local paths are loaded from
+// source (without test files); everything else goes through the stdlib
+// source importer, degrading to an empty stub on failure.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.imports[path]; ok {
+		return pkg, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		return l.importLocal(path)
+	}
+	pkg, err := l.src.Import(path)
+	if err != nil || pkg == nil {
+		l.Warnings = append(l.Warnings, fmt.Sprintf("import %s: %v (stubbed)", path, err))
+		pkg = stubPackage(path)
+	}
+	l.imports[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) importLocal(path string) (*types.Package, error) {
+	if l.loading[path] {
+		l.Warnings = append(l.Warnings, fmt.Sprintf("import cycle through %s (stubbed)", path))
+		return stubPackage(path), nil
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.Root
+	if path != l.ModPath {
+		dir = filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.ModPath+"/")))
+	}
+	files, err := l.parseDir(dir, false)
+	if err != nil || len(files) == 0 {
+		l.Warnings = append(l.Warnings, fmt.Sprintf("import %s: %v (stubbed)", path, err))
+		pkg := stubPackage(path)
+		l.imports[path] = pkg
+		return pkg, nil
+	}
+	p := l.check(files[0].AST.Name.Name, path, dir, files)
+	if p.Types != nil {
+		// Mark complete even on partial errors so dependents can use it.
+		p.Types.MarkComplete()
+	}
+	l.imports[path] = p.Types
+	return p.Types, nil
+}
+
+func stubPackage(path string) *types.Package {
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	return pkg
+}

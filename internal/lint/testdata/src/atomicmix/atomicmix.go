@@ -1,0 +1,43 @@
+// Package atomicmix is dudelint analyzer testdata: mixed atomic/plain
+// access positives and negatives. Never built by the go tool.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  uint64
+	cold  uint64
+	slots []uint32
+}
+
+// newCounter initializes slots in a composite literal; pre-publication
+// initialization is not a plain access.
+func newCounter(n int) *counter {
+	return &counter{slots: make([]uint32, n)}
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.OrUint32(&c.slots[0], 1)
+}
+
+// bad: plain read of an atomically updated field.
+func (c *counter) bad() uint64 {
+	return c.hits // want: data race
+}
+
+// badWrite: plain write through an atomically updated slice field.
+func (c *counter) badWrite() {
+	c.slots[1] = 0 // want: data race
+}
+
+// good: cold is only ever accessed plainly.
+func (c *counter) good() uint64 {
+	c.cold++
+	return c.cold
+}
+
+// goodAtomic: atomic access everywhere is consistent.
+func (c *counter) goodAtomic() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}

@@ -1,0 +1,43 @@
+// Package crashcover is dudelint analyzer testdata: crash-coverage
+// positives and negatives. Never built or run by the go tool.
+package crashcover
+
+import (
+	"testing"
+
+	"dudetm/internal/pmem"
+)
+
+func newDev() *pmem.Device { return pmem.New(pmem.Config{Size: 4096}) }
+
+// TestBad crashes and then asserts nothing about the durable state.
+func TestBad(t *testing.T) {
+	d := newDev()
+	d.Store8(0, 7)
+	d.Crash() // want: never verifies the durable state
+}
+
+// TestGood reads the device back after the crash.
+func TestGood(t *testing.T) {
+	d := newDev()
+	d.Store8(0, 7)
+	d.Persist(0, 8)
+	d.Crash()
+	if d.Load8(0) != 7 {
+		t.Fatal("persisted store lost")
+	}
+}
+
+// TestGoodHelper verifies through a named verification helper.
+func TestGoodHelper(t *testing.T) {
+	d := newDev()
+	d.Crash()
+	verifyEmpty(t, d)
+}
+
+func verifyEmpty(t *testing.T, d *pmem.Device) {
+	t.Helper()
+	if d.DirtyLines() != 0 {
+		t.Fatal("dirty lines survived crash")
+	}
+}

@@ -1,0 +1,35 @@
+// Package fencepair is dudelint analyzer testdata: flush/fence pairing
+// positives and negatives. Never built by the go tool.
+package fencepair
+
+import "dudetm/internal/pmem"
+
+// bad1: a fence with nothing flushed is a wasted barrier.
+func bad1(dev *pmem.Device) {
+	dev.Fence(0) // want: no preceding flush
+}
+
+// bad2: a flush that is never fenced is not durable.
+func bad2(dev *pmem.Device, addr uint64) {
+	dev.FlushRange(addr, 64) // want: never followed by a fence
+}
+
+// good1: flush then fence.
+func good1(dev *pmem.Device, addr uint64) {
+	n := dev.FlushRange(addr, 64)
+	dev.Fence(n)
+}
+
+// good2: Persist is a self-contained flush+fence.
+func good2(dev *pmem.Device, addr uint64) {
+	dev.Persist(addr, 64)
+}
+
+// good3: batched flushes in a loop ordered by one fence.
+func good3(dev *pmem.Device, addrs []uint64) {
+	b := dev.NewBatch()
+	for _, a := range addrs {
+		b.Flush(a, 8)
+	}
+	b.Fence()
+}

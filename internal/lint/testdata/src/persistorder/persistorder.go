@@ -1,0 +1,51 @@
+// Package persistorder is dudelint analyzer testdata: persist-ordering
+// positives and negatives. It lives under testdata so the go tool never
+// builds it; only the lint loader type-checks it.
+package persistorder
+
+import (
+	"sync/atomic"
+
+	"dudetm/internal/pmem"
+)
+
+type region struct {
+	dev     *pmem.Device
+	durable atomic.Uint64
+}
+
+// bad1: the store is never flushed before the function returns.
+func (r *region) bad1(addr, val uint64) {
+	r.dev.Store8(addr, val) // want: never covered by a flush
+}
+
+// bad2: the durable ID is published before the data is flushed.
+func (r *region) bad2(addr, val uint64) {
+	r.dev.Store8(addr, val) // want: published before flushed
+	r.durable.Store(val)
+	r.dev.Persist(addr, 8)
+}
+
+// good1: store then persist.
+func (r *region) good1(addr, val uint64) {
+	r.dev.Store8(addr, val)
+	r.dev.Persist(addr, 8)
+}
+
+// good2: store, batch flush+fence, then publish — the legal ordering.
+func (r *region) good2(addr uint64, buf []byte) {
+	b := r.dev.NewBatch()
+	r.dev.Store(addr, buf)
+	b.Flush(addr, uint64(len(buf)))
+	b.Fence()
+	r.durable.Store(addr)
+}
+
+// volatileMap has a Store method that is not a persistent store; the
+// analyzer must not flag non-device receivers.
+type volatileMap map[uint64]uint64
+
+func (m volatileMap) Store(k, v uint64) { m[k] = v }
+
+// good3: a store through a volatile type needs no flush.
+func good3(m volatileMap) { m.Store(1, 2) }

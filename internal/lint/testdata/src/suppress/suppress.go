@@ -1,0 +1,35 @@
+// Package suppress is dudelint testdata for the //dudelint:ignore
+// machinery. Never built by the go tool.
+package suppress
+
+import "dudetm/internal/pmem"
+
+// suppressed: a justified ignore on the line above silences the finding.
+func suppressed(dev *pmem.Device, addr, val uint64) {
+	//dudelint:ignore persistorder durability is the caller's job in this fixture
+	dev.Store8(addr, val)
+}
+
+// trailing: a justified ignore on the same line silences the finding.
+func trailing(dev *pmem.Device, addr uint64) {
+	dev.FlushRange(addr, 8) //dudelint:ignore fencepair fenced by the caller in this fixture
+}
+
+// unsuppressed: an ignore naming a different analyzer does not apply.
+func unsuppressed(dev *pmem.Device, addr, val uint64) {
+	//dudelint:ignore fencepair wrong analyzer on purpose
+	dev.Store8(addr, val)
+}
+
+// noReason: a directive without a justification is itself flagged and
+// suppresses nothing.
+func noReason(dev *pmem.Device, addr, val uint64) {
+	//dudelint:ignore persistorder
+	dev.Store8(addr, val)
+}
+
+// unknown: a directive naming an unknown analyzer is itself flagged.
+func unknown(dev *pmem.Device, addr, val uint64) {
+	//dudelint:ignore nosuchcheck because reasons
+	dev.Store8(addr, val)
+}

@@ -1,0 +1,67 @@
+// Package unlockpath is dudelint analyzer testdata: lock/unlock path
+// positives and negatives. Never built by the go tool.
+package unlockpath
+
+import "sync"
+
+type table struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	stripes []sync.Mutex
+	m       map[uint64]uint64
+}
+
+// bad: the not-found return path skips the unlock.
+func (t *table) bad(k uint64) (uint64, bool) {
+	t.mu.Lock() // want: return path has no matching Unlock
+	v, ok := t.m[k]
+	if !ok {
+		return 0, false
+	}
+	t.mu.Unlock()
+	return v, true
+}
+
+// goodDefer: a deferred unlock covers every path.
+func (t *table) goodDefer(k uint64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[k]
+}
+
+// goodDeferClosure: an unlock inside a deferred closure also counts.
+func (t *table) goodDeferClosure(k uint64) uint64 {
+	t.mu.Lock()
+	defer func() {
+		t.mu.Unlock()
+	}()
+	return t.m[k]
+}
+
+// goodStraight: explicit unlock before the function ends.
+func (t *table) goodStraight(k, v uint64) {
+	t.mu.Lock()
+	t.m[k] = v
+	t.mu.Unlock()
+}
+
+// goodStriped: indices are normalized, so stripe i pairs with stripe j.
+func (t *table) goodStriped(i, j int) {
+	t.stripes[i].Lock()
+	t.stripes[j].Unlock()
+}
+
+// goodRead: RLock pairs with a deferred RUnlock.
+func (t *table) goodRead(k uint64) uint64 {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+// badRead: a write Unlock does not release a read lock.
+func (t *table) badRead(k uint64) uint64 {
+	t.rw.RLock() // want: no matching RUnlock
+	v := t.m[k]
+	t.rw.Unlock()
+	return v
+}

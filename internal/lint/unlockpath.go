@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// analyzerUnlockPath finds mutex acquisitions that some return path can
+// exit without releasing. A Lock/RLock is safe when the function has a
+// matching deferred Unlock/RUnlock (directly or inside a deferred
+// closure); without one, every return point after the Lock — including
+// the implicit return at the closing brace — must be preceded by a
+// matching Unlock in statement order.
+//
+// Lock expressions are matched textually with indices normalized, so
+// s.locks[i].Lock() pairs with s.locks[j].Unlock(). Intentional
+// cross-function holds (pause gates released by a Resume method)
+// suppress with a justification.
+var analyzerUnlockPath = &Analyzer{
+	Name: "unlockpath",
+	Doc:  "a Lock without defer must be Unlocked on every return path",
+	Run:  runUnlockPath,
+}
+
+func runUnlockPath(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, scope := range funcScopes(f.AST) {
+			checkUnlockScope(pass, scope)
+		}
+	}
+}
+
+type lockEvent struct {
+	pos  token.Pos
+	path string
+	read bool // RLock/RUnlock
+}
+
+func checkUnlockScope(pass *Pass, scope funcScope) {
+	var locks, unlocks, deferred []lockEvent
+	var returns []token.Pos
+
+	classify := func(call *ast.CallExpr) (ev lockEvent, isLock, isUnlock bool) {
+		recv, name := callee(call)
+		if recv == nil {
+			return
+		}
+		path := exprPath(recv)
+		if path == "" {
+			return
+		}
+		switch name {
+		case "Lock", "RLock":
+			return lockEvent{call.Pos(), path, name == "RLock"}, true, false
+		case "Unlock", "RUnlock":
+			return lockEvent{call.Pos(), path, name == "RUnlock"}, false, true
+		}
+		return
+	}
+
+	walkScope(scope.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// defer x.Unlock() or defer func() { ...; x.Unlock() }()
+			if ev, _, isUnlock := classify(n.Call); isUnlock {
+				deferred = append(deferred, ev)
+				return true
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if ev, _, isUnlock := classify(call); isUnlock {
+							deferred = append(deferred, ev)
+						}
+					}
+					return true
+				})
+			}
+			return true
+		case *ast.CallExpr:
+			if ev, isLock, isUnlock := classify(n); isLock {
+				locks = append(locks, ev)
+			} else if isUnlock {
+				unlocks = append(unlocks, ev)
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		}
+		return true
+	})
+
+	// The closing brace is the implicit return.
+	returns = append(returns, scope.body.Rbrace)
+
+	for _, lk := range locks {
+		if hasMatch(deferred, lk, func(token.Pos) bool { return true }) {
+			continue
+		}
+		flagged := false
+		for _, ret := range returns {
+			if ret <= lk.pos || flagged {
+				continue
+			}
+			if !hasMatch(unlocks, lk, func(p token.Pos) bool { return p > lk.pos && p < ret }) {
+				line := pass.Pkg.Fset.Position(ret).Line
+				pass.Reportf(lk.pos,
+					"%s is locked in %s without defer, and the return path at line %d has no matching %s before it",
+					lk.path, scope.name, line, unlockName(lk))
+				flagged = true
+			}
+		}
+	}
+}
+
+func unlockName(lk lockEvent) string {
+	if lk.read {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+func hasMatch(events []lockEvent, lk lockEvent, where func(token.Pos) bool) bool {
+	for _, e := range events {
+		if e.path == lk.path && e.read == lk.read && where(e.pos) {
+			return true
+		}
+	}
+	return false
+}

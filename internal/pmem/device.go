@@ -337,7 +337,7 @@ func (d *Device) Restore(img []byte) {
 			delete(s.saved, line)
 			atomic.AndUint32(&d.dirty[line/32], ^uint32(1<<(line%32)))
 		}
-		s.mu.Unlock()
+		d.sh[i].mu.Unlock()
 	}
 }
 

@@ -315,7 +315,23 @@ func TestConcurrentDisjointStores(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	d.Crash() // must not panic or corrupt
+	d.Crash()
+	// "Must not corrupt" means every word reads either zero (store was
+	// discarded) or the exact value its worker wrote — never a torn or
+	// foreign value — and every explicitly persisted word survives.
+	for w := 0; w < workers; w++ {
+		base := uint64(w) * (1 << 20 / workers)
+		for i := uint64(0); i < 1000; i++ {
+			addr := base + (i%1024)*8
+			got := d.Load8(addr)
+			if got != 0 && got != i {
+				t.Fatalf("worker %d addr %d: got %d, want 0 or %d", w, addr, got, i)
+			}
+			if i%7 == 0 && got != i {
+				t.Fatalf("worker %d addr %d: persisted store lost (got %d, want %d)", w, addr, got, i)
+			}
+		}
+	}
 }
 
 func TestConcurrentSameLineFirstWriteRace(t *testing.T) {
@@ -377,5 +393,47 @@ func TestLittleEndianLayout(t *testing.T) {
 	}
 	if b[0] != 0x08 {
 		t.Fatalf("not little-endian: b[0]=%#x", b[0])
+	}
+}
+
+// TestPersistIsFlushPlusFence pins the contract the persistorder
+// analyzer relies on when it treats Persist as a complete terminator:
+// Persist(addr, n) must be exactly FlushRange(addr, n) followed by
+// Fence(bytes) — identical counter movement, identical durable image.
+func TestPersistIsFlushPlusFence(t *testing.T) {
+	cases := []struct {
+		name  string
+		addr  uint64
+		n     uint64
+		store func(d *Device)
+	}{
+		{"single word", 64, 8, func(d *Device) { d.Store8(64, 42) }},
+		{"whole line", 128, 64, func(d *Device) { d.Store(128, bytes.Repeat([]byte{7}, 64)) }},
+		{"spans three lines", 60, 140, func(d *Device) { d.Store(60, bytes.Repeat([]byte{9}, 140)) }},
+		{"partial dirty range", 0, 512, func(d *Device) { d.Store8(256, 1) }},
+		{"clean range", 0, 256, func(d *Device) {}},
+		{"zero length", 64, 0, func(d *Device) { d.Store8(64, 3) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			persisted := newTestDev(4096)
+			manual := newTestDev(4096)
+			tc.store(persisted)
+			tc.store(manual)
+
+			persisted.Persist(tc.addr, tc.n)
+			manual.Fence(manual.FlushRange(tc.addr, tc.n))
+
+			ps, ms := persisted.Stats(), manual.Stats()
+			if ps != ms {
+				t.Errorf("stats diverge: Persist %+v, FlushRange+Fence %+v", ps, ms)
+			}
+			if pd, md := persisted.DirtyLines(), manual.DirtyLines(); pd != md {
+				t.Errorf("dirty lines diverge: Persist %d, FlushRange+Fence %d", pd, md)
+			}
+			if !bytes.Equal(persisted.PersistedImage(), manual.PersistedImage()) {
+				t.Error("durable images diverge")
+			}
+		})
 	}
 }

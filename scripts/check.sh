@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification for this repository: build, vet, the dudelint
+# persist-ordering/concurrency suite, the full test suite, and the race
+# detector over the pipeline-critical packages. CI and pre-merge checks
+# run exactly this script; it must exit 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== dudelint"
+go run ./cmd/dudelint ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (stm, redolog, dudetm)"
+go test -race ./internal/stm ./internal/redolog ./internal/dudetm
+
+echo "ok: all tier-1 checks passed"
