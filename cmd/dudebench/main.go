@@ -4,7 +4,12 @@
 // Usage:
 //
 //	dudebench [-experiment all|fig2|table1|table2|table3|fig3|fig4|fig5|table4]
-//	          [-threads N] [-maxthreads N] [-quick]
+//	          [-threads N] [-maxthreads N] [-quick] [-json]
+//
+// With -json, the human-readable tables are suppressed and every
+// measured run is emitted to stdout as one JSON document with stable
+// key order ({"records": [...]}), for scripted comparison across
+// commits; progress messages move to stderr.
 //
 // Absolute numbers depend on the host; the shapes (which system wins,
 // by roughly what factor, where crossovers fall) are the reproduction
@@ -14,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -26,10 +32,17 @@ func main() {
 	threads := flag.Int("threads", 2, "Perform threads (the paper uses 4 on a 12-core host)")
 	maxThreads := flag.Int("maxthreads", 4, "largest thread count in the Figure 5 sweep")
 	quick := flag.Bool("quick", false, "divide per-run transaction counts by 10")
+	jsonOut := flag.Bool("json", false, "emit machine-readable results on stdout instead of tables")
 	flag.Parse()
 
+	progress := io.Writer(os.Stdout)
 	cfg := harness.ExpConfig{Threads: *threads, Quick: *quick, Out: os.Stdout}
-	fmt.Printf("dudebench: %d threads on %d CPUs, quick=%v\n\n",
+	if *jsonOut {
+		harness.StartRecording()
+		cfg.Out = io.Discard
+		progress = os.Stderr
+	}
+	fmt.Fprintf(progress, "dudebench: %d threads on %d CPUs, quick=%v\n\n",
 		*threads, runtime.NumCPU(), *quick)
 
 	type exp struct {
@@ -52,15 +65,22 @@ func main() {
 			continue
 		}
 		ran = true
+		harness.SetExperiment(e.name)
 		start := time.Now()
 		if err := e.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "dudebench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s done in %v]\n\n", e.name, time.Since(start).Round(time.Second))
+		fmt.Fprintf(progress, "[%s done in %v]\n\n", e.name, time.Since(start).Round(time.Second))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "dudebench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		if err := harness.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "dudebench: writing JSON: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

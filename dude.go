@@ -205,14 +205,62 @@ func (p *Pool) Root(i int) uint64 {
 // Heap returns the pool's transactional allocator.
 func (p *Pool) Heap() Heap { return p.heap }
 
+// Threads returns the pool's configured concurrency: valid Update/View
+// slots are [0, Threads). Servers multiplexing many clients over the
+// pool size their slot pool with this.
+func (p *Pool) Threads() int { return p.sys.Threads() }
+
 // Alloc allocates n bytes from the pool heap within tx.
 func (p *Pool) Alloc(tx *Tx, n uint64) (uint64, error) { return p.heap.Alloc(tx, n) }
 
 // Free releases an allocation within tx.
 func (p *Pool) Free(tx *Tx, addr uint64) { p.heap.Free(tx, addr) }
 
-// WaitDurable blocks until the transaction with the given ID is durable.
-func (p *Pool) WaitDurable(tid uint64) { p.sys.WaitDurable(tid) }
+// Errors returned by durability waiters when the pool dies before the
+// waited-for transaction becomes durable.
+var (
+	// ErrCrashed: a simulated power failure (Crash) discarded the
+	// transaction before its log group was persisted.
+	ErrCrashed = idudetm.ErrCrashed
+	// ErrClosed: the pool was closed while the waiter was subscribed
+	// for an ID the pipeline will never reach.
+	ErrClosed = idudetm.ErrClosed
+)
+
+// WaitDurable blocks until the transaction with the given ID is durable
+// and returns nil. If the pool crashes or closes first, it returns
+// ErrCrashed or ErrClosed instead of hanging — a waiter can never be
+// stranded on an ID the durable frontier will not reach.
+func (p *Pool) WaitDurable(tid uint64) error { return p.sys.WaitDurable(tid) }
+
+// WaitDurableChan subscribes to the durability of one transaction: the
+// returned channel receives nil once the durable ID reaches tid, or
+// ErrCrashed/ErrClosed if the pool dies first. The channel is buffered
+// and receives exactly one value; callers may select on it or abandon
+// it freely.
+func (p *Pool) WaitDurableChan(tid uint64) <-chan error {
+	return p.sys.WaitDurableChan(tid)
+}
+
+// DurableUpdates subscribes to durable-frontier advances. The channel
+// carries the most recent durable transaction ID after every advance
+// (coalesced: a slow consumer observes the latest value, never a
+// backlog) and is closed when the pool crashes or closes or cancel is
+// called. A server's group-commit acknowledgment loop watches this: a
+// single advance — one persist fence — acknowledges every client
+// transaction whose ID it passed.
+func (p *Pool) DurableUpdates() (<-chan uint64, func()) {
+	return p.sys.DurableUpdates()
+}
+
+// Crash simulates a power failure and tears the pool down: the pipeline
+// halts where it is, unpersisted cache lines are discarded, and the
+// durable device image is returned for remounting with OpenSnapshot.
+// All Update/View calls must have returned and the pipeline stages must
+// not be left paused. Concurrent WaitDurable callers are unblocked;
+// those whose transactions never became durable get ErrCrashed —
+// exactly the transactions recovery will discard.
+func (p *Pool) Crash() []byte { return p.sys.Crash() }
 
 // Durable returns the global durable transaction ID.
 func (p *Pool) Durable() uint64 { return p.sys.Durable() }

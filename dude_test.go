@@ -1,10 +1,12 @@
 package dudetm
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"dudetm/internal/memdb"
 )
@@ -205,4 +207,74 @@ func TestRootOutOfRangePanics(t *testing.T) {
 		}
 	}()
 	pool.Root(512)
+}
+
+// TestPoolWaitDurableCrash races many Pool.WaitDurable callers — some
+// for acknowledged IDs, some for IDs that can never become durable —
+// against Pool.Crash. Every waiter must unblock: nil when the crash
+// frontier covers its ID, ErrCrashed otherwise; and the returned image
+// must remount with every acknowledged-durable write intact.
+func TestPoolWaitDurableCrash(t *testing.T) {
+	pool, err := Create(Options{DataSize: 1 << 20, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := uint64(0); i < 150; i++ {
+		tid, err := pool.Update(int(i)%4, func(tx *Tx) error {
+			tx.Store(pool.Root(int(i%64)), i+1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = tid
+	}
+
+	const waiters = 64
+	errs := make([]error, waiters)
+	tids := make([]uint64, waiters)
+	var wg, started sync.WaitGroup
+	for w := 0; w < waiters; w++ {
+		tid := last
+		if w%2 == 1 {
+			tid = last + 1 + uint64(w) // never assigned
+		}
+		tids[w] = tid
+		wg.Add(1)
+		started.Add(1)
+		go func(w int, tid uint64) {
+			defer wg.Done()
+			started.Done()
+			errs[w] = pool.WaitDurable(tid)
+		}(w, tid)
+	}
+	started.Wait()
+	img := pool.Crash()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Pool.WaitDurable hung across Crash")
+	}
+	frontier := pool.Durable()
+	for w := range errs {
+		if tids[w] <= frontier && errs[w] != nil {
+			t.Errorf("waiter %d (tid %d): unexpected error %v", w, tids[w], errs[w])
+		}
+		if tids[w] > frontier && !errors.Is(errs[w], ErrCrashed) {
+			t.Errorf("waiter %d (tid %d > frontier %d): got %v, want ErrCrashed", w, tids[w], frontier, errs[w])
+		}
+	}
+
+	pool2, err := OpenSnapshot(img, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	if pool2.Durable() < frontier {
+		t.Fatalf("recovered durable %d < crash frontier %d", pool2.Durable(), frontier)
+	}
 }

@@ -1,0 +1,156 @@
+package dudetm
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// Errors delivered to durability waiters when the pool dies before
+// their transaction reaches the durable frontier.
+var (
+	// ErrCrashed is returned by WaitDurable and WaitDurableChan when a
+	// simulated power failure (Crash) tore the system down while the
+	// waited-for ID was still beyond the durable frontier: the
+	// transaction was never acknowledged and is discarded by recovery.
+	ErrCrashed = errors.New("dudetm: crashed before transaction became durable")
+	// ErrClosed is returned when the pool was closed while a waiter was
+	// subscribed for an ID the pipeline will never reach (an ID beyond
+	// the commit clock at Close).
+	ErrClosed = errors.New("dudetm: closed before transaction became durable")
+)
+
+// durNotifier is the durable-ID subscription table. It serves two kinds
+// of consumers:
+//
+//   - single-ID waiters (WaitDurableChan): a min-heap keyed by
+//     transaction ID, so one frontier advance releases every waiter the
+//     new frontier has passed in a single wake-up — the group-commit
+//     amortization a network server builds its acknowledgment path on;
+//   - broadcast subscribers (SubscribeDurable): coalescing channels
+//     that observe the latest frontier after every advance.
+//
+// When the system crashes or closes, every remaining waiter is failed
+// with the corresponding error and subscriber channels are closed, so
+// no consumer can hang on an ID that will never become durable.
+type durNotifier struct {
+	mu       sync.Mutex
+	frontier uint64
+	failed   error
+	waiters  waiterHeap
+	subs     map[chan uint64]struct{}
+}
+
+// durWaiter is one WaitDurableChan subscription. Its channel has
+// capacity 1 and receives exactly one value, so the notifier never
+// blocks delivering it.
+type durWaiter struct {
+	tid uint64
+	ch  chan error
+}
+
+// wait returns a channel that receives nil once the durable frontier
+// reaches tid, or an error if the system fails first. The result is
+// delivered exactly once; the channel is buffered, so the caller may
+// abandon it.
+func (n *durNotifier) wait(tid uint64) <-chan error {
+	ch := make(chan error, 1)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch {
+	case tid <= n.frontier:
+		ch <- nil
+	case n.failed != nil:
+		ch <- n.failed
+	default:
+		heap.Push(&n.waiters, durWaiter{tid: tid, ch: ch})
+	}
+	return ch
+}
+
+// advance publishes a new durable frontier: waiters at or below f are
+// released together, and every subscriber observes the latest value
+// (stale unconsumed updates are replaced, never queued).
+func (n *durNotifier) advance(f uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed != nil || f <= n.frontier {
+		return
+	}
+	n.frontier = f
+	for n.waiters.Len() > 0 && n.waiters[0].tid <= f {
+		heap.Pop(&n.waiters).(durWaiter).ch <- nil
+	}
+	for ch := range n.subs {
+		select {
+		case <-ch:
+		default:
+		}
+		select {
+		case ch <- f:
+		default:
+		}
+	}
+}
+
+// fail terminates the notifier: every remaining waiter receives err
+// (their IDs are beyond the final frontier) and subscriber channels are
+// closed. Later wait calls observe the failure immediately; later
+// advances are ignored.
+func (n *durNotifier) fail(err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed != nil {
+		return
+	}
+	n.failed = err
+	for n.waiters.Len() > 0 {
+		heap.Pop(&n.waiters).(durWaiter).ch <- err
+	}
+	for ch := range n.subs {
+		close(ch)
+	}
+	n.subs = nil
+}
+
+// subscribe registers a broadcast subscriber. The returned channel has
+// capacity 1 and carries the most recent durable frontier; it is closed
+// when the system fails or the cancel function runs.
+func (n *durNotifier) subscribe() (ch chan uint64, cancel func()) {
+	ch = make(chan uint64, 1)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed != nil {
+		close(ch)
+		return ch, func() {}
+	}
+	if n.subs == nil {
+		n.subs = make(map[chan uint64]struct{})
+	}
+	n.subs[ch] = struct{}{}
+	if n.frontier > 0 {
+		ch <- n.frontier
+	}
+	return ch, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if _, ok := n.subs[ch]; ok {
+			delete(n.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// waiterHeap is a min-heap of waiters keyed by transaction ID.
+type waiterHeap []durWaiter
+
+func (h waiterHeap) Len() int           { return len(h) }
+func (h waiterHeap) Less(i, j int) bool { return h[i].tid < h[j].tid }
+func (h waiterHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x any)        { *h = append(*h, x.(durWaiter)) }
+func (h *waiterHeap) Pop() any {
+	old := *h
+	m := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return m
+}

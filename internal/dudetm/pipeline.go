@@ -44,13 +44,19 @@ func (s *System) persistLoop() {
 		g := &redolog.Group{MinTid: gMin, MaxTid: gMax, Entries: *ep}
 		w.AppendGroup(g)
 		s.groups.Add(1)
-		s.durable.Store(gMax)
+		s.setDurable(gMax)
 		s.reproCh <- repoMsg{g: g, w: w, wi: 0, ep: ep}
 		ep = nil
 		gCount = 0
 	}
 
 	for {
+		// Crash halts the step where it is: in-flight volatile rings are
+		// lost, exactly like power failing between persist barriers.
+		if s.halted.Load() {
+			close(s.reproCh)
+			return
+		}
 		// The gate is held for the whole iteration so PausePersist
 		// blocks until the step is quiescent (crash drills and
 		// snapshots rely on this).
@@ -189,6 +195,14 @@ func (s *System) reproduceLoop() {
 			// PauseReproduce blocks until the step is quiescent.
 			s.reproduceGate.Lock()
 			if !ok {
+				if s.halted.Load() {
+					// Crash: stop where we are. Durable-but-unreproduced
+					// groups stay in the persistent log; recovery
+					// replays them (gaps are possible in ModeSync when
+					// per-thread flushes raced the crash).
+					s.reproduceGate.Unlock()
+					return
+				}
 				drainReady()
 				if h.Len() > 0 {
 					panic("dudetm: gap in transaction IDs at shutdown")

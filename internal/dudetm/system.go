@@ -31,8 +31,10 @@ type System struct {
 	startTid   uint64
 
 	dense denseTracker // ModeSync durable-frontier tracking
+	notif durNotifier  // durable-ID waiters and subscribers
 
 	stopping atomic.Bool
+	halted   atomic.Bool // Crash: pipeline stops where it is, no drain
 	closed   atomic.Bool
 	wg       sync.WaitGroup
 
@@ -227,6 +229,10 @@ func (s *System) ShadowStats() shadow.Stats { return s.space.Stats() }
 // DataSize returns the size of the persistent data region.
 func (s *System) DataSize() uint64 { return s.lay.dataSize }
 
+// Threads returns the configured concurrency: valid Run slots are
+// [0, Threads).
+func (s *System) Threads() int { return s.cfg.Threads }
+
 // Durable returns the global durable transaction ID: every transaction
 // with a smaller or equal ID is persistent (§3.3).
 func (s *System) Durable() uint64 { return s.durable.Load() }
@@ -238,14 +244,53 @@ func (s *System) Reproduced() uint64 { return s.reproduced.Load() }
 // Clock returns the largest transaction ID assigned so far.
 func (s *System) Clock() uint64 { return s.engine.Clock() }
 
-// WaitDurable blocks until the global durable ID reaches tid. It
-// yield-spins rather than sleeping: durable-acknowledgement waits are
+// WaitDurable blocks until the global durable ID reaches tid and
+// returns nil. It yield-spins first — durable-acknowledgement waits are
 // normally a few microseconds, far below the OS timer resolution, and
-// Table 3 measures exactly this latency.
-func (s *System) WaitDurable(tid uint64) {
-	for s.durable.Load() < tid {
+// Table 3 measures exactly this latency — then parks on the notifier.
+// If the system crashes or closes while tid is still beyond the durable
+// frontier, it returns ErrCrashed or ErrClosed instead of hanging.
+func (s *System) WaitDurable(tid uint64) error {
+	for spin := 0; spin < 256; spin++ {
+		if s.durable.Load() >= tid {
+			return nil
+		}
 		runtime.Gosched()
 	}
+	return <-s.notif.wait(tid)
+}
+
+// WaitDurableChan subscribes to the durability of a single transaction:
+// the returned channel receives nil once the durable frontier reaches
+// tid, or ErrCrashed/ErrClosed if the system dies first. The channel is
+// buffered and receives exactly one value, so callers may select on it
+// or abandon it freely.
+func (s *System) WaitDurableChan(tid uint64) <-chan error {
+	return s.notif.wait(tid)
+}
+
+// DurableUpdates subscribes to durable-frontier advances: the returned
+// channel carries the most recent durable ID after every advance
+// (coalesced — a slow consumer observes the latest value, never a
+// backlog) and is closed when the system crashes or closes, or when
+// cancel is called. This is the hook a server's group-commit
+// acknowledgment loop watches: one frontier advance acknowledges every
+// client transaction it passed.
+func (s *System) DurableUpdates() (<-chan uint64, func()) {
+	ch, cancel := s.notif.subscribe()
+	return ch, cancel
+}
+
+// setDurable publishes a new durable frontier and wakes waiters and
+// subscribers whose IDs it passed.
+func (s *System) setDurable(f uint64) {
+	for {
+		cur := s.durable.Load()
+		if cur >= f || s.durable.CompareAndSwap(cur, f) {
+			break
+		}
+	}
+	s.notif.advance(f)
 }
 
 // Run executes fn as a durable transaction on behalf of thread slot and
@@ -364,13 +409,7 @@ func (s *System) syncCommit(th *thread, tid uint64) {
 // markDurable records tid as flushed and advances the durable frontier
 // to the largest prefix-complete ID.
 func (s *System) markDurable(tid uint64) {
-	f := s.dense.mark(tid)
-	for {
-		cur := s.durable.Load()
-		if cur >= f || s.durable.CompareAndSwap(cur, f) {
-			return
-		}
-	}
+	s.setDurable(s.dense.mark(tid))
 }
 
 // Close drains the pipeline and stops the background threads. All Run
@@ -387,6 +426,33 @@ func (s *System) Close() {
 	// ModeAsync: the persist loop observes stopping, drains the rings,
 	// seals the last group and closes reproCh itself.
 	s.wg.Wait()
+	// Every committed transaction is durable now; any waiter still
+	// subscribed is waiting for an ID the pipeline will never assign.
+	s.notif.fail(ErrClosed)
+}
+
+// Crash simulates a power failure and tears the system down: the
+// pipeline halts where it is (nothing is drained), every cache line not
+// yet written back is discarded, and the durable image of the device is
+// returned for remounting with Recover or the facade's OpenSnapshot.
+// All Run calls must have returned and neither pipeline stage may be
+// left paused. Concurrent WaitDurable / WaitDurableChan callers are
+// unblocked: waiters whose IDs the durable frontier never reached get
+// ErrCrashed — exactly the transactions recovery will discard.
+func (s *System) Crash() []byte {
+	if s.closed.Swap(true) {
+		panic("dudetm: Crash on closed system")
+	}
+	s.halted.Store(true)
+	s.stopping.Store(true)
+	if s.cfg.Mode == ModeSync {
+		close(s.reproCh)
+	}
+	s.wg.Wait()
+	s.dev.Crash()
+	img := s.dev.PersistedImage()
+	s.notif.fail(ErrCrashed)
+	return img
 }
 
 // Stats is a snapshot of system activity.

@@ -170,5 +170,6 @@ func Measure(sys System, bench Bench, threads int, m MeasureOpts) (Result, error
 			res.P99 = all[len(all)*99/100]
 		}
 	}
+	record(res)
 	return res, nil
 }

@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dudetm/internal/server"
+)
+
+// NetLoadOpts drives a closed-loop load against a running dudesrv: each
+// connection keeps exactly one durable write outstanding (plus optional
+// interleaved reads), which is the workload shape where cross-client
+// group commit matters — per-connection latency is a full durability
+// wait, yet the server amortizes one fence over every parked
+// connection.
+type NetLoadOpts struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Conns is the number of client connections (default 8).
+	Conns int
+	// WritesPerConn is the number of durable writes each connection
+	// issues (default 200).
+	WritesPerConn int
+	// ValueBytes sizes each written value (default 64).
+	ValueBytes int
+	// Keys bounds the keyspace per connection (default 128).
+	Keys uint64
+	// ReadEvery interleaves one GET after every n writes (0 = none).
+	ReadEvery int
+	// Seed makes the value stream reproducible.
+	Seed int64
+	// OnAck, when set, is called after every durably acknowledged
+	// write with its key and the monotonically increasing generation
+	// encoded in the value — crash drills use it to record exactly
+	// which writes a recovered image must contain.
+	OnAck func(conn int, key, gen uint64)
+}
+
+// NetLoadResult summarizes one closed-loop run.
+type NetLoadResult struct {
+	// Writes is the number of durably acknowledged writes.
+	Writes uint64
+	// Elapsed is the wall time of the whole run.
+	Elapsed time.Duration
+	// TPS is acknowledged durable writes per second.
+	TPS float64
+	// P50, P90, P99 are durable-acknowledgment latency percentiles
+	// (request send to durable response).
+	P50, P90, P99 time.Duration
+}
+
+func (o NetLoadOpts) withDefaults() NetLoadOpts {
+	if o.Conns == 0 {
+		o.Conns = 8
+	}
+	if o.WritesPerConn == 0 {
+		o.WritesPerConn = 200
+	}
+	if o.ValueBytes == 0 {
+		o.ValueBytes = 64
+	}
+	if o.Keys == 0 {
+		o.Keys = 128
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// NetLoad runs the closed-loop generator and reports throughput and
+// durable-latency percentiles. An error on any connection (including a
+// server crash mid-run) stops that connection; NetLoad returns the
+// first error alongside the partial result, so crash drills can keep
+// the statistics gathered before the plug was pulled.
+func NetLoad(o NetLoadOpts) (NetLoadResult, error) {
+	o = o.withDefaults()
+	lats := make([][]time.Duration, o.Conns)
+	errs := make([]error, o.Conns)
+	ackCounts := make([]uint64, o.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := server.Dial(o.Addr)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(o.Seed + int64(w)*7919))
+			val := make([]byte, o.ValueBytes)
+			for i := 0; i < o.WritesPerConn; i++ {
+				gen := uint64(i + 1)
+				key := uint64(w)<<32 | rng.Uint64()%o.Keys
+				rng.Read(val)
+				if o.ValueBytes >= 8 {
+					for b := 0; b < 8; b++ {
+						val[b] = byte(gen >> (8 * b))
+					}
+				}
+				t0 := time.Now()
+				if err := c.Put(key, val); err != nil {
+					errs[w] = err
+					return
+				}
+				lats[w] = append(lats[w], time.Since(t0))
+				ackCounts[w]++
+				if o.OnAck != nil {
+					o.OnAck(w, key, gen)
+				}
+				if o.ReadEvery > 0 && (i+1)%o.ReadEvery == 0 {
+					if _, _, err := c.Get(key); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var res NetLoadResult
+	res.Elapsed = elapsed
+	var all []time.Duration
+	for w := 0; w < o.Conns; w++ {
+		res.Writes += ackCounts[w]
+		all = append(all, lats[w]...)
+	}
+	res.TPS = float64(res.Writes) / elapsed.Seconds()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		res.P50 = all[len(all)*50/100]
+		res.P90 = all[len(all)*90/100]
+		res.P99 = all[len(all)*99/100]
+	}
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = fmt.Errorf("netload: %w", err)
+			break
+		}
+	}
+	return res, firstErr
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"dudetm"
+	"dudetm/internal/server"
+)
+
+func TestNetLoadClosedLoop(t *testing.T) {
+	pool, err := dudetm.Create(dudetm.Options{DataSize: 16 << 20, Threads: 4, GroupSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv, err := server.New(pool, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(5 * time.Second)
+
+	var acks int
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	res, err := NetLoad(NetLoadOpts{
+		Addr:          ln.Addr().String(),
+		Conns:         4,
+		WritesPerConn: 50,
+		ValueBytes:    32,
+		ReadEvery:     10,
+		OnAck: func(conn int, key, gen uint64) {
+			<-mu
+			acks++
+			mu <- struct{}{}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes != 200 || acks != 200 {
+		t.Fatalf("writes=%d acks=%d, want 200", res.Writes, acks)
+	}
+	if res.TPS <= 0 || res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("implausible latency stats: %+v", res)
+	}
+	// Every connection really waited for durability: the server's
+	// acknowledged-write count matches.
+	if st := srv.Stats(); st.AckedWrites < 200 {
+		t.Fatalf("server acked %d writes, want >= 200", st.AckedWrites)
+	}
+}

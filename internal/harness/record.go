@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Record is one measured run in machine-readable form. encoding/json
+// emits struct fields in declaration order, so the key order below is
+// the stable output order — downstream diffing and plotting scripts can
+// rely on it.
+type Record struct {
+	Experiment  string  `json:"experiment"`
+	System      string  `json:"system"`
+	Bench       string  `json:"bench"`
+	Threads     int     `json:"threads"`
+	Ops         uint64  `json:"ops"`
+	ElapsedNS   int64   `json:"elapsed_ns"`
+	TPS         float64 `json:"tps"`
+	P50NS       int64   `json:"p50_ns"`
+	P90NS       int64   `json:"p90_ns"`
+	P99NS       int64   `json:"p99_ns"`
+	Commits     uint64  `json:"commits"`
+	Aborts      uint64  `json:"aborts"`
+	Writes      uint64  `json:"writes"`
+	NVMBytes    uint64  `json:"nvm_bytes"`
+	LogBytes    uint64  `json:"log_bytes"`
+	RawEntries  uint64  `json:"raw_entries"`
+	CombEntries uint64  `json:"comb_entries"`
+}
+
+// recorder collects the Result of every Measure call while recording is
+// active. Experiments run sequentially, so one current-experiment label
+// suffices; the mutex covers the measurement goroutine itself.
+var recorder struct {
+	mu         sync.Mutex
+	active     bool
+	experiment string
+	records    []Record
+}
+
+// StartRecording makes every subsequent measured run append a Record.
+func StartRecording() {
+	recorder.mu.Lock()
+	recorder.active = true
+	recorder.records = nil
+	recorder.mu.Unlock()
+}
+
+// SetExperiment labels subsequent records (e.g. "fig2"); the driver
+// calls it before each experiment function.
+func SetExperiment(name string) {
+	recorder.mu.Lock()
+	recorder.experiment = name
+	recorder.mu.Unlock()
+}
+
+// record appends one measured result if recording is active.
+func record(res Result) {
+	recorder.mu.Lock()
+	if recorder.active {
+		recorder.records = append(recorder.records, Record{
+			Experiment:  recorder.experiment,
+			System:      res.Sys.String(),
+			Bench:       res.Bench,
+			Threads:     res.Threads,
+			Ops:         res.Ops,
+			ElapsedNS:   res.Elapsed.Nanoseconds(),
+			TPS:         res.TPS,
+			P50NS:       res.P50.Nanoseconds(),
+			P90NS:       res.P90.Nanoseconds(),
+			P99NS:       res.P99.Nanoseconds(),
+			Commits:     res.Stats.Commits,
+			Aborts:      res.Stats.Aborts,
+			Writes:      res.Stats.Writes,
+			NVMBytes:    res.Stats.NVMBytes,
+			LogBytes:    res.Stats.LogBytes,
+			RawEntries:  res.Stats.RawEntries,
+			CombEntries: res.Stats.CombEntries,
+		})
+	}
+	recorder.mu.Unlock()
+}
+
+// WriteJSON emits every recorded run as one indented JSON document:
+// {"records": [...]} with per-record keys in the fixed Record order.
+func WriteJSON(w io.Writer) error {
+	recorder.mu.Lock()
+	records := recorder.records
+	recorder.mu.Unlock()
+	if records == nil {
+		records = []Record{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Records []Record `json:"records"`
+	}{records})
+}

@@ -1,0 +1,63 @@
+package memdb
+
+import "encoding/binary"
+
+// Blob helpers: variable-length byte values stored on the transactional
+// Heap. The word-granular transactional memories in this repository only
+// move 8-byte words, so a blob is packed as
+//
+//	+0  length in bytes (uint64)
+//	+8  payload, little-endian packed 8 bytes per word, zero-padded
+//
+// and read back word by word through the transaction context. The blob
+// is allocated, written, and (on overwrite or delete) freed inside the
+// caller's transaction, so a crash can never leak or tear one: either
+// the whole blob — header, payload, and the pointer that references
+// it — is durable, or none of it is.
+
+// blobWords returns the number of payload words for n bytes.
+func blobWords(n int) uint64 { return (uint64(n) + 7) / 8 }
+
+// WriteBlob allocates a block for b on the heap and writes it, returning
+// the blob's address (to store wherever a value pointer is needed).
+func (h Heap) WriteBlob(ctx Ctx, b []byte) (uint64, error) {
+	addr, err := h.Alloc(ctx, 8+blobWords(len(b))*8)
+	if err != nil {
+		return 0, err
+	}
+	ctx.Store(addr, uint64(len(b)))
+	for i := uint64(0); i < blobWords(len(b)); i++ {
+		var word [8]byte
+		copy(word[:], b[i*8:])
+		ctx.Store(addr+8+i*8, binary.LittleEndian.Uint64(word[:]))
+	}
+	return addr, nil
+}
+
+// ReadBlob reads the blob at addr into a fresh byte slice. The stored
+// length is clamped to the block's capacity, so a corrupt header cannot
+// drive an unbounded allocation or read past the block.
+func (h Heap) ReadBlob(ctx Ctx, addr uint64) []byte {
+	n := ctx.Load(addr)
+	if blockPayload := h.BlockSize(ctx, addr); blockPayload < 8 {
+		return nil
+	} else if n > blockPayload-8 {
+		n = blockPayload - 8
+	}
+	b := make([]byte, blobWords(int(n))*8)
+	for i := uint64(0); i < blobWords(int(n)); i++ {
+		binary.LittleEndian.PutUint64(b[i*8:], ctx.Load(addr+8+i*8))
+	}
+	return b[:n]
+}
+
+// BlobLen returns the byte length of the blob at addr without reading
+// its payload.
+func (h Heap) BlobLen(ctx Ctx, addr uint64) uint64 {
+	return ctx.Load(addr)
+}
+
+// FreeBlob returns the blob's block to the heap's free list.
+func (h Heap) FreeBlob(ctx Ctx, addr uint64) {
+	h.Free(ctx, addr)
+}

@@ -1,0 +1,63 @@
+package memdb
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBlobRoundTrip(t *testing.T) {
+	ctx := newCtx(1 << 16)
+	h := Heap{Base: 0, Size: 1 << 16}
+	h.Format(ctx)
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 100, 1000} {
+		b := make([]byte, n)
+		rng.Read(b)
+		addr, err := h.WriteBlob(ctx, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := h.BlobLen(ctx, addr); got != uint64(n) {
+			t.Fatalf("BlobLen(%d bytes) = %d", n, got)
+		}
+		if got := h.ReadBlob(ctx, addr); !bytes.Equal(got, b) {
+			t.Fatalf("%d bytes: read %x want %x", n, got, b)
+		}
+	}
+}
+
+func TestBlobFreeReuse(t *testing.T) {
+	ctx := newCtx(1 << 12)
+	h := Heap{Base: 0, Size: 1 << 12}
+	h.Format(ctx)
+	// Write/free in a loop much larger than the region: without reuse
+	// the heap would run out.
+	for i := 0; i < 1000; i++ {
+		b := bytes.Repeat([]byte{byte(i)}, 200)
+		addr, err := h.WriteBlob(ctx, b)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if got := h.ReadBlob(ctx, addr); !bytes.Equal(got, b) {
+			t.Fatalf("iter %d: mismatch", i)
+		}
+		h.FreeBlob(ctx, addr)
+	}
+}
+
+func TestBlobCorruptLengthClamped(t *testing.T) {
+	ctx := newCtx(1 << 12)
+	h := Heap{Base: 0, Size: 1 << 12}
+	h.Format(ctx)
+	addr, err := h.WriteBlob(ctx, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the length header far beyond the block.
+	ctx.Store(addr, 1<<40)
+	got := h.ReadBlob(ctx, addr)
+	if uint64(len(got)) > h.BlockSize(ctx, addr) {
+		t.Fatalf("read %d bytes from a %d-byte block", len(got), h.BlockSize(ctx, addr))
+	}
+}

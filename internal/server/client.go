@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"dudetm/internal/wire"
+)
+
+// ErrClientClosed is returned by calls on a closed client (including
+// in-flight calls whose connection died).
+var ErrClientClosed = errors.New("server: client closed")
+
+// Client is a pipelined wire-protocol client. All methods are safe for
+// concurrent use; concurrent calls share one connection and are
+// answered by request ID, so many transactions ride the same
+// group-commit window on the server side.
+type Client struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Response
+	nextID  uint64
+	err     error // set once the connection dies
+}
+
+// Dial connects to a dudesrv server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:      nc,
+		bw:      bufio.NewWriter(nc),
+		pending: make(map[uint64]chan wire.Response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; in-flight calls fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	return c.nc.Close()
+}
+
+func (c *Client) readLoop() {
+	br := bufio.NewReader(c.nc)
+	for {
+		payload, err := wire.ReadFrame(br)
+		if err != nil {
+			c.fail(fmt.Errorf("server: connection lost: %w", err))
+			return
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			c.fail(fmt.Errorf("server: protocol error: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// fail marks the client dead and unblocks every in-flight call.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	victims := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, ch := range victims {
+		close(ch) // receivers translate a closed channel into c.err
+	}
+}
+
+// Future is an in-flight pipelined request.
+type Future struct {
+	c  *Client
+	ch chan wire.Response
+}
+
+// Wait blocks for the response. A response with StatusErr becomes an
+// error; a dead connection yields the connection error.
+func (f *Future) Wait() (*wire.Response, error) {
+	resp, ok := <-f.ch
+	if !ok {
+		f.c.mu.Lock()
+		err := f.c.err
+		f.c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return nil, err
+	}
+	if resp.Status != wire.StatusOK {
+		return nil, fmt.Errorf("server: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// Go sends one request (a transaction of ops) without waiting for the
+// response — the heart of pipelining: many Go calls may be in flight
+// and the server batches their durability waits.
+func (c *Client) Go(ops []wire.Op, relaxed bool) (*Future, error) {
+	ch := make(chan wire.Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	payload, err := wire.AppendRequest(nil, &wire.Request{ID: id, Relaxed: relaxed, Ops: ops})
+	if err == nil {
+		c.wmu.Lock()
+		err = wire.WriteFrame(c.bw, payload)
+		if err == nil {
+			err = c.bw.Flush()
+		}
+		c.wmu.Unlock()
+	}
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return &Future{c: c, ch: ch}, nil
+}
+
+// Do sends one request and waits for its response.
+func (c *Client) Do(ops []wire.Op, relaxed bool) (*wire.Response, error) {
+	f, err := c.Go(ops, relaxed)
+	if err != nil {
+		return nil, err
+	}
+	return f.Wait()
+}
+
+// Get fetches the value under key.
+func (c *Client) Get(key uint64) ([]byte, bool, error) {
+	resp, err := c.Do([]wire.Op{{Kind: wire.OpGet, Key: key}}, false)
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Results[0].Val, resp.Results[0].Found, nil
+}
+
+// Put durably stores val under key; it returns once the server has
+// acknowledged the write as durable.
+func (c *Client) Put(key uint64, val []byte) error {
+	_, err := c.Do([]wire.Op{{Kind: wire.OpPut, Key: key, Val: val}}, false)
+	return err
+}
+
+// PutRelaxed stores val under key with a fast acknowledgment: the
+// server replies after Perform, and the response's Durable flag reports
+// whether the durable frontier had already passed the write.
+func (c *Client) PutRelaxed(key uint64, val []byte) (durable bool, err error) {
+	resp, err := c.Do([]wire.Op{{Kind: wire.OpPut, Key: key, Val: val}}, true)
+	if err != nil {
+		return false, err
+	}
+	return resp.Durable, nil
+}
+
+// Delete durably removes key, reporting whether it existed.
+func (c *Client) Delete(key uint64) (bool, error) {
+	resp, err := c.Do([]wire.Op{{Kind: wire.OpDelete, Key: key}}, false)
+	if err != nil {
+		return false, err
+	}
+	return resp.Results[0].Found, nil
+}
+
+// Scan returns up to limit pairs with from <= key < to (to == 0 means
+// unbounded, limit == 0 means the protocol maximum).
+func (c *Client) Scan(from, to uint64, limit uint32) ([]wire.KV, error) {
+	resp, err := c.Do([]wire.Op{{Kind: wire.OpScan, Key: from, ScanTo: to, ScanLimit: limit}}, false)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results[0].Pairs, nil
+}
+
+// Txn executes ops as one atomic durable transaction.
+func (c *Client) Txn(ops ...wire.Op) (*wire.Response, error) {
+	return c.Do(ops, false)
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// NotifierStats counts group-commit acknowledgment activity. Released
+// much larger than Wakeups is the decoupling payoff made visible: many
+// client transactions acknowledged per durable-frontier advance.
+type NotifierStats struct {
+	// Wakeups is the number of durable-frontier advances observed.
+	Wakeups uint64
+	// Released is the number of waiters released by those advances.
+	Released uint64
+	// MaxBatch is the most waiters released by a single advance.
+	MaxBatch uint64
+}
+
+// notifier is the server's cross-client group-commit acknowledgment
+// hub. Connections park on wait(tid); a single goroutine watches the
+// pool's durable-frontier subscription and, on each advance, releases
+// every parked waiter the frontier passed in one wake-up — regardless
+// of which connection it came from. One subscription serves the whole
+// server, so N clients cost one watcher, not N.
+type notifier struct {
+	mu       sync.Mutex
+	frontier uint64
+	failed   error // pool died: crashed or closed
+	waiters  notifyHeap
+	stats    NotifierStats
+	done     chan struct{}
+}
+
+// newNotifier starts the watcher over a pool durable-updates
+// subscription. failErr is delivered to stranded waiters when the
+// subscription ends (pool crash or close).
+func newNotifier(updates <-chan uint64, initial uint64, failErr error) *notifier {
+	n := &notifier{frontier: initial, done: make(chan struct{})}
+	go func() {
+		for f := range updates {
+			n.advance(f)
+		}
+		n.fail(failErr)
+		close(n.done)
+	}()
+	return n
+}
+
+// wait returns a buffered channel that receives exactly one value: nil
+// once the durable frontier reaches tid, or the failure error if the
+// pool dies first. The caller may abandon the channel at any time.
+func (n *notifier) wait(tid uint64) <-chan error {
+	ch := make(chan error, 1)
+	n.mu.Lock()
+	if tid <= n.frontier {
+		n.mu.Unlock()
+		ch <- nil
+		return ch
+	}
+	if n.failed != nil {
+		err := n.failed
+		n.mu.Unlock()
+		ch <- err
+		return ch
+	}
+	heap.Push(&n.waiters, notifyWaiter{tid: tid, ch: ch})
+	n.mu.Unlock()
+	return ch
+}
+
+// advance moves the frontier and releases, in one batch, every waiter
+// whose tid it passed.
+func (n *notifier) advance(f uint64) {
+	n.mu.Lock()
+	if f <= n.frontier {
+		n.mu.Unlock()
+		return
+	}
+	n.frontier = f
+	var batch []chan error
+	for len(n.waiters) > 0 && n.waiters[0].tid <= f {
+		batch = append(batch, heap.Pop(&n.waiters).(notifyWaiter).ch)
+	}
+	n.stats.Wakeups++
+	n.stats.Released += uint64(len(batch))
+	if uint64(len(batch)) > n.stats.MaxBatch {
+		n.stats.MaxBatch = uint64(len(batch))
+	}
+	n.mu.Unlock()
+	for _, ch := range batch {
+		ch <- nil
+	}
+}
+
+// fail strands no one: every parked waiter (and all future ones beyond
+// the final frontier) receives err.
+func (n *notifier) fail(err error) {
+	n.mu.Lock()
+	if n.failed != nil {
+		n.mu.Unlock()
+		return
+	}
+	n.failed = err
+	victims := n.waiters
+	n.waiters = nil
+	n.mu.Unlock()
+	for _, w := range victims {
+		w.ch <- err
+	}
+}
+
+// Stats returns a snapshot of acknowledgment activity.
+func (n *notifier) Stats() NotifierStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Frontier returns the notifier's view of the durable frontier.
+func (n *notifier) Frontier() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.frontier
+}
+
+// notifyWaiter is one parked durability wait.
+type notifyWaiter struct {
+	tid uint64
+	ch  chan error
+}
+
+// notifyHeap is a min-heap of waiters by tid, so an advance pops
+// exactly the released prefix.
+type notifyHeap []notifyWaiter
+
+func (h notifyHeap) Len() int            { return len(h) }
+func (h notifyHeap) Less(i, j int) bool  { return h[i].tid < h[j].tid }
+func (h notifyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *notifyHeap) Push(x interface{}) { *h = append(*h, x.(notifyWaiter)) }
+func (h *notifyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	*h = old[:n-1]
+	return w
+}

@@ -1,0 +1,512 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dudetm"
+	"dudetm/internal/wire"
+)
+
+// startServer mounts a fresh pool, starts a server on a loopback
+// listener, and returns both plus the dial address. The caller owns
+// teardown (Shutdown/Kill and pool Close).
+func startServer(t *testing.T, opts dudetm.Options, cfg Config) (*Server, *dudetm.Pool, string) {
+	t.Helper()
+	if opts.DataSize == 0 {
+		opts.DataSize = 16 << 20
+	}
+	pool, err := dudetm.Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(pool, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return srv, pool, ln.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestServerBasicOps(t *testing.T) {
+	srv, pool, addr := startServer(t, dudetm.Options{}, Config{})
+	defer pool.Close()
+	defer srv.Shutdown(5 * time.Second)
+	c := dial(t, addr)
+	defer c.Close()
+
+	if _, found, err := c.Get(1); err != nil || found {
+		t.Fatalf("Get(missing) = found=%v err=%v", found, err)
+	}
+	if err := c.Put(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.Get(1)
+	if err != nil || !found || string(v) != "one" {
+		t.Fatalf("Get(1) = %q,%v,%v", v, found, err)
+	}
+	// Overwrite with a longer value (blob reallocation).
+	long := bytes.Repeat([]byte("x"), 1000)
+	if err := c.Put(1, long); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := c.Get(1); !bytes.Equal(v, long) {
+		t.Fatalf("Get(1) after overwrite: %d bytes", len(v))
+	}
+	// Empty value round-trips as present-but-empty.
+	if err := c.Put(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, found, _ := c.Get(3); !found || len(v) != 0 {
+		t.Fatalf("Get(3) = %q,%v", v, found)
+	}
+	// Scan sees the keys in order.
+	pairs, err := c.Scan(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 || pairs[0].Key != 1 || pairs[1].Key != 2 || pairs[2].Key != 3 {
+		t.Fatalf("scan: %+v", pairs)
+	}
+	// Delete.
+	if found, err := c.Delete(2); err != nil || !found {
+		t.Fatalf("Delete(2) = %v,%v", found, err)
+	}
+	if found, err := c.Delete(2); err != nil || found {
+		t.Fatalf("Delete(2) again = %v,%v", found, err)
+	}
+	if _, found, _ := c.Get(2); found {
+		t.Fatal("Get(2) after delete: found")
+	}
+}
+
+func TestServerTxnAtomicity(t *testing.T) {
+	srv, pool, addr := startServer(t, dudetm.Options{}, Config{})
+	defer pool.Close()
+	defer srv.Shutdown(5 * time.Second)
+	c := dial(t, addr)
+	defer c.Close()
+
+	// A multi-op transaction commits atomically.
+	resp, err := c.Txn(
+		wire.Op{Kind: wire.OpPut, Key: 10, Val: []byte("a")},
+		wire.Op{Kind: wire.OpPut, Key: 11, Val: []byte("b")},
+		wire.Op{Kind: wire.OpGet, Key: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Durable || resp.Tid == 0 {
+		t.Fatalf("txn resp: %+v", resp)
+	}
+	if string(resp.Results[2].Val) != "a" {
+		t.Fatalf("read-own-write inside txn: %q", resp.Results[2].Val)
+	}
+	// A bank-style transfer never shows a torn state to other clients.
+	c.Txn(
+		wire.Op{Kind: wire.OpPut, Key: 100, Val: []byte{100}},
+		wire.Op{Kind: wire.OpPut, Key: 101, Val: []byte{100}},
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c2 := dial(t, addr)
+		defer c2.Close()
+		for i := 0; i < 200; i++ {
+			resp, err := c2.Txn(
+				wire.Op{Kind: wire.OpGet, Key: 100},
+				wire.Op{Kind: wire.OpGet, Key: 101},
+			)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sum := int(resp.Results[0].Val[0]) + int(resp.Results[1].Val[0])
+			if sum != 200 {
+				t.Errorf("torn read: sum=%d", sum)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		amt := byte(1 + i%10)
+		resp, err := c.Txn(wire.Op{Kind: wire.OpGet, Key: 100}, wire.Op{Kind: wire.OpGet, Key: 101})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := resp.Results[0].Val[0], resp.Results[1].Val[0]
+		if a < amt {
+			continue
+		}
+		if _, err := c.Txn(
+			wire.Op{Kind: wire.OpPut, Key: 100, Val: []byte{a - amt}},
+			wire.Op{Kind: wire.OpPut, Key: 101, Val: []byte{b + amt}},
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}
+
+func TestServerPipelining(t *testing.T) {
+	srv, pool, addr := startServer(t, dudetm.Options{GroupSize: 16}, Config{})
+	defer pool.Close()
+	defer srv.Shutdown(5 * time.Second)
+	c := dial(t, addr)
+	defer c.Close()
+
+	// Many requests in flight on one connection; responses match by ID.
+	const n = 100
+	futs := make([]*Future, n)
+	for i := 0; i < n; i++ {
+		f, err := c.Go([]wire.Op{{Kind: wire.OpPut, Key: uint64(i), Val: []byte{byte(i)}}}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs[i] = f
+	}
+	for i, f := range futs {
+		resp, err := f.Wait()
+		if err != nil {
+			t.Fatalf("req %d: %v", i, err)
+		}
+		if !resp.Durable {
+			t.Fatalf("req %d: not durable", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, found, err := c.Get(uint64(i))
+		if err != nil || !found || v[0] != byte(i) {
+			t.Fatalf("Get(%d) = %v,%v,%v", i, v, found, err)
+		}
+	}
+}
+
+func TestServerRelaxedFastAck(t *testing.T) {
+	srv, pool, addr := startServer(t, dudetm.Options{}, Config{})
+	defer pool.Close()
+	defer srv.Shutdown(5 * time.Second)
+	c := dial(t, addr)
+	defer c.Close()
+
+	// Relaxed acks return without a durability wait; the write is still
+	// applied and eventually durable.
+	if _, err := c.PutRelaxed(5, []byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.Get(5)
+	if err != nil || !found || string(v) != "fast" {
+		t.Fatalf("Get(5) = %q,%v,%v", v, found, err)
+	}
+}
+
+func TestServerRejectsCorruptFrame(t *testing.T) {
+	srv, pool, addr := startServer(t, dudetm.Options{}, Config{})
+	defer pool.Close()
+	defer srv.Shutdown(5 * time.Second)
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.Write([]byte("this is not a frame, and much too short anyway"))
+	// The server must close the connection rather than wedge.
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("server kept a corrupt connection open")
+	}
+
+	// A healthy connection still works afterwards.
+	c := dial(t, addr)
+	defer c.Close()
+	if err := c.Put(1, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerConnLimitBackpressure(t *testing.T) {
+	srv, pool, addr := startServer(t, dudetm.Options{}, Config{MaxConns: 2})
+	defer pool.Close()
+	defer srv.Shutdown(5 * time.Second)
+
+	c1, c2 := dial(t, addr), dial(t, addr)
+	defer c1.Close()
+	defer c2.Close()
+	if err := c1.Put(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// A third connection is not serviced until a slot frees: its
+	// request sits unanswered (queued in the backlog, not reset).
+	c3 := dial(t, addr)
+	defer c3.Close()
+	f, err := c3.Go([]wire.Op{{Kind: wire.OpGet, Key: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-f.ch:
+		t.Fatal("over-limit connection was serviced")
+	case <-time.After(200 * time.Millisecond):
+	}
+	// Freeing a slot lets it through.
+	c1.Close()
+	resp, err := f.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Results[0].Found {
+		t.Fatal("backpressured request lost data")
+	}
+}
+
+// TestGroupCommitBatching is the acceptance drill's throughput half: a
+// 32-connection durable write load must cost fewer persist fences than
+// acknowledged write transactions — the cross-client group commit.
+func TestGroupCommitBatching(t *testing.T) {
+	srv, pool, addr := startServer(t, dudetm.Options{GroupSize: 64, Threads: 4}, Config{})
+	defer pool.Close()
+	defer srv.Shutdown(10 * time.Second)
+
+	fencesBefore := pool.Stats().Device.Fences
+	const conns = 32
+	const writesPerConn = 20
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := dial(t, addr)
+			defer c.Close()
+			for i := 0; i < writesPerConn; i++ {
+				k := uint64(w)<<32 | uint64(i)
+				if err := c.Put(k, []byte(fmt.Sprintf("v-%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	fences := pool.Stats().Device.Fences - fencesBefore
+	if st.AckedWrites < conns*writesPerConn {
+		t.Fatalf("acked %d writes, want >= %d", st.AckedWrites, conns*writesPerConn)
+	}
+	if fences >= st.AckedWrites {
+		t.Errorf("group commit broken: %d fences for %d acked writes", fences, st.AckedWrites)
+	}
+	if st.Notifier.Released == 0 || st.Notifier.MaxBatch < 2 {
+		t.Errorf("no cross-client batching: %+v", st.Notifier)
+	}
+	t.Logf("fences=%d acked=%d notifier=%+v", fences, st.AckedWrites, st.Notifier)
+}
+
+// TestServerCrashDrill is the acceptance drill's durability half: kill
+// the server mid-load with a simulated power failure, remount the
+// image, and verify every write that was acknowledged durable.
+func TestServerCrashDrill(t *testing.T) {
+	opts := dudetm.Options{DataSize: 16 << 20, GroupSize: 16, Threads: 4}
+	srv, _, addr := startServer(t, opts, Config{})
+
+	const conns = 8
+	type ack struct{ key, gen uint64 }
+	ackedCh := make(chan ack, 1<<16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for gen := uint64(1); ; gen++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := uint64(w)<<32 | gen%128
+				val := make([]byte, 8)
+				for i := range val {
+					val[i] = byte(gen >> (8 * i))
+				}
+				if err := c.Put(key, val); err != nil {
+					return // connection severed by the crash
+				}
+				ackedCh <- ack{key, gen}
+			}
+		}(w)
+	}
+
+	// Let the load run, then pull the plug mid-flight.
+	time.Sleep(300 * time.Millisecond)
+	img := srv.Kill()
+	close(stop)
+	wg.Wait()
+	close(ackedCh)
+
+	// Highest acknowledged generation per key: that write and nothing
+	// newer must be in the recovered store.
+	minGen := make(map[uint64]uint64)
+	var total int
+	for a := range ackedCh {
+		total++
+		if a.gen > minGen[a.key] {
+			minGen[a.key] = a.gen
+		}
+	}
+	if total == 0 {
+		t.Fatal("crash drill produced no acknowledged writes")
+	}
+	t.Logf("acked %d writes over %d keys before the crash", total, len(minGen))
+
+	pool2, err := dudetm.OpenSnapshot(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	srv2, err := New(pool2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.Serve(ln)
+	defer srv2.Shutdown(5 * time.Second)
+	c := dial(t, ln.Addr().String())
+	defer c.Close()
+	for key, gen := range minGen {
+		v, found, err := c.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Errorf("key %#x: acknowledged write lost", key)
+			continue
+		}
+		var got uint64
+		for i := len(v) - 1; i >= 0; i-- {
+			got = got<<8 | uint64(v[i])
+		}
+		if got < gen {
+			t.Errorf("key %#x: recovered gen %d < acknowledged gen %d", key, got, gen)
+		}
+	}
+}
+
+// TestServerGracefulDrain: Shutdown lets in-flight requests finish,
+// waits out the durable frontier, and the resulting snapshot remounts
+// with everything acknowledged.
+func TestServerGracefulDrain(t *testing.T) {
+	opts := dudetm.Options{GroupSize: 8}
+	srv, pool, addr := startServer(t, opts, Config{})
+
+	c := dial(t, addr)
+	for i := uint64(0); i < 50; i++ {
+		if err := c.Put(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// After the drain, new connections are refused.
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Error("server accepted a connection after Shutdown")
+	}
+	pool.Close()
+	img := pool.Snapshot()
+
+	pool2, err := dudetm.OpenSnapshot(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	srv2, err := New(pool2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	go srv2.Serve(ln)
+	defer srv2.Shutdown(5 * time.Second)
+	c2 := dial(t, ln.Addr().String())
+	defer c2.Close()
+	for i := uint64(0); i < 50; i++ {
+		v, found, err := c2.Get(i)
+		if err != nil || !found || v[0] != byte(i) {
+			t.Fatalf("key %d after drain+remount: %v,%v,%v", i, v, found, err)
+		}
+	}
+}
+
+// TestNotifierUnit exercises the notifier without a network: ordering,
+// batch release, and failure strand-freedom.
+func TestNotifierUnit(t *testing.T) {
+	updates := make(chan uint64)
+	n := newNotifier(updates, 0, dudetm.ErrCrashed)
+
+	// Already-durable waits resolve immediately.
+	updates <- 10
+	for n.Frontier() != 10 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := <-n.wait(7); err != nil {
+		t.Fatal(err)
+	}
+	// A batch of parked waiters is released by one advance.
+	chans := make([]<-chan error, 20)
+	for i := range chans {
+		chans[i] = n.wait(uint64(11 + i))
+	}
+	updates <- 30
+	for i, ch := range chans {
+		if err := <-ch; err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	st := n.Stats()
+	if st.MaxBatch != 20 {
+		t.Errorf("MaxBatch = %d, want 20", st.MaxBatch)
+	}
+	// Failure strands no one, before or after.
+	parked := n.wait(1000)
+	close(updates)
+	if err := <-parked; err == nil {
+		t.Error("parked waiter survived pool death")
+	}
+	if err := <-n.wait(999); err == nil {
+		t.Error("post-failure waiter got nil")
+	}
+	if err := <-n.wait(30); err != nil {
+		t.Errorf("covered tid must stay nil after failure: %v", err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package wire implements the dudesrv client/server protocol: compact
+// length-prefixed binary frames with a CRC-32 integrity check, carrying
+// pipelined key-value requests and responses.
+//
+// Frame layout (all integers little-endian):
+//
+//	+0  u32  payload length (at most MaxPayload)
+//	+4  u32  CRC-32C (Castagnoli) of the payload
+//	+8  payload
+//
+// Frames are self-delimiting, so any number of requests may be in
+// flight on one connection (request pipelining); responses carry the
+// request ID they answer. Decoding is defensive: a frame or message
+// assembled from arbitrary bytes can fail, but it can never panic,
+// read out of bounds, or allocate more than the bytes actually present
+// (FuzzDecodeFrame and FuzzDecodeRequest enforce this).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// MaxPayload bounds a frame's payload: large enough for a full scan
+// reply, small enough that a hostile length field cannot balloon
+// allocation.
+const MaxPayload = 1 << 20
+
+// frameHeader is the fixed frame header size (length + CRC).
+const frameHeader = 8
+
+// Frame decoding errors.
+var (
+	// ErrShortFrame: the buffer does not yet hold a complete frame
+	// (stream callers should read more bytes).
+	ErrShortFrame = errors.New("wire: incomplete frame")
+	// ErrFrameTooBig: the length field exceeds MaxPayload.
+	ErrFrameTooBig = errors.New("wire: frame exceeds MaxPayload")
+	// ErrChecksum: the payload does not match its CRC.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
+	// ErrTruncated: a message ended mid-field.
+	ErrTruncated = errors.New("wire: truncated message")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends payload as one framed message to dst and returns
+// the extended buffer.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeFrame parses one frame from the front of b. It returns the
+// payload as a subslice of b (no allocation) and the total number of
+// bytes the frame occupies. ErrShortFrame means b does not yet contain
+// the whole frame; other errors mean the stream is corrupt.
+func DecodeFrame(b []byte) (payload []byte, n int, err error) {
+	if len(b) < frameHeader {
+		return nil, 0, ErrShortFrame
+	}
+	ln := binary.LittleEndian.Uint32(b)
+	if ln > MaxPayload {
+		return nil, 0, ErrFrameTooBig
+	}
+	if uint64(len(b)) < frameHeader+uint64(ln) {
+		return nil, 0, ErrShortFrame
+	}
+	payload = b[frameHeader : frameHeader+int(ln)]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(b[4:]) {
+		return nil, 0, ErrChecksum
+	}
+	return payload, frameHeader + int(ln), nil
+}
+
+// ReadFrame reads one complete frame from r and returns its payload.
+// It allocates at most MaxPayload bytes, and only after the header has
+// been validated.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	ln := binary.LittleEndian.Uint32(hdr[:])
+	if ln > MaxPayload {
+		return nil, ErrFrameTooBig
+	}
+	payload := make([]byte, ln)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: reading %d-byte payload: %w", ln, err)
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return nil, ErrChecksum
+	}
+	return payload, nil
+}
+
+// WriteFrame writes payload as one framed message to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return ErrFrameTooBig
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// --- primitive cursor used by message decoding ---
+
+// reader is a bounds-checked cursor over a message payload. Every
+// accessor fails with ErrTruncated instead of reading past the end.
+type reader struct {
+	b []byte
+}
+
+func (r *reader) u8() (byte, error) {
+	if len(r.b) < 1 {
+		return 0, ErrTruncated
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+// bytes reads a uvarint length followed by that many bytes, returned as
+// a subslice (no allocation). The length is validated against the
+// remaining buffer before any use, so a hostile length cannot
+// over-allocate.
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)) {
+		return nil, ErrTruncated
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v, nil
+}
+
+// count reads a uvarint element count for elements of at least minSize
+// bytes each and validates it against the remaining buffer, bounding
+// slice pre-allocation by what the payload can actually hold.
+func (r *reader) count(minSize int) (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	if n > uint64(len(r.b)/minSize) {
+		return 0, ErrTruncated
+	}
+	return int(n), nil
+}

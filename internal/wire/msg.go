@@ -1,0 +1,365 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Protocol limits, enforced on both encode and decode.
+const (
+	// MaxOps bounds the operations in one request (one transaction).
+	MaxOps = 1024
+	// MaxValueBytes bounds one value.
+	MaxValueBytes = 64 << 10
+	// MaxScanPairs bounds one scan result (and the default limit when a
+	// scan does not specify one).
+	MaxScanPairs = 1024
+)
+
+// OpKind identifies one key-value operation.
+type OpKind uint8
+
+// Operations. A request carrying more than one op executes them as a
+// single atomic durable transaction.
+const (
+	OpGet OpKind = iota + 1
+	OpPut
+	OpDelete
+	OpScan
+	opKindMax = OpScan
+)
+
+// String returns the protocol name of the op.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDelete:
+		return "DELETE"
+	case OpScan:
+		return "SCAN"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one key-value operation inside a request.
+type Op struct {
+	Kind OpKind
+	// Key is the operation's key; for OpScan, the inclusive lower
+	// bound.
+	Key uint64
+	// Val is the OpPut payload (variable-length bytes).
+	Val []byte
+	// ScanTo is OpScan's exclusive upper bound (0 = unbounded).
+	ScanTo uint64
+	// ScanLimit caps OpScan's result pairs (0 = MaxScanPairs).
+	ScanLimit uint32
+}
+
+// Request is one framed client request: a transaction of Ops answered
+// by a Response with the same ID. IDs are chosen by the client and must
+// be unique among its in-flight requests.
+type Request struct {
+	ID uint64
+	// Relaxed requests a fast acknowledgment: the server replies after
+	// the Perform step without waiting for the durable frontier.
+	Relaxed bool
+	Ops     []Op
+}
+
+const flagRelaxed = 1 << 0
+
+// AppendRequest appends the encoded request to dst.
+func AppendRequest(dst []byte, q *Request) ([]byte, error) {
+	if len(q.Ops) == 0 || len(q.Ops) > MaxOps {
+		return dst, fmt.Errorf("wire: request has %d ops (want 1..%d)", len(q.Ops), MaxOps)
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, q.ID)
+	var flags byte
+	if q.Relaxed {
+		flags |= flagRelaxed
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(q.Ops)))
+	for i := range q.Ops {
+		op := &q.Ops[i]
+		dst = append(dst, byte(op.Kind))
+		dst = binary.LittleEndian.AppendUint64(dst, op.Key)
+		switch op.Kind {
+		case OpGet, OpDelete:
+		case OpPut:
+			if len(op.Val) > MaxValueBytes {
+				return dst, fmt.Errorf("wire: value is %d bytes (max %d)", len(op.Val), MaxValueBytes)
+			}
+			dst = binary.AppendUvarint(dst, uint64(len(op.Val)))
+			dst = append(dst, op.Val...)
+		case OpScan:
+			dst = binary.LittleEndian.AppendUint64(dst, op.ScanTo)
+			dst = binary.AppendUvarint(dst, uint64(op.ScanLimit))
+		default:
+			return dst, fmt.Errorf("wire: unknown op kind %d", op.Kind)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeRequest parses a request payload. Byte slices in the result
+// alias the payload; callers that retain them past the buffer's
+// lifetime must copy.
+func DecodeRequest(payload []byte) (Request, error) {
+	r := reader{payload}
+	var q Request
+	var err error
+	if q.ID, err = r.u64(); err != nil {
+		return q, err
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return q, err
+	}
+	q.Relaxed = flags&flagRelaxed != 0
+	// Each op occupies at least kind+key bytes.
+	n, err := r.count(9)
+	if err != nil {
+		return q, err
+	}
+	if n == 0 || n > MaxOps {
+		return q, fmt.Errorf("wire: request has %d ops (want 1..%d)", n, MaxOps)
+	}
+	q.Ops = make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		var op Op
+		k, err := r.u8()
+		if err != nil {
+			return q, err
+		}
+		op.Kind = OpKind(k)
+		if op.Kind == 0 || op.Kind > opKindMax {
+			return q, fmt.Errorf("wire: unknown op kind %d", k)
+		}
+		if op.Key, err = r.u64(); err != nil {
+			return q, err
+		}
+		switch op.Kind {
+		case OpPut:
+			if op.Val, err = r.bytes(); err != nil {
+				return q, err
+			}
+			if len(op.Val) > MaxValueBytes {
+				return q, fmt.Errorf("wire: value is %d bytes (max %d)", len(op.Val), MaxValueBytes)
+			}
+		case OpScan:
+			if op.ScanTo, err = r.u64(); err != nil {
+				return q, err
+			}
+			lim, err := r.uvarint()
+			if err != nil {
+				return q, err
+			}
+			if lim > MaxScanPairs {
+				lim = MaxScanPairs
+			}
+			op.ScanLimit = uint32(lim)
+		}
+		q.Ops = append(q.Ops, op)
+	}
+	if len(r.b) != 0 {
+		return q, fmt.Errorf("wire: %d trailing bytes after request", len(r.b))
+	}
+	return q, nil
+}
+
+// Status is the outcome of a request.
+type Status uint8
+
+// Statuses.
+const (
+	// StatusOK: the transaction committed (and, unless the response
+	// says otherwise, is durable).
+	StatusOK Status = iota
+	// StatusErr: the request failed; Err carries the message. The
+	// transaction did not commit.
+	StatusErr
+)
+
+// KV is one scan result pair.
+type KV struct {
+	Key uint64
+	Val []byte
+}
+
+// OpResult is the per-op part of a response, index-aligned with the
+// request's Ops.
+type OpResult struct {
+	// Found: OpGet found the key / OpDelete removed an existing key.
+	Found bool
+	// Val is OpGet's value.
+	Val []byte
+	// Pairs is OpScan's result.
+	Pairs []KV
+}
+
+// Response answers the request with the same ID.
+type Response struct {
+	ID     uint64
+	Status Status
+	// Err is the failure message when Status != StatusOK.
+	Err string
+	// Tid is the commit ID of the write transaction (0 for read-only
+	// requests, which need no durability wait).
+	Tid uint64
+	// Durable reports that Tid had been passed by the durable frontier
+	// when the response was sent (always true for acknowledged
+	// non-relaxed writes; false for relaxed fast-acks still in flight).
+	Durable bool
+	// Results are index-aligned with the request's ops.
+	Results []OpResult
+}
+
+const (
+	resFlagFound = 1 << 0
+	resFlagVal   = 1 << 1
+	resFlagPairs = 1 << 2
+)
+
+const respFlagDurable = 1 << 0
+
+// AppendResponse appends the encoded response to dst.
+func AppendResponse(dst []byte, p *Response) ([]byte, error) {
+	dst = binary.LittleEndian.AppendUint64(dst, p.ID)
+	dst = append(dst, byte(p.Status))
+	if p.Status != StatusOK {
+		dst = binary.AppendUvarint(dst, uint64(len(p.Err)))
+		return append(dst, p.Err...), nil
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, p.Tid)
+	var flags byte
+	if p.Durable {
+		flags |= respFlagDurable
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(p.Results)))
+	for i := range p.Results {
+		res := &p.Results[i]
+		var tag byte
+		if res.Found {
+			tag |= resFlagFound
+		}
+		if res.Val != nil {
+			tag |= resFlagVal
+		}
+		if res.Pairs != nil {
+			tag |= resFlagPairs
+		}
+		dst = append(dst, tag)
+		if res.Val != nil {
+			if len(res.Val) > MaxValueBytes {
+				return dst, fmt.Errorf("wire: value is %d bytes (max %d)", len(res.Val), MaxValueBytes)
+			}
+			dst = binary.AppendUvarint(dst, uint64(len(res.Val)))
+			dst = append(dst, res.Val...)
+		}
+		if res.Pairs != nil {
+			if len(res.Pairs) > MaxScanPairs {
+				return dst, fmt.Errorf("wire: scan returned %d pairs (max %d)", len(res.Pairs), MaxScanPairs)
+			}
+			dst = binary.AppendUvarint(dst, uint64(len(res.Pairs)))
+			for _, kv := range res.Pairs {
+				dst = binary.LittleEndian.AppendUint64(dst, kv.Key)
+				dst = binary.AppendUvarint(dst, uint64(len(kv.Val)))
+				dst = append(dst, kv.Val...)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// DecodeResponse parses a response payload. Byte slices in the result
+// alias the payload.
+func DecodeResponse(payload []byte) (Response, error) {
+	r := reader{payload}
+	var p Response
+	var err error
+	if p.ID, err = r.u64(); err != nil {
+		return p, err
+	}
+	st, err := r.u8()
+	if err != nil {
+		return p, err
+	}
+	p.Status = Status(st)
+	if p.Status != StatusOK {
+		msg, err := r.bytes()
+		if err != nil {
+			return p, err
+		}
+		p.Err = string(msg)
+		if len(r.b) != 0 {
+			return p, fmt.Errorf("wire: %d trailing bytes after response", len(r.b))
+		}
+		return p, nil
+	}
+	if p.Tid, err = r.u64(); err != nil {
+		return p, err
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return p, err
+	}
+	p.Durable = flags&respFlagDurable != 0
+	n, err := r.count(1)
+	if err != nil {
+		return p, err
+	}
+	if n > MaxOps {
+		return p, fmt.Errorf("wire: response has %d results (max %d)", n, MaxOps)
+	}
+	p.Results = make([]OpResult, 0, n)
+	for i := 0; i < n; i++ {
+		var res OpResult
+		tag, err := r.u8()
+		if err != nil {
+			return p, err
+		}
+		if tag&^(resFlagFound|resFlagVal|resFlagPairs) != 0 {
+			return p, fmt.Errorf("wire: unknown result tag %#x", tag)
+		}
+		res.Found = tag&resFlagFound != 0
+		if tag&resFlagVal != 0 {
+			if res.Val, err = r.bytes(); err != nil {
+				return p, err
+			}
+			if res.Val == nil {
+				res.Val = []byte{}
+			}
+		}
+		if tag&resFlagPairs != 0 {
+			// A pair occupies at least key+len bytes.
+			np, err := r.count(9)
+			if err != nil {
+				return p, err
+			}
+			if np > MaxScanPairs {
+				return p, fmt.Errorf("wire: scan result has %d pairs (max %d)", np, MaxScanPairs)
+			}
+			res.Pairs = make([]KV, 0, np)
+			for j := 0; j < np; j++ {
+				var kv KV
+				if kv.Key, err = r.u64(); err != nil {
+					return p, err
+				}
+				if kv.Val, err = r.bytes(); err != nil {
+					return p, err
+				}
+				res.Pairs = append(res.Pairs, kv)
+			}
+		}
+		p.Results = append(p.Results, res)
+	}
+	if len(r.b) != 0 {
+		return p, fmt.Errorf("wire: %d trailing bytes after response", len(r.b))
+	}
+	return p, nil
+}

@@ -1,0 +1,227 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xab}, 1000)}
+	var stream []byte
+	for _, p := range payloads {
+		stream = AppendFrame(stream, p)
+	}
+	for i, want := range payloads {
+		payload, n, err := DecodeFrame(stream)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("frame %d: got %v want %v", i, payload, want)
+		}
+		stream = stream[n:]
+	}
+	if len(stream) != 0 {
+		t.Fatalf("%d leftover bytes", len(stream))
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	f := AppendFrame(nil, []byte("hello"))
+	// Short prefixes ask for more bytes.
+	for i := 0; i < len(f); i++ {
+		if _, _, err := DecodeFrame(f[:i]); !errors.Is(err, ErrShortFrame) {
+			t.Fatalf("prefix %d: got %v, want ErrShortFrame", i, err)
+		}
+	}
+	// A flipped payload bit fails the CRC.
+	bad := append([]byte(nil), f...)
+	bad[len(bad)-1] ^= 1
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt payload: got %v, want ErrChecksum", err)
+	}
+	// A hostile length field is rejected before allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	if _, _, err := DecodeFrame(huge); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("huge length: got %v, want ErrFrameTooBig", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("ReadFrame huge length: got %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestReadWriteFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func randomRequest(rng *rand.Rand) *Request {
+	q := &Request{ID: rng.Uint64(), Relaxed: rng.Intn(2) == 0}
+	nops := rng.Intn(5) + 1
+	for i := 0; i < nops; i++ {
+		op := Op{Key: rng.Uint64()}
+		switch rng.Intn(4) {
+		case 0:
+			op.Kind = OpGet
+		case 1:
+			op.Kind = OpPut
+			op.Val = make([]byte, rng.Intn(64))
+			rng.Read(op.Val)
+		case 2:
+			op.Kind = OpDelete
+		case 3:
+			op.Kind = OpScan
+			op.ScanTo = rng.Uint64()
+			op.ScanLimit = uint32(rng.Intn(MaxScanPairs))
+		}
+		q.Ops = append(q.Ops, op)
+	}
+	return q
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		q := randomRequest(rng)
+		enc, err := AppendRequest(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if got.ID != q.ID || got.Relaxed != q.Relaxed || len(got.Ops) != len(q.Ops) {
+			t.Fatalf("iter %d: header mismatch", i)
+		}
+		for j := range q.Ops {
+			a, b := q.Ops[j], got.Ops[j]
+			if a.Kind != b.Kind || a.Key != b.Key || !bytes.Equal(a.Val, b.Val) ||
+				a.ScanTo != b.ScanTo || a.ScanLimit != b.ScanLimit {
+				t.Fatalf("iter %d op %d: %+v != %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []*Response{
+		{ID: 1, Status: StatusErr, Err: "key not found"},
+		{ID: 2, Tid: 77, Durable: true, Results: []OpResult{{Found: true, Val: []byte("v")}}},
+		{ID: 3, Tid: 0, Results: []OpResult{
+			{Found: false},
+			{Pairs: []KV{{Key: 9, Val: []byte("a")}, {Key: 10, Val: nil}}},
+		}},
+		{ID: 4, Results: []OpResult{}},
+	}
+	for i, p := range cases {
+		enc, err := AppendResponse(nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeResponse(enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.ID != p.ID || got.Status != p.Status || got.Err != p.Err ||
+			got.Tid != p.Tid || got.Durable != p.Durable || len(got.Results) != len(p.Results) {
+			t.Fatalf("case %d: %+v != %+v", i, got, p)
+		}
+		for j := range p.Results {
+			a, b := p.Results[j], got.Results[j]
+			if a.Found != b.Found || !bytes.Equal(a.Val, b.Val) || len(a.Pairs) != len(b.Pairs) {
+				t.Fatalf("case %d result %d: %+v != %+v", i, j, a, b)
+			}
+			for k := range a.Pairs {
+				if a.Pairs[k].Key != b.Pairs[k].Key || !bytes.Equal(a.Pairs[k].Val, b.Pairs[k].Val) {
+					t.Fatalf("case %d result %d pair %d mismatch", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRequestRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{1, 2, 3},
+		// Valid header, zero ops.
+		append(bytes.Repeat([]byte{0}, 9), 0),
+		// Op count far beyond the payload.
+		append(bytes.Repeat([]byte{0}, 9), 0xff, 0xff, 0xff, 0x7f),
+	}
+	for i, b := range cases {
+		if _, err := DecodeRequest(b); err == nil {
+			t.Fatalf("case %d: decoded garbage", i)
+		}
+	}
+}
+
+// FuzzDecodeFrame: arbitrary bytes never panic and never allocate
+// beyond the input, and every encode→decode round-trips.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, []byte("seed")))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1})
+	rng := rand.New(rand.NewSource(2))
+	q, _ := AppendRequest(nil, randomRequest(rng))
+	f.Add(AppendFrame(nil, q))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		payload, n, err := DecodeFrame(b)
+		if err != nil {
+			if n != 0 || payload != nil {
+				t.Fatalf("error with non-zero result: n=%d payload=%v", n, payload)
+			}
+			return
+		}
+		if n < frameHeader || n > len(b) {
+			t.Fatalf("consumed %d of %d", n, len(b))
+		}
+		// Whatever decoded must re-encode to the identical frame.
+		re := AppendFrame(nil, payload)
+		if !bytes.Equal(re, b[:n]) {
+			t.Fatalf("re-encode mismatch")
+		}
+		// The payload, if it parses as a request or response, must
+		// survive its own round-trip without panicking.
+		if req, err := DecodeRequest(payload); err == nil {
+			if enc, err := AppendRequest(nil, &req); err == nil {
+				if _, err := DecodeRequest(enc); err != nil {
+					t.Fatalf("request re-decode: %v", err)
+				}
+			}
+		}
+		if resp, err := DecodeResponse(payload); err == nil {
+			if enc, err := AppendResponse(nil, &resp); err == nil {
+				if _, err := DecodeResponse(enc); err != nil {
+					t.Fatalf("response re-decode: %v", err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeRequest: the message layer alone never panics on arbitrary
+// bytes.
+func FuzzDecodeRequest(f *testing.F) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4; i++ {
+		enc, _ := AppendRequest(nil, randomRequest(rng))
+		f.Add(enc)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		DecodeRequest(b)
+		DecodeResponse(b)
+	})
+}

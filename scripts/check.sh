@@ -8,6 +8,7 @@ cd "$(dirname "$0")/.."
 
 echo "== go build"
 go build ./...
+go build ./cmd/dudesrv
 
 echo "== go vet"
 go vet ./...
@@ -18,7 +19,7 @@ go run ./cmd/dudelint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (stm, redolog, dudetm)"
-go test -race ./internal/stm ./internal/redolog ./internal/dudetm
+echo "== go test -race (stm, redolog, dudetm, server)"
+go test -race ./internal/stm ./internal/redolog ./internal/dudetm ./internal/server
 
 echo "ok: all tier-1 checks passed"
