@@ -9,6 +9,7 @@ package dudetm_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -309,6 +310,46 @@ func BenchmarkAblationLatencyModel(b *testing.B) {
 				Latency: lat,
 			})
 		})
+	}
+}
+
+// BenchmarkPipeline measures the parallel background pipeline: a
+// write-heavy async workload on 2 Perform threads with 2 persist
+// workers, sweeping the Reproduce applier count. Each iteration is a
+// fixed-size fully-drained run, so ns/op compares end-to-end pipeline
+// completion across applier counts; every run is also recorded to
+// BENCH_pipeline.json (same schema as dudebench -json) with the stage
+// busy/fence counters. On a single-core host the sweep still runs but
+// the scaling signal is best-effort.
+func BenchmarkPipeline(b *testing.B) {
+	harness.StartRecording()
+	harness.SetExperiment("pipeline")
+	for _, repro := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("repro=%d", repro), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Run(harness.DudeSTM, harness.NewHashBench(), harness.Options{
+					Threads:        2,
+					GroupSize:      64,
+					PersistThreads: 2,
+					ReproThreads:   repro,
+				}, harness.MeasureOpts{TotalOps: 30000, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.TPS, "tps")
+				if res.Stats.PersistBusyNS == 0 || res.Stats.ReproBusyNS == 0 {
+					b.Fatalf("stage utilization counters idle: %+v", res.Stats)
+				}
+			}
+		})
+	}
+	f, err := os.Create("BENCH_pipeline.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := harness.WriteJSON(f); err != nil {
+		b.Fatal(err)
 	}
 }
 

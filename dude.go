@@ -65,6 +65,14 @@ type Options struct {
 	GroupSize int
 	// Compress lz4-compresses persisted groups.
 	Compress bool
+	// PersistThreads is the Persist-stage worker count: sealed groups
+	// are dealt round-robin to this many log writers (0 = default,
+	// min(2, GOMAXPROCS) or DUDETM_STAGE_THREADS).
+	PersistThreads int
+	// ReproThreads is the Reproduce-stage applier count: large groups
+	// are split by address shard and applied concurrently under one
+	// persist barrier (0 = same default).
+	ReproThreads int
 	// ShadowBytes, when non-zero, uses a demand-paged shadow memory of
 	// this size instead of a full mirror.
 	ShadowBytes uint64
@@ -80,10 +88,12 @@ type Options struct {
 
 func (o Options) config() idudetm.Config {
 	cfg := idudetm.Config{
-		DataSize:  o.DataSize,
-		Threads:   o.Threads,
-		GroupSize: o.GroupSize,
-		Compress:  o.Compress,
+		DataSize:       o.DataSize,
+		Threads:        o.Threads,
+		GroupSize:      o.GroupSize,
+		Compress:       o.Compress,
+		PersistThreads: o.PersistThreads,
+		ReproThreads:   o.ReproThreads,
 	}
 	if cfg.Threads == 0 {
 		cfg.Threads = 4

@@ -58,7 +58,7 @@ func main() {
 		return
 	}
 
-	opts := dudetm.Options{DataSize: 16 << 20, Threads: 4, GroupSize: 64}
+	opts := dudetm.Options{DataSize: 16 << 20, Threads: 4, GroupSize: 64, PersistThreads: 2, ReproThreads: 4}
 	pool, err := dudetm.Create(opts)
 	if err != nil {
 		log.Fatal(err)

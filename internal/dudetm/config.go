@@ -23,6 +23,9 @@
 package dudetm
 
 import (
+	"os"
+	"runtime"
+	"strconv"
 	"time"
 
 	"dudetm/internal/pmem"
@@ -97,9 +100,21 @@ type Config struct {
 	// before being persisted anyway (default 50us).
 	FlushInterval time.Duration
 	// RecycleEvery batches log recycling: the reproducer persists log
-	// head metadata every N groups (default 64; a background ticker
+	// head metadata every N groups (default 64; a lazily armed timer
 	// bounds how long a pending recycle can be deferred).
 	RecycleEvery int
+	// PersistThreads is the number of Persist-step log writers in
+	// ModeAsync (§4.4): a coordinator merges the volatile rings in
+	// commit-ID order and deals sealed groups round-robin to workers,
+	// each owning its own persistent log region. Default
+	// min(2, GOMAXPROCS), overridable with DUDETM_STAGE_THREADS.
+	PersistThreads int
+	// ReproThreads is the number of Reproduce-step appliers: each
+	// group's combined entries are split by address shard
+	// ((addr>>6) % N, so a cache line never spans shards) and applied
+	// concurrently under one fence. Default min(2, GOMAXPROCS),
+	// overridable with DUDETM_STAGE_THREADS.
+	ReproThreads int
 	// OrecCount overrides the STM ownership-record table size.
 	OrecCount uint64
 	// Pmem carries the NVM timing model (latency, bandwidth,
@@ -129,8 +144,27 @@ func (c *Config) applyDefaults() {
 	if c.RecycleEvery == 0 {
 		c.RecycleEvery = 64
 	}
+	if c.PersistThreads == 0 {
+		c.PersistThreads = defaultStageThreads()
+	}
+	if c.ReproThreads == 0 {
+		c.ReproThreads = defaultStageThreads()
+	}
 	if c.DataSize == 0 {
 		c.DataSize = 64 << 20
 	}
 	c.DataSize = (c.DataSize + c.PageSize - 1) &^ (c.PageSize - 1)
+}
+
+// defaultStageThreads resolves the default worker count for the two
+// background stages: DUDETM_STAGE_THREADS when set (the CI knob that
+// forces the parallel paths even in configs that don't ask for them),
+// otherwise min(2, GOMAXPROCS).
+func defaultStageThreads() int {
+	if v := os.Getenv("DUDETM_STAGE_THREADS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return min(2, runtime.GOMAXPROCS(0))
 }

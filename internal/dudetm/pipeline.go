@@ -3,25 +3,49 @@ package dudetm
 import (
 	"container/heap"
 	"runtime"
+	"sync"
 	"time"
 
+	"dudetm/internal/pmem"
 	"dudetm/internal/redolog"
 )
 
-// persistLoop is the Persist step (ModeAsync): one background thread
-// merges the per-thread volatile rings in commit-ID order, groups
-// GroupSize consecutive transactions (combining overlapping writes),
-// flushes each group to the persistent log with a single persist
-// barrier, advances the global durable ID, and hands the group to the
-// Reproduce step through an in-DRAM channel (the volatile copy the paper
-// keeps so Reproduce never reads NVM or decompresses, §3.3).
+// persistMsg is one sealed group in flight from the Persist coordinator
+// to a persist worker. seq is the coordinator's dense dispatch sequence;
+// the worker completes it in the seqWindow so the durable frontier
+// advances only over a contiguous prefix of appended groups.
+type persistMsg struct {
+	seq uint64
+	g   *redolog.Group
+	ep  *[]redolog.Entry
+}
+
+// applyTask is one address shard of a group fanned out to a Reproduce
+// applier. Appliers share the group's flush batch; the ordering loop
+// joins wg and issues the single fence.
+type applyTask struct {
+	entries []redolog.Entry
+	shard   uint64
+	nshards uint64
+	b       *pmem.Batch
+	wg      *sync.WaitGroup
+}
+
+// persistLoop is the Persist-step coordinator (ModeAsync): it merges the
+// per-thread volatile rings in commit-ID order, groups GroupSize
+// consecutive transactions (combining overlapping writes), and deals
+// each sealed group round-robin to the persist workers (§4.4 runs
+// multiple persist threads for exactly this reason). Each worker owns a
+// disjoint persistent log region and flushes its group with a single
+// persist barrier; the global durable ID advances through the
+// contiguous-completion window, so out-of-order appends never publish a
+// durable frontier with holes behind it.
 //
 // Merging across all rings by ID is what makes cross-transaction
 // combination sound: every group covers a globally contiguous ID range,
 // so replaying groups in order equals replaying transactions in order.
 func (s *System) persistLoop() {
 	defer s.wg.Done()
-	w := s.writers[0]
 	comb := redolog.NewCombiner()
 	nextTid := s.startTid + 1
 	var gMin, gMax uint64
@@ -30,9 +54,23 @@ func (s *System) persistLoop() {
 	lastActivity := time.Now()
 	idle := 0
 
-	seal := func() {
+	// finish retires the worker pool: after the dispatch queues close
+	// and the last in-flight append drains, reproCh can close too.
+	finish := func() {
+		for _, ch := range s.dispatch {
+			close(ch)
+		}
+		s.persistWG.Wait()
+		close(s.reproCh)
+	}
+
+	// seal hands the accumulated group to a worker. It returns false if
+	// the system halted while waiting for window space (Crash during
+	// back-pressure): the group is discarded, like power failing before
+	// its log append.
+	seal := func() bool {
 		if gCount == 0 {
-			return
+			return true
 		}
 		if s.cfg.GroupSize > 1 {
 			ep = getEntrySlice()
@@ -42,24 +80,31 @@ func (s *System) persistLoop() {
 			comb.Reset()
 		}
 		g := &redolog.Group{MinTid: gMin, MaxTid: gMax, Entries: *ep}
-		w.AppendGroup(g)
-		s.groups.Add(1)
-		s.setDurable(gMax)
-		s.reproCh <- repoMsg{g: g, w: w, wi: 0, ep: ep}
+		seq, ok := s.window.reserve(&s.halted)
+		if !ok {
+			putEntrySlice(ep)
+			ep = nil
+			gCount = 0
+			return false
+		}
+		s.pm.enqueue()
+		// The queue has window capacity, so this send never blocks.
+		s.dispatch[seq%uint64(len(s.dispatch))] <- persistMsg{seq: seq, g: g, ep: ep}
 		ep = nil
 		gCount = 0
+		return true
 	}
 
 	for {
 		// Crash halts the step where it is: in-flight volatile rings are
 		// lost, exactly like power failing between persist barriers.
 		if s.halted.Load() {
-			close(s.reproCh)
+			finish()
 			return
 		}
 		// The gate is held for the whole iteration so PausePersist
-		// blocks until the step is quiescent (crash drills and
-		// snapshots rely on this).
+		// blocks until the coordinator is quiescent (crash drills and
+		// snapshots rely on this; the workers have their own gates).
 		s.persistGate.Lock()
 
 		consumed := false
@@ -90,7 +135,11 @@ func (s *System) persistLoop() {
 		if consumed {
 			idle = 0
 			if gCount >= s.cfg.GroupSize {
-				seal()
+				if !seal() {
+					s.persistGate.Unlock()
+					finish()
+					return
+				}
 			}
 			s.persistGate.Unlock()
 			continue
@@ -104,14 +153,18 @@ func (s *System) persistLoop() {
 		}
 		// No committed transaction pending.
 		if gCount > 0 && time.Since(lastActivity) > s.cfg.FlushInterval {
-			seal()
+			if !seal() {
+				s.persistGate.Unlock()
+				finish()
+				return
+			}
 			s.persistGate.Unlock()
 			continue
 		}
 		if s.stopping.Load() {
 			seal()
-			close(s.reproCh)
 			s.persistGate.Unlock()
+			finish()
 			return
 		}
 		s.persistGate.Unlock()
@@ -124,13 +177,85 @@ func (s *System) persistLoop() {
 	}
 }
 
+// persistWorker owns one persistent log region: it appends each
+// dispatched group with one persist barrier, completes its sequence in
+// the window (advancing the global durable ID when the completed prefix
+// grows), and forwards the group to Reproduce. Its gate makes
+// PausePersist wait out an in-flight append.
+func (s *System) persistWorker(wi int) {
+	defer s.persistWG.Done()
+	w := s.writers[wi]
+	for m := range s.dispatch[wi] {
+		if s.halted.Load() {
+			// Crash: drop the group on the floor — power failed before
+			// its append. Later sequences can no longer complete the
+			// prefix, so the durable frontier stays behind this group.
+			s.pm.dequeue()
+			continue
+		}
+		s.workerGates[wi].Lock()
+		t0 := time.Now()
+		w.AppendGroup(m.g)
+		s.pm.busy.Add(uint64(time.Since(t0)))
+		s.pm.groups.Add(1)
+		s.pm.fences.Add(1)
+		s.groups.Add(1)
+		if tid, ok := s.window.complete(m.seq, m.g.MaxTid); ok {
+			s.setDurable(tid)
+		}
+		s.pm.dequeue()
+		s.rm.enqueue()
+		s.reproCh <- repoMsg{g: m.g, w: w, wi: wi, ep: m.ep}
+		s.workerGates[wi].Unlock()
+	}
+}
+
+// reproApplier is one Reproduce-stage applier: it applies the address
+// shard (addr>>6 % nshards, so a cache line never spans shards) of each
+// fanned-out group and accumulates write-backs into the group's shared
+// batch. The fence stays with the ordering loop — one barrier per group,
+// issued only after every shard has joined.
+func (s *System) reproApplier() {
+	defer s.wg.Done()
+	base := s.lay.dataOff
+	for t := range s.applyCh {
+		for _, e := range t.entries {
+			if (e.Addr>>6)%t.nshards == t.shard {
+				s.dev.Store8(base+e.Addr, e.Val)
+			}
+		}
+		for _, e := range t.entries {
+			if (e.Addr>>6)%t.nshards == t.shard {
+				t.b.Flush(base+e.Addr, 8)
+			}
+		}
+		t.wg.Done()
+	}
+}
+
+// minShardEntries gates the Reproduce fan-out: below this, one thread
+// applies the group inline — the wakeup and join cost would exceed the
+// parallel win.
+const minShardEntries = 64
+
+// recycleInterval bounds how long a batched recycle can be deferred
+// once one is pending.
+const recycleInterval = 500 * time.Microsecond
+
 // reproduceLoop is the Reproduce step: replay persisted groups in
 // transaction-ID order into the persistent data region, then recycle
-// their log space. Groups may arrive out of order in ModeSync (each
-// Perform thread flushes its own log), so a min-heap buffers them until
-// the next dense ID range is available.
+// their log space. Groups may arrive out of order (per-thread flushes in
+// ModeSync, out-of-order persist workers in ModeAsync), so a min-heap
+// buffers them until the next dense ID range is available. Large groups
+// are split by address shard across the appliers; shards share one
+// flush batch and the loop issues the group's single fence after the
+// join, so the §3.4 ordering (data before recycle) is unchanged. The
+// split is sound because combination made the group last-write-wins and
+// entries for one address always land in the same shard, applied in
+// entry order.
 func (s *System) reproduceLoop() {
 	defer s.wg.Done()
+	defer close(s.applyCh)
 	var h msgHeap
 	next := s.startTid + 1
 
@@ -139,37 +264,60 @@ func (s *System) reproduceLoop() {
 		count    int
 	}
 	pend := make([]pending, len(s.writers))
+	pendingRecycles := 0
 
 	flushRecycles := func() {
 		for i := range pend {
 			if pend[i].count > 0 {
 				s.writers[i].Recycle(pend[i].pos, pend[i].seq, s.reproduced.Load())
+				pendingRecycles -= pend[i].count
 				pend[i].count = 0
 			}
 		}
 	}
 
 	apply := func(m repoMsg) {
-		if len(m.g.Entries) > 0 {
+		if n := len(m.g.Entries); n > 0 {
+			t0 := time.Now()
 			// Apply all updates, then one write-back + fence. The only
 			// persist ordering Reproduce needs is data-before-recycle
 			// (§3.4), enforced by fencing here before Recycle below.
 			b := s.dev.NewBatch()
-			for _, e := range m.g.Entries {
-				s.dev.Store8(s.lay.dataOff+e.Addr, e.Val)
-			}
-			for _, e := range m.g.Entries {
-				b.Flush(s.lay.dataOff+e.Addr, 8)
+			if r := s.cfg.ReproThreads; r > 1 && n >= minShardEntries {
+				var wg sync.WaitGroup
+				wg.Add(r)
+				for shard := 0; shard < r; shard++ {
+					s.applyCh <- applyTask{
+						entries: m.g.Entries,
+						shard:   uint64(shard),
+						nshards: uint64(r),
+						b:       b,
+						wg:      &wg,
+					}
+				}
+				wg.Wait()
+			} else {
+				for _, e := range m.g.Entries {
+					s.dev.Store8(s.lay.dataOff+e.Addr, e.Val)
+				}
+				for _, e := range m.g.Entries {
+					b.Flush(s.lay.dataOff+e.Addr, 8)
+				}
 			}
 			b.Fence()
+			s.rm.fences.Add(1)
+			s.rm.busy.Add(uint64(time.Since(t0)))
 		}
 		s.reproduced.Store(m.g.MaxTid)
+		s.rm.groups.Add(1)
 		putEntrySlice(m.ep)
 		p := &pend[m.wi]
 		p.pos, p.seq = m.g.EndPos, m.g.Seq+1
 		p.count++
+		pendingRecycles++
 		if p.count >= s.cfg.RecycleEvery {
 			s.writers[m.wi].Recycle(p.pos, p.seq, m.g.MaxTid)
+			pendingRecycles -= p.count
 			p.count = 0
 		}
 	}
@@ -182,24 +330,42 @@ func (s *System) reproduceLoop() {
 		}
 	}
 
-	// The ticker bounds how long a batched recycle can be deferred, so a
+	// The timer bounds how long a batched recycle can be deferred, so a
 	// writer blocked on log space always gets freed even when no new
-	// groups arrive (RecycleEvery > 1).
-	ticker := time.NewTicker(500 * time.Microsecond)
-	defer ticker.Stop()
+	// groups arrive (RecycleEvery > 1). It is armed lazily — only while
+	// a recycle is actually pending — so an idle pool takes no timer
+	// wakeups at all (TimerWakes counts the fires).
+	timer := time.NewTimer(recycleInterval)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var timerC <-chan time.Time
+
+	rearm := func() {
+		if pendingRecycles > 0 && timerC == nil {
+			timer.Reset(recycleInterval)
+			timerC = timer.C
+		} else if pendingRecycles == 0 && timerC != nil {
+			if !timer.Stop() {
+				<-timer.C
+			}
+			timerC = nil
+		}
+	}
 
 	for {
 		select {
 		case m, ok := <-s.reproCh:
 			// The gate is held around every device mutation so
-			// PauseReproduce blocks until the step is quiescent.
+			// PauseReproduce blocks until the step is quiescent (the
+			// sharded appliers only run inside apply, under this gate).
 			s.reproduceGate.Lock()
 			if !ok {
 				if s.halted.Load() {
 					// Crash: stop where we are. Durable-but-unreproduced
 					// groups stay in the persistent log; recovery
-					// replays them (gaps are possible in ModeSync when
-					// per-thread flushes raced the crash).
+					// replays them (gaps are possible when per-thread
+					// flushes or persist workers raced the crash).
 					s.reproduceGate.Unlock()
 					return
 				}
@@ -211,12 +377,17 @@ func (s *System) reproduceLoop() {
 				s.reproduceGate.Unlock()
 				return
 			}
+			s.rm.dequeue()
 			heap.Push(&h, m)
 			drainReady()
+			rearm()
 			s.reproduceGate.Unlock()
-		case <-ticker.C:
+		case <-timerC:
+			timerC = nil
 			s.reproduceGate.Lock()
+			s.rm.wakes.Add(1)
 			flushRecycles()
+			rearm()
 			s.reproduceGate.Unlock()
 		}
 	}

@@ -1,0 +1,117 @@
+package dudetm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPipelineStageStats runs a write-heavy async workload through the
+// parallel pipeline (2 persist workers, 4 repro appliers, groups large
+// enough to take the sharded fan-out path) and checks that the stage
+// utilization counters move: a zero here means work was routed around
+// the worker pools.
+func TestPipelineStageStats(t *testing.T) {
+	cfg := testConfig()
+	cfg.GroupSize = 16
+	cfg.PersistThreads = 2
+	cfg.ReproThreads = 4
+	s, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// 16 txs/group x 8 stores over a wide address range keeps combined
+	// groups well above minShardEntries, so the appliers actually run.
+	for i := uint64(0); i < 400; i++ {
+		w := int(i) % cfg.Threads
+		if _, err := s.Run(w, func(tx *Tx) error {
+			for j := uint64(0); j < 8; j++ {
+				tx.Store(((i*8+j)%(1<<14))*8, i^j)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+
+	ps := s.PersistStats()
+	if ps.Workers != 2 {
+		t.Errorf("persist workers = %d, want 2", ps.Workers)
+	}
+	if ps.Groups == 0 || ps.Fences == 0 || ps.BusyNanos == 0 {
+		t.Errorf("persist counters idle: %+v", ps)
+	}
+	if ps.WallNanos <= 0 || ps.Utilization < 0 || ps.Utilization > 1 {
+		t.Errorf("persist utilization out of range: %+v", ps)
+	}
+
+	rs := s.ReproduceStats()
+	if rs.Workers != 4 {
+		t.Errorf("repro workers = %d, want 4", rs.Workers)
+	}
+	if rs.Groups == 0 || rs.Fences == 0 || rs.BusyNanos == 0 {
+		t.Errorf("reproduce counters idle: %+v", rs)
+	}
+	if got := s.Stats(); got.Persist.Groups == 0 || got.Reproduce.Groups == 0 {
+		t.Errorf("Stats() does not carry stage snapshots: %+v / %+v", got.Persist, got.Reproduce)
+	}
+
+	// Drained pipeline: no backlog left in either stage.
+	if ps.QueueDepth != 0 {
+		t.Errorf("persist queue depth %d after Drain, want 0", ps.QueueDepth)
+	}
+	if rs.QueueDepth != 0 {
+		t.Errorf("reproduce queue depth %d after Drain, want 0", rs.QueueDepth)
+	}
+	if ps.MaxQueueDepth == 0 {
+		t.Errorf("persist max queue depth never moved: %+v", ps)
+	}
+}
+
+// TestRecycleTimerIdle checks the lazy recycle timer: once the pipeline
+// drains and the deferred recycles are flushed, the timer must stop
+// firing. A wake count that keeps growing while the system is idle is
+// the periodic-polling regression this timer was built to remove.
+func TestRecycleTimerIdle(t *testing.T) {
+	cfg := testConfig()
+	cfg.GroupSize = 8
+	cfg.ReproThreads = 2
+	s, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := uint64(0); i < 200; i++ {
+		if _, err := s.Run(int(i)%cfg.Threads, func(tx *Tx) error {
+			tx.Store(i%128*8, i)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+
+	// Wait for the wake count to settle (one final fire may be pending
+	// right after Drain), then require it to hold still while idle.
+	var stable uint64
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		a := s.ReproduceStats().TimerWakes
+		time.Sleep(5 * recycleInterval)
+		b := s.ReproduceStats().TimerWakes
+		if a == b {
+			stable = b
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recycle timer still firing 2s after Drain: %d -> %d", a, b)
+		}
+	}
+	time.Sleep(50 * recycleInterval)
+	if got := s.ReproduceStats().TimerWakes; got != stable {
+		t.Errorf("recycle timer fired while idle: wakes %d -> %d", stable, got)
+	}
+}

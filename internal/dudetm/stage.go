@@ -1,0 +1,164 @@
+package dudetm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// persistWindow bounds how many sealed groups may be in flight across
+// the persist workers at once. The coordinator reserves a dense sequence
+// number per group and blocks when the window is full, so a stalled
+// worker back-pressures the whole stage instead of letting completions
+// accumulate without bound.
+const persistWindow = 1024
+
+// seqWindow tracks out-of-order completion of densely numbered groups
+// and exposes the contiguous-completion frontier: sequence s is "done"
+// only once every sequence <= s has completed. It is a fixed-size bitmap
+// ring (one bit and one saved MaxTid per in-flight group), not a heap —
+// completion and frontier advance are O(groups completed), with no
+// per-group allocation.
+type seqWindow struct {
+	mu   sync.Mutex
+	next uint64 // next sequence to reserve
+	done uint64 // frontier: every sequence < done has completed
+	bits [persistWindow / 64]uint64
+	tids [persistWindow]uint64 // MaxTid per slot, read when the frontier passes it
+}
+
+// reserve hands out the next sequence number, blocking while the window
+// is full. It returns false if the system halts (Crash) while waiting.
+func (w *seqWindow) reserve(halted *atomic.Bool) (uint64, bool) {
+	for spins := 0; ; spins++ {
+		w.mu.Lock()
+		if w.next-w.done < persistWindow {
+			seq := w.next
+			w.next++
+			w.mu.Unlock()
+			return seq, true
+		}
+		w.mu.Unlock()
+		if halted.Load() {
+			return 0, false
+		}
+		if spins < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(5 * time.Microsecond)
+		}
+	}
+}
+
+// complete marks seq done with the given group MaxTid. When seq extends
+// the contiguous prefix it advances the frontier over every completed
+// slot and returns (largest MaxTid passed, true); otherwise the
+// completion is parked in the bitmap and it returns (0, false).
+func (w *seqWindow) complete(seq, maxTid uint64) (uint64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	slot := seq % persistWindow
+	w.tids[slot] = maxTid
+	w.bits[slot/64] |= 1 << (slot % 64)
+	if seq != w.done {
+		return 0, false
+	}
+	var last uint64
+	for w.done < w.next {
+		s := w.done % persistWindow
+		if w.bits[s/64]&(1<<(s%64)) == 0 {
+			break
+		}
+		w.bits[s/64] &^= 1 << (s % 64)
+		last = w.tids[s]
+		w.done++
+	}
+	return last, true
+}
+
+// depth returns the number of reserved-but-not-yet-retired sequences.
+func (w *seqWindow) depth() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.next - w.done
+}
+
+// stageMetrics is the per-stage utilization instrumentation shared by
+// Persist and Reproduce: busy time, work counts, queue depth, and timer
+// wakeups, all updated with atomics on the hot path.
+type stageMetrics struct {
+	busy     atomic.Uint64 // nanoseconds spent doing stage work
+	groups   atomic.Uint64 // groups processed
+	fences   atomic.Uint64 // persist barriers issued
+	queue    atomic.Int64  // groups enqueued and not yet processed
+	maxQueue atomic.Int64  // high-water mark of queue
+	wakes    atomic.Uint64 // recycle-timer wakeups (Reproduce only)
+	start    atomic.Int64  // stage start, ns since an arbitrary epoch
+}
+
+func (m *stageMetrics) markStart() { m.start.Store(time.Now().UnixNano()) }
+
+func (m *stageMetrics) enqueue() {
+	q := m.queue.Add(1)
+	for {
+		hi := m.maxQueue.Load()
+		if q <= hi || m.maxQueue.CompareAndSwap(hi, q) {
+			return
+		}
+	}
+}
+
+func (m *stageMetrics) dequeue() { m.queue.Add(-1) }
+
+// snapshot renders the counters as a StageStats with the given worker
+// count and busy-time divisor (1 for a stage whose busy time is wall
+// time of a single ordering loop, workers for a stage that sums busy
+// time across workers).
+func (m *stageMetrics) snapshot(workers, busyDiv int) StageStats {
+	st := StageStats{
+		Workers:       workers,
+		Groups:        m.groups.Load(),
+		Fences:        m.fences.Load(),
+		BusyNanos:     m.busy.Load(),
+		QueueDepth:    max(m.queue.Load(), 0),
+		MaxQueueDepth: m.maxQueue.Load(),
+		TimerWakes:    m.wakes.Load(),
+	}
+	if s := m.start.Load(); s != 0 {
+		st.WallNanos = uint64(time.Now().UnixNano() - s)
+	}
+	if st.WallNanos > 0 && busyDiv > 0 {
+		st.Utilization = float64(st.BusyNanos) / float64(busyDiv) / float64(st.WallNanos)
+	}
+	return st
+}
+
+// StageStats is a utilization snapshot of one background stage.
+type StageStats struct {
+	// Workers is the configured worker count (PersistThreads or
+	// ReproThreads).
+	Workers int
+	// Groups is the number of groups the stage has processed.
+	Groups uint64
+	// Fences is the number of persist barriers the stage has issued.
+	Fences uint64
+	// BusyNanos is time spent doing stage work: summed across workers
+	// for Persist (log appends), wall time of the apply+fence section
+	// for Reproduce.
+	BusyNanos uint64
+	// WallNanos is elapsed time since the stage started.
+	WallNanos uint64
+	// Utilization is BusyNanos normalized per worker over WallNanos,
+	// in [0, 1] in steady state.
+	Utilization float64
+	// QueueDepth is the current backlog (sealed-but-unpersisted groups
+	// for Persist, persisted-but-unreproduced groups for Reproduce).
+	QueueDepth int64
+	// MaxQueueDepth is the backlog high-water mark.
+	MaxQueueDepth int64
+	// TimerWakes counts recycle-timer wakeups (Reproduce only); it
+	// stays flat while the pool is idle because the timer is armed only
+	// when a recycle is pending.
+	TimerWakes uint64
+}

@@ -30,6 +30,26 @@ type System struct {
 	reproduced atomic.Uint64
 	startTid   uint64
 
+	// Persist-stage parallelism (ModeAsync): the coordinator reserves a
+	// dense sequence per sealed group in window and deals it to
+	// dispatch[seq%PersistThreads]; workers complete out of order and
+	// the durable frontier advances through the window's
+	// contiguous-completion scan. persistWG tracks the workers so the
+	// coordinator can close reproCh only after the last in-flight
+	// append.
+	window    seqWindow
+	dispatch  []chan persistMsg
+	persistWG sync.WaitGroup
+
+	// Reproduce-stage parallelism: the ordering loop fans each large
+	// group out to ReproThreads appliers over applyCh, sharded by
+	// address, and joins them before the group's single fence.
+	applyCh chan applyTask
+
+	// Stage-utilization instrumentation.
+	pm stageMetrics // Persist
+	rm stageMetrics // Reproduce
+
 	dense denseTracker // ModeSync durable-frontier tracking
 	notif durNotifier  // durable-ID waiters and subscribers
 
@@ -39,8 +59,12 @@ type System struct {
 	wg       sync.WaitGroup
 
 	// Pause points for crash-consistency tests and operational control:
-	// the Persist and Reproduce loops acquire these per iteration.
+	// the Persist coordinator and the Reproduce loop acquire these per
+	// iteration; each persist worker additionally acquires its own
+	// workerGates entry per group, so PausePersist quiesces the whole
+	// worker pool, not just the coordinator.
 	persistGate   sync.Mutex
+	workerGates   []sync.Mutex
 	reproduceGate sync.Mutex
 
 	// Statistics.
@@ -116,7 +140,14 @@ func (s *System) paged() bool { return s.cfg.Shadow != ShadowFlat }
 // starts the pipeline.
 func Create(cfg Config) (*System, error) {
 	cfg.applyDefaults()
-	lay := computeLayout(uint64(cfg.Threads), cfg.LogBufBytes, cfg.DataSize, cfg.PageSize)
+	// ModeAsync lays out one log per persist worker (each worker owns a
+	// disjoint log region); ModeSync one per Perform thread. A pool
+	// sized for the larger of the two mounts under either mode.
+	nlogs := cfg.Threads
+	if cfg.PersistThreads > nlogs {
+		nlogs = cfg.PersistThreads
+	}
+	lay := computeLayout(uint64(nlogs), cfg.LogBufBytes, cfg.DataSize, cfg.PageSize)
 	pc := cfg.Pmem
 	pc.Size = lay.total
 	dev := pmem.New(pc)
@@ -141,6 +172,11 @@ func build(cfg Config, dev *pmem.Device, lay layout, startTid uint64) (*System, 
 	if uint64(cfg.Threads) > lay.nlogs {
 		return nil, fmt.Errorf("dudetm: pool has %d logs, config wants %d threads", lay.nlogs, cfg.Threads)
 	}
+	if uint64(cfg.PersistThreads) > lay.nlogs {
+		// The pool was created with fewer logs than the mount asks
+		// persist workers for; the persistent geometry wins (Recover).
+		cfg.PersistThreads = int(lay.nlogs)
+	}
 	s := &System{
 		cfg:     cfg,
 		dev:     dev,
@@ -153,6 +189,16 @@ func build(cfg Config, dev *pmem.Device, lay layout, startTid uint64) (*System, 
 		reproCh:  make(chan repoMsg, 1<<16),
 		startTid: startTid,
 	}
+	if cfg.Mode == ModeAsync {
+		// Per-worker dispatch queues sized to the reservation window, so
+		// a send after a successful reserve never blocks.
+		s.dispatch = make([]chan persistMsg, cfg.PersistThreads)
+		for i := range s.dispatch {
+			s.dispatch[i] = make(chan persistMsg, persistWindow)
+		}
+		s.workerGates = make([]sync.Mutex, cfg.PersistThreads)
+	}
+	s.applyCh = make(chan applyTask, cfg.ReproThreads)
 	s.durable.Store(startTid)
 	s.reproduced.Store(startTid)
 	s.dense = denseTracker{next: startTid + 1, pend: make(map[uint64]struct{})}
@@ -208,9 +254,21 @@ func (s *System) bindWriters() {
 }
 
 func (s *System) start() {
+	s.pm.markStart()
+	s.rm.markStart()
 	s.wg.Add(1)
 	go s.reproduceLoop()
+	if s.cfg.ReproThreads > 1 {
+		for i := 0; i < s.cfg.ReproThreads; i++ {
+			s.wg.Add(1)
+			go s.reproApplier()
+		}
+	}
 	if s.cfg.Mode == ModeAsync {
+		for i := range s.dispatch {
+			s.persistWG.Add(1)
+			go s.persistWorker(i)
+		}
 		s.wg.Add(1)
 		go s.persistLoop()
 	}
@@ -379,7 +437,10 @@ func (s *System) flushBurned(th *thread) {
 	for _, b := range th.burned {
 		g := &redolog.Group{MinTid: b, MaxTid: b}
 		th.writer.AppendGroup(g)
+		s.pm.groups.Add(1)
+		s.pm.fences.Add(1)
 		s.markDurable(b)
+		s.rm.enqueue()
 		s.reproCh <- repoMsg{g: g, w: th.writer, wi: th.slot}
 	}
 	th.burned = th.burned[:0]
@@ -396,11 +457,16 @@ func (s *System) syncCommit(th *thread, tid uint64) {
 	ep := getEntrySlice()
 	*ep = append((*ep)[:0], th.entries...)
 	g := &redolog.Group{MinTid: tid, MaxTid: tid, Entries: *ep}
+	t0 := time.Now()
 	th.writer.AppendGroup(g)
+	s.pm.busy.Add(uint64(time.Since(t0)))
+	s.pm.groups.Add(1)
+	s.pm.fences.Add(1)
 	s.rawEntries.Add(uint64(len(th.entries)))
 	s.combEntries.Add(uint64(len(th.entries)))
 	s.groups.Add(1)
 	s.markDurable(tid)
+	s.rm.enqueue()
 	s.reproCh <- repoMsg{g: g, w: th.writer, wi: th.slot, ep: ep}
 	th.entries = th.entries[:0]
 	s.WaitDurable(tid)
@@ -469,6 +535,8 @@ type Stats struct {
 	TM          stm.Stats
 	Shadow      shadow.Stats
 	Device      pmem.Stats
+	Persist     StageStats // Persist-stage utilization
+	Reproduce   StageStats // Reproduce-stage utilization
 }
 
 // Stats returns a snapshot of system activity.
@@ -492,19 +560,52 @@ func (s *System) Stats() Stats {
 		TM:          s.engine.Stats(),
 		Shadow:      s.space.Stats(),
 		Device:      s.dev.Stats(),
+		Persist:     s.PersistStats(),
+		Reproduce:   s.ReproduceStats(),
 	}
+}
+
+// PersistStats returns the Persist stage's utilization snapshot. Busy
+// time is summed across the worker pool, so Utilization is normalized
+// per worker.
+func (s *System) PersistStats() StageStats {
+	n := s.cfg.PersistThreads
+	if s.cfg.Mode == ModeSync {
+		// Appends happen inline on the Perform threads.
+		n = s.cfg.Threads
+	}
+	return s.pm.snapshot(n, n)
+}
+
+// ReproduceStats returns the Reproduce stage's utilization snapshot.
+// Busy time is the wall time of the ordering loop's apply+fence
+// sections (the sharded appliers run inside it), so the divisor is 1.
+func (s *System) ReproduceStats() StageStats {
+	return s.rm.snapshot(s.cfg.ReproThreads, 1)
 }
 
 // PausePersist freezes the Persist step: transactions keep committing
 // but stop becoming durable. It returns only once the step is quiescent
-// (no in-flight log append), so a Device snapshot taken afterwards is
-// coherent. ResumePersist releases it; the step must be resumed before
-// Close.
-//dudelint:ignore unlockpath pause gate is intentionally held across the call; ResumePersist releases it
-func (s *System) PausePersist() { s.persistGate.Lock() }
+// (the coordinator parked and no worker in-flight on a log append), so
+// a Device snapshot taken afterwards is coherent. ResumePersist
+// releases it; the step must be resumed before Close. Lock order is
+// coordinator gate first, then worker gates in index order.
+func (s *System) PausePersist() {
+	//dudelint:ignore unlockpath pause gates are intentionally held across the call; ResumePersist releases them
+	s.persistGate.Lock()
+	for i := range s.workerGates {
+		//dudelint:ignore unlockpath pause gates are intentionally held across the call; ResumePersist releases them
+		s.workerGates[i].Lock()
+	}
+}
 
 // ResumePersist releases PausePersist.
-func (s *System) ResumePersist() { s.persistGate.Unlock() }
+func (s *System) ResumePersist() {
+	for i := len(s.workerGates) - 1; i >= 0; i-- {
+		s.workerGates[i].Unlock()
+	}
+	s.persistGate.Unlock()
+}
 
 // PauseReproduce freezes the Reproduce step: transactions become
 // durable in the log but are not applied to persistent data. It returns

@@ -453,3 +453,38 @@ func Table4(c ExpConfig) error {
 	fmt.Fprintln(c.Out)
 	return nil
 }
+
+// Smoke is the CI health check for the parallel pipeline: a short
+// DUDETM run with both background stages forced multi-worker. It fails
+// if either stage's utilization counters stay zero — the symptom of a
+// regression that silently routes work around the worker pools (or
+// stops counting it).
+func Smoke(c ExpConfig) error {
+	c.applyDefaults()
+	ops := 20000
+	if c.Quick {
+		ops /= 10
+	}
+	res, err := Run(DudeSTM, NewHashBench(), Options{
+		Threads:        c.Threads,
+		GroupSize:      16,
+		PersistThreads: 2,
+		ReproThreads:   4,
+	}, MeasureOpts{TotalOps: ops})
+	if err != nil {
+		return err
+	}
+	if res.Stats.PersistBusyNS == 0 || res.Stats.PersistFences == 0 {
+		return fmt.Errorf("smoke: persist stage idle over %d txs (busy=%dns fences=%d)",
+			res.Ops, res.Stats.PersistBusyNS, res.Stats.PersistFences)
+	}
+	if res.Stats.ReproBusyNS == 0 || res.Stats.ReproFences == 0 {
+		return fmt.Errorf("smoke: reproduce stage idle over %d txs (busy=%dns fences=%d)",
+			res.Ops, res.Stats.ReproBusyNS, res.Stats.ReproFences)
+	}
+	fmt.Fprintf(c.Out, "smoke: %s · persist busy %v / %d fences · reproduce busy %v / %d fences\n",
+		fmtTPS(res.TPS),
+		time.Duration(res.Stats.PersistBusyNS), res.Stats.PersistFences,
+		time.Duration(res.Stats.ReproBusyNS), res.Stats.ReproFences)
+	return nil
+}

@@ -149,13 +149,17 @@ func Measure(sys System, bench Bench, threads int, m MeasureOpts) (Result, error
 		Elapsed: elapsed,
 		TPS:     float64(perThread*threads) / elapsed.Seconds(),
 		Stats: SysStats{
-			Commits:     after.Commits - before.Commits,
-			Aborts:      after.Aborts - before.Aborts,
-			Writes:      after.Writes - before.Writes,
-			NVMBytes:    after.NVMBytes - before.NVMBytes,
-			LogBytes:    after.LogBytes - before.LogBytes,
-			RawEntries:  after.RawEntries - before.RawEntries,
-			CombEntries: after.CombEntries - before.CombEntries,
+			Commits:       after.Commits - before.Commits,
+			Aborts:        after.Aborts - before.Aborts,
+			Writes:        after.Writes - before.Writes,
+			NVMBytes:      after.NVMBytes - before.NVMBytes,
+			LogBytes:      after.LogBytes - before.LogBytes,
+			RawEntries:    after.RawEntries - before.RawEntries,
+			CombEntries:   after.CombEntries - before.CombEntries,
+			PersistBusyNS: after.PersistBusyNS - before.PersistBusyNS,
+			ReproBusyNS:   after.ReproBusyNS - before.ReproBusyNS,
+			PersistFences: after.PersistFences - before.PersistFences,
+			ReproFences:   after.ReproFences - before.ReproFences,
 		},
 	}
 	if m.SampleLat {

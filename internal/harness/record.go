@@ -28,6 +28,13 @@ type Record struct {
 	LogBytes    uint64  `json:"log_bytes"`
 	RawEntries  uint64  `json:"raw_entries"`
 	CombEntries uint64  `json:"comb_entries"`
+	// Background-stage utilization over the measured interval (new
+	// fields append after the original ones to keep the key order of
+	// older records stable).
+	PersistBusyNS uint64 `json:"persist_busy_ns"`
+	ReproBusyNS   uint64 `json:"repro_busy_ns"`
+	PersistFences uint64 `json:"persist_fences"`
+	ReproFences   uint64 `json:"repro_fences"`
 }
 
 // recorder collects the Result of every Measure call while recording is
@@ -74,10 +81,14 @@ func record(res Result) {
 			Commits:     res.Stats.Commits,
 			Aborts:      res.Stats.Aborts,
 			Writes:      res.Stats.Writes,
-			NVMBytes:    res.Stats.NVMBytes,
-			LogBytes:    res.Stats.LogBytes,
-			RawEntries:  res.Stats.RawEntries,
-			CombEntries: res.Stats.CombEntries,
+			NVMBytes:      res.Stats.NVMBytes,
+			LogBytes:      res.Stats.LogBytes,
+			RawEntries:    res.Stats.RawEntries,
+			CombEntries:   res.Stats.CombEntries,
+			PersistBusyNS: res.Stats.PersistBusyNS,
+			ReproBusyNS:   res.Stats.ReproBusyNS,
+			PersistFences: res.Stats.PersistFences,
+			ReproFences:   res.Stats.ReproFences,
 		})
 	}
 	recorder.mu.Unlock()

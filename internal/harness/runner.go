@@ -83,6 +83,9 @@ type Options struct {
 	VLogEntries int
 	Shadow      dudetm.ShadowKind
 	ShadowBytes uint64
+	// Background-stage worker counts (0 = dudetm defaults).
+	PersistThreads int
+	ReproThreads   int
 }
 
 func (o *Options) applyDefaults() {
@@ -100,7 +103,9 @@ func (o *Options) applyDefaults() {
 	}
 }
 
-// SysStats is a cross-system statistics snapshot.
+// SysStats is a cross-system statistics snapshot. All fields are
+// monotonic counters, so interval activity is the difference of two
+// snapshots.
 type SysStats struct {
 	Commits     uint64
 	Aborts      uint64
@@ -109,6 +114,12 @@ type SysStats struct {
 	LogBytes    uint64 // serialized log bytes (after combine/compress)
 	RawEntries  uint64
 	CombEntries uint64
+	// Background-stage utilization (DudeTM only): busy nanoseconds and
+	// persist barriers per stage.
+	PersistBusyNS uint64
+	ReproBusyNS   uint64
+	PersistFences uint64
+	ReproFences   uint64
 }
 
 // System is the harness view of a system under test.
@@ -148,14 +159,16 @@ func NewSystem(kind SysKind, o Options) (System, error) {
 		return &volatileSys{kind: kind, tm: stm.NewHTM(sp, stm.HTMConfig{MaxSlots: o.Threads})}, nil
 	case DudeSTM, DudeInf, DudeSync, DudeHTM:
 		cfg := dudetm.Config{
-			DataSize:    o.DataSize,
-			Threads:     o.Threads,
-			GroupSize:   o.GroupSize,
-			Compress:    o.Compress,
-			VLogEntries: o.VLogEntries,
-			Shadow:      o.Shadow,
-			ShadowBytes: o.ShadowBytes,
-			Pmem:        pc,
+			DataSize:       o.DataSize,
+			Threads:        o.Threads,
+			GroupSize:      o.GroupSize,
+			Compress:       o.Compress,
+			VLogEntries:    o.VLogEntries,
+			Shadow:         o.Shadow,
+			ShadowBytes:    o.ShadowBytes,
+			PersistThreads: o.PersistThreads,
+			ReproThreads:   o.ReproThreads,
+			Pmem:           pc,
 		}
 		switch kind {
 		case DudeInf:
@@ -247,13 +260,17 @@ func (d *dudeSys) Close() { d.s.Close() }
 func (d *dudeSys) Stats() SysStats {
 	st := d.s.Stats()
 	return SysStats{
-		Commits:     st.TM.Commits,
-		Aborts:      st.TM.Aborts,
-		Writes:      st.Writes,
-		NVMBytes:    st.Device.BytesFlushed,
-		LogBytes:    st.LogBytes,
-		RawEntries:  st.RawEntries,
-		CombEntries: st.CombEntries,
+		Commits:       st.TM.Commits,
+		Aborts:        st.TM.Aborts,
+		Writes:        st.Writes,
+		NVMBytes:      st.Device.BytesFlushed,
+		LogBytes:      st.LogBytes,
+		RawEntries:    st.RawEntries,
+		CombEntries:   st.CombEntries,
+		PersistBusyNS: st.Persist.BusyNanos,
+		ReproBusyNS:   st.Reproduce.BusyNanos,
+		PersistFences: st.Persist.Fences,
+		ReproFences:   st.Reproduce.Fences,
 	}
 }
 

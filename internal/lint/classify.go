@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -182,6 +183,108 @@ func isAtomicFuncCall(pkg *Package, call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	return method, true
+}
+
+// localBatchObjs returns the variable objects bound to a batch created
+// in this scope (b := dev.NewBatch(), or var b = dev.NewBatch()). A
+// scope that creates a batch owns its fence; a scope that only receives
+// one (parameter, struct field, channel message) flushes into it on the
+// owner's behalf.
+func localBatchObjs(pkg *Package, scope funcScope) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isDeviceCall(pkg, call, "NewBatch") {
+			return
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			objs[obj] = true
+		} else if obj := pkg.Info.Uses[id]; obj != nil {
+			objs[obj] = true
+		}
+	}
+	walkScope(scope.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Rhs {
+					bind(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Values {
+					bind(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// isForeignBatchCall reports whether call is a method on a pmem.Batch
+// the scope did not create: its fence is the batch owner's duty (the
+// sharded Reproduce appliers flush per-shard into the group's batch;
+// the ordering loop fences once at the join barrier). Requires resolved
+// type information — name-fallback receivers are never foreign, so the
+// exemption can only relax a call the types prove is a Batch.
+func isForeignBatchCall(pkg *Package, call *ast.CallExpr, local map[types.Object]bool) bool {
+	recv, _ := callee(call)
+	if recv == nil {
+		return false
+	}
+	t := recvType(pkg, recv)
+	if t == nil || !namedIn(t, "internal/pmem", "Batch") {
+		return false
+	}
+	if id, ok := ast.Unparen(recv).(*ast.Ident); ok {
+		if obj := pkg.Info.Uses[id]; obj != nil && local[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// batchEscapes returns the positions where a locally created batch is
+// used other than as a Flush/Fence receiver — passed as a call
+// argument, stored in a composite literal, sent on a channel. An escape
+// hands the batch to code that will flush into it, so for fence/flush
+// pairing it is flush-like evidence that the scope's fence orders real
+// work.
+func batchEscapes(pkg *Package, scope funcScope, local map[types.Object]bool) []token.Pos {
+	if len(local) == 0 {
+		return nil
+	}
+	recvIdent := make(map[token.Pos]bool)
+	walkScope(scope.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, name := callee(call); recv != nil && (name == "Flush" || name == "Fence") {
+			if id, ok := ast.Unparen(recv).(*ast.Ident); ok {
+				recvIdent[id.Pos()] = true
+			}
+		}
+		return true
+	})
+	var escapes []token.Pos
+	walkScope(scope.body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil && local[obj] && !recvIdent[id.Pos()] {
+			escapes = append(escapes, id.Pos())
+		}
+		return true
+	})
+	return escapes
 }
 
 func contains(names []string, s string) bool {

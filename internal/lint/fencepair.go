@@ -17,8 +17,17 @@ import (
 //     i.e. not durable.
 //
 // Device.Persist is a self-contained flush+fence and participates in
-// neither rule. Functions that flush into a batch fenced by their
-// caller suppress with a justification. The pmem package itself and
+// neither rule.
+//
+// Batch ownership splits the rules across the sharded apply path: a
+// Batch.Flush on a batch the function did not create (a parameter,
+// struct field, or channel-received value — e.g. a Reproduce applier
+// flushing its address shard into the group's shared batch) is exempt
+// from the following-fence rule, because the fence is the batch owner's
+// duty at the join barrier; conversely, handing a locally created batch
+// to other code (as a call argument, composite-literal field, or
+// channel send) counts as flush-like evidence, so the owner's fence
+// after the join is not a "wasted barrier". The pmem package itself and
 // test files (which deliberately leave data unflushed to exercise
 // Crash()) are exempt.
 var analyzerFencePair = &Analyzer{
@@ -42,7 +51,8 @@ func runFencePair(pass *Pass) {
 }
 
 func checkFencePairScope(pass *Pass, scope funcScope) {
-	var flushes, fences []token.Pos
+	local := localBatchObjs(pass.Pkg, scope)
+	var flushes, foreignFlushes, fences []token.Pos
 	walkScope(scope.body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -50,15 +60,25 @@ func checkFencePairScope(pass *Pass, scope funcScope) {
 		}
 		switch {
 		case isDeviceCall(pass.Pkg, call, "FlushRange") || isBatchCall(pass.Pkg, call, "Flush"):
-			flushes = append(flushes, call.Pos())
+			if isForeignBatchCall(pass.Pkg, call, local) {
+				// Flushing a shard into a batch owned elsewhere: the
+				// owner fences at the join barrier.
+				foreignFlushes = append(foreignFlushes, call.Pos())
+			} else {
+				flushes = append(flushes, call.Pos())
+			}
 		case isDeviceCall(pass.Pkg, call, "Fence") || isBatchCall(pass.Pkg, call, "Fence"):
 			fences = append(fences, call.Pos())
 		}
 		return true
 	})
+	// A local batch handed to other code is flush-like for the fence
+	// rule: the fence after the join orders the escapees' flushes.
+	flushLike := append(append([]token.Pos{}, flushes...), foreignFlushes...)
+	flushLike = append(flushLike, batchEscapes(pass.Pkg, scope, local)...)
 	for _, fe := range fences {
 		preceded := false
-		for _, fl := range flushes {
+		for _, fl := range flushLike {
 			if fl < fe {
 				preceded = true
 				break

@@ -24,6 +24,13 @@ import (
 // happens at commit) carry a //dudelint:ignore persistorder comment
 // with the justification. The pmem package itself — the substrate that
 // defines Store and Flush — and test files are exempt.
+//
+// The sharded Reproduce apply path needs no suppression: an applier
+// that stores its address shard and flushes it into the group's shared
+// batch satisfies rule 1 (Batch.Flush covers the stores regardless of
+// who owns the batch — the owner fences at the join barrier), and rule
+// 2 still fires if the applier publishes completion atomically before
+// its flushes, which is the crash bug the barrier exists to prevent.
 var analyzerPersistOrder = &Analyzer{
 	Name: "persistorder",
 	Doc:  "pmem stores must be flushed before return and before any atomic publish",

@@ -33,3 +33,39 @@ func good3(dev *pmem.Device, addrs []uint64) {
 	}
 	b.Fence()
 }
+
+// shardTask models the sharded Reproduce apply path: the ordering loop
+// owns the batch; appliers flush their address shard into it.
+type shardTask struct {
+	b *pmem.Batch
+}
+
+// good4: flushing into a batch received from its owner (struct field) —
+// the fence is the owner's duty at the join barrier, not this
+// function's.
+func good4(t shardTask, addrs []uint64) {
+	for _, a := range addrs {
+		t.b.Flush(a, 8)
+	}
+}
+
+// good5: a batch parameter is likewise owned by the caller.
+func good5(b *pmem.Batch, addr uint64) {
+	b.Flush(addr, 8)
+}
+
+// good6: the owner's side of the sharded path — the locally created
+// batch escapes to the appliers (composite literal, channel send), so
+// the post-join fence orders their flushes and is not a wasted barrier.
+func good6(dev *pmem.Device, ch chan shardTask) {
+	b := dev.NewBatch()
+	ch <- shardTask{b: b}
+	b.Fence()
+}
+
+// bad3: creating a batch, flushing it and never fencing is still wrong —
+// ownership does not waive the owner's pairing duty.
+func bad3(dev *pmem.Device, addr uint64) {
+	b := dev.NewBatch()
+	b.Flush(addr, 8) // want: never followed by a fence
+}

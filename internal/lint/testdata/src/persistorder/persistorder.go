@@ -49,3 +49,34 @@ func (m volatileMap) Store(k, v uint64) { m[k] = v }
 
 // good3: a store through a volatile type needs no flush.
 func good3(m volatileMap) { m.Store(1, 2) }
+
+// applyTask models one address shard of the sharded Reproduce path:
+// an applier stores its shard and flushes into the owner's shared
+// batch; the owner fences at the join barrier.
+type applyTask struct {
+	b *pmem.Batch
+}
+
+// good4: the sharded applier — per-shard flushes into the foreign batch
+// cover the stores; no suppression needed.
+func (r *region) good4(t applyTask, addrs []uint64) {
+	for _, a := range addrs {
+		r.dev.Store8(a, 1)
+	}
+	for _, a := range addrs {
+		t.b.Flush(a, 8)
+	}
+}
+
+// bad3: an applier that atomically publishes completion before flushing
+// its shard defeats the join barrier — the owner would fence and
+// advance the replay frontier over unflushed data.
+func (r *region) bad3(t applyTask, done *atomic.Uint64, addrs []uint64) {
+	for _, a := range addrs {
+		r.dev.Store8(a, 1) // want: published before flushed
+	}
+	done.Add(1)
+	for _, a := range addrs {
+		t.b.Flush(a, 8)
+	}
+}

@@ -268,23 +268,26 @@ func (d *Device) Persist(addr, n uint64) {
 }
 
 // Batch accumulates flushes whose ordering cost is paid by one fence, the
-// pattern used when persisting a whole redo log at once.
+// pattern used when persisting a whole redo log at once. Flush may be
+// called from multiple goroutines concurrently (the sharded Reproduce
+// appliers share one batch); Fence must be called by a single goroutine
+// after joining all flushers, mirroring how SFENCE orders the CLWBs the
+// issuing core has observed.
 type Batch struct {
 	d     *Device
-	bytes uint64
+	bytes atomic.Uint64
 }
 
 // NewBatch starts a flush batch.
 func (d *Device) NewBatch() *Batch { return &Batch{d: d} }
 
 // Flush writes back the dirty lines of the range, accumulating volume.
-func (b *Batch) Flush(addr, n uint64) { b.bytes += b.d.FlushRange(addr, n) }
+func (b *Batch) Flush(addr, n uint64) { b.bytes.Add(b.d.FlushRange(addr, n)) }
 
 // Fence orders the batch and stalls for max(latency, volume/bandwidth).
 // The batch can be reused afterwards.
 func (b *Batch) Fence() {
-	b.d.Fence(b.bytes)
-	b.bytes = 0
+	b.d.Fence(b.bytes.Swap(0))
 }
 
 // Crash simulates a power failure: every line not made durable reverts to

@@ -480,3 +480,31 @@ func TestDecodeEntriesRejectsBadLength(t *testing.T) {
 		t.Fatal("accepted non-multiple length")
 	}
 }
+
+// BenchmarkCombiner drives a steady stream of groups through one
+// combiner: after warmup the epoch-stamped index reuses its map and
+// entry slice, so the per-group allocation count must be zero.
+func BenchmarkCombiner(b *testing.B) {
+	c := NewCombiner()
+	rng := rand.New(rand.NewSource(7))
+	group := make([]Entry, 256)
+	for i := range group {
+		// ~25% same-address overlap so combination does real work.
+		group[i] = Entry{Addr: uint64(rng.Intn(192)) * 8, Val: rng.Uint64()}
+	}
+	// Warm up: grow the map and entry slice to steady-state capacity.
+	c.AddAll(group)
+	c.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AddAll(group)
+		c.Reset()
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.AddAll(group)
+		c.Reset()
+	}); allocs != 0 {
+		b.Fatalf("combiner allocates %.1f times per group in steady state, want 0", allocs)
+	}
+}

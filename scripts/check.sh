@@ -19,7 +19,15 @@ go run ./cmd/dudelint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (stm, redolog, dudetm, server)"
-go test -race ./internal/stm ./internal/redolog ./internal/dudetm ./internal/server
+echo "== go test -race (stm, redolog, dudetm, server; 4 stage threads)"
+# DUDETM_STAGE_THREADS=4 forces the parallel Persist/Reproduce paths in
+# every test that does not pin its own worker counts, so the race pass
+# exercises the sharded pipeline, not the single-worker degenerate case.
+DUDETM_STAGE_THREADS=4 go test -race -count=1 ./internal/stm ./internal/redolog ./internal/dudetm ./internal/server
+
+echo "== dudebench smoke (stage utilization counters)"
+# Fails if the persist or reproduce utilization counters stay zero — a
+# regression that routed work around the worker pools.
+go run ./cmd/dudebench -experiment smoke -quick
 
 echo "ok: all tier-1 checks passed"
