@@ -353,6 +353,53 @@ func BenchmarkPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkObs sweeps the observability layer's sampling period on the
+// pipeline workload: tracing off, 1-in-64, and every transaction. The
+// tps metric across the three rows is the tracing overhead signal (off
+// vs. 1-in-64 should be within noise; the obs package's alloc tests pin
+// the disabled hot path at zero allocations). Runs are recorded to
+// BENCH_obs.json with the dur_p50/p99/p999 latency quantiles filled.
+func BenchmarkObs(b *testing.B) {
+	harness.StartRecording()
+	harness.SetExperiment("obs")
+	for _, sample := range []int{-1, 64, 1} {
+		name := fmt.Sprintf("sample=%d", sample)
+		if sample < 0 {
+			name = "sample=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Run(harness.DudeSTM, harness.NewHashBench(), harness.Options{
+					Threads:          2,
+					GroupSize:        64,
+					PersistThreads:   2,
+					ReproThreads:     2,
+					TraceSampleEvery: sample,
+				}, harness.MeasureOpts{TotalOps: 30000, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.TPS, "tps")
+				ob := res.Stats.Obs
+				if sample > 0 && (ob.SampledCommits == 0 || ob.CommitDurable.Count == 0) {
+					b.Fatalf("sampling 1-in-%d recorded nothing: %+v", sample, ob)
+				}
+				if sample < 0 && ob.SampledCommits != 0 {
+					b.Fatalf("tracing off but %d commits sampled", ob.SampledCommits)
+				}
+			}
+		})
+	}
+	f, err := os.Create("BENCH_obs.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := harness.WriteJSON(f); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkExtensionMixes measures the full TPC-C and TATP transaction
 // blends (repository extensions beyond the paper's single-transaction
 // workloads) under DUDETM and its synchronous variant.

@@ -7,6 +7,7 @@
 //	dudectl inspect <image>     show pool geometry, log state, frontier
 //	dudectl recover <image>     replay logs, write the recovered image back
 //	dudectl lint [dirs]         run the dudelint analyzers (default: whole module)
+//	dudectl top [flags]         live pipeline view from a dudesrv -metrics endpoint
 package main
 
 import (
@@ -24,8 +25,12 @@ func main() {
 		runLint(os.Args[2:])
 		return
 	}
+	if len(os.Args) >= 2 && os.Args[1] == "top" {
+		runTop(os.Args[2:])
+		return
+	}
 	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: dudectl inspect|recover <image> | dudectl lint [dirs]")
+		fmt.Fprintln(os.Stderr, "usage: dudectl inspect|recover <image> | dudectl lint [dirs] | dudectl top [flags]")
 		os.Exit(2)
 	}
 	cmd, path := os.Args[1], os.Args[2]

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"dudetm/internal/obs"
+)
+
+// requiredSeries is the -check contract: a healthy dudesrv metrics
+// endpoint exposes every one of these with a finite value. It mirrors
+// the list asserted by the server's own endpoint test.
+var requiredSeries = []string{
+	"dudetm_clock_tid",
+	"dudetm_durable_tid",
+	"dudetm_reproduced_tid",
+	`dudetm_stage_utilization{stage="persist"}`,
+	`dudetm_stage_utilization{stage="reproduce"}`,
+	`dudetm_stage_queue_depth{stage="persist"}`,
+	`dudetm_stage_queue_depth{stage="reproduce"}`,
+	"dudetm_commit_durable_seconds_count",
+	"dudetm_commit_durable_seconds_sum",
+	`dudetm_commit_durable_latency_seconds{quantile="0.5"}`,
+	`dudetm_commit_durable_latency_seconds{quantile="0.99"}`,
+	`dudetm_commit_durable_latency_seconds{quantile="0.999"}`,
+	"dudetm_watchdog_stalls_total",
+	"dudesrv_connections_total",
+	"dudesrv_requests_total",
+	"dudesrv_acked_writes_total",
+}
+
+// runTop polls a dudesrv metrics endpoint and renders a live view of
+// the pipeline: frontier lags, per-stage utilization and backlog, and
+// the durability latency quantiles.
+func runTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7071", "metrics endpoint (host:port, or a full /metrics URL)")
+	n := fs.Int("n", 0, "number of samples to take (0 = until interrupted)")
+	interval := fs.Duration("interval", time.Second, "polling interval")
+	check := fs.Bool("check", false, "scrape once, validate the required series are present and finite, exit non-zero otherwise")
+	fs.Parse(args)
+
+	url := *addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.Contains(url, "/metrics") {
+		url = strings.TrimRight(url, "/") + "/metrics"
+	}
+
+	if *check {
+		m := scrape(url)
+		bad := 0
+		for _, series := range requiredSeries {
+			v, ok := m[series]
+			switch {
+			case !ok:
+				fmt.Fprintf(os.Stderr, "dudectl top: missing series %s\n", series)
+				bad++
+			case math.IsNaN(v) || math.IsInf(v, 0):
+				fmt.Fprintf(os.Stderr, "dudectl top: %s = %v\n", series, v)
+				bad++
+			}
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "dudectl top: %d of %d required series missing or non-finite\n", bad, len(requiredSeries))
+			os.Exit(1)
+		}
+		fmt.Printf("dudectl top: %s healthy (%d required series present and finite)\n", url, len(requiredSeries))
+		return
+	}
+
+	for i := 0; *n == 0 || i < *n; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		renderTop(url, scrape(url), i+1)
+	}
+}
+
+func scrape(url string) map[string]float64 {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("GET %s: %s", url, resp.Status))
+	}
+	m, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+func renderTop(url string, m map[string]float64, sample int) {
+	clock := m["dudetm_clock_tid"]
+	durable := m["dudetm_durable_tid"]
+	repro := m["dudetm_reproduced_tid"]
+	fmt.Printf("dudetm top — %s (sample %d)\n", url, sample)
+	fmt.Printf("  frontier    clock %.0f   durable %.0f (lag %.0f)   reproduced %.0f (lag %.0f)\n",
+		clock, durable, clock-durable, repro, durable-repro)
+	for _, stage := range []string{"persist", "reproduce"} {
+		l := fmt.Sprintf("{stage=%q}", stage)
+		fmt.Printf("  %-11s util %5.1f%%   queue %.0f   workers %.0f   groups %.0f   fences %.0f\n",
+			stage,
+			100*m["dudetm_stage_utilization"+l],
+			m["dudetm_stage_queue_depth"+l],
+			m["dudetm_stage_workers"+l],
+			m["dudetm_stage_groups_total"+l],
+			m["dudetm_stage_fences_total"+l])
+	}
+	fmt.Printf("  durability  p50 %s   p99 %s   p999 %s   (%.0f sampled, commit→durable)\n",
+		secs(m[`dudetm_commit_durable_latency_seconds{quantile="0.5"}`]),
+		secs(m[`dudetm_commit_durable_latency_seconds{quantile="0.99"}`]),
+		secs(m[`dudetm_commit_durable_latency_seconds{quantile="0.999"}`]),
+		m["dudetm_trace_sampled_total"])
+	fmt.Printf("  reproduce   p99 %s   commit→applied\n",
+		secs(m[`dudetm_commit_reproduced_latency_seconds{quantile="0.99"}`]))
+	fmt.Printf("  server      conns %.0f   requests %.0f   acked writes %.0f   stalls %.0f\n",
+		m["dudesrv_connections_total"], m["dudesrv_requests_total"],
+		m["dudesrv_acked_writes_total"], m["dudetm_watchdog_stalls_total"])
+}
+
+// secs renders a latency gauge in a human unit.
+func secs(v float64) string {
+	if v == 0 || math.IsNaN(v) {
+		return "-"
+	}
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}

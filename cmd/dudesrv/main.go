@@ -6,9 +6,14 @@
 // graceful shutdown (SIGINT/SIGTERM) the server drains connections,
 // waits for the durable frontier, and writes the image back.
 //
+// With -metrics the server also serves a live observability endpoint:
+// Prometheus text on /metrics, lifecycle traces on /debug/trace, the
+// last watchdog stall report on /debug/stall, and pprof profiles under
+// /debug/pprof/. `dudectl top` renders it as a live pipeline view.
+//
 // Usage:
 //
-//	dudesrv -addr :7070 -image /tmp/dude.img -group 64
+//	dudesrv -addr :7070 -image /tmp/dude.img -group 64 -metrics 127.0.0.1:7071
 //
 // A quick smoke run, with the bundled load generator:
 //
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,14 +46,19 @@ func main() {
 		sync      = flag.Bool("sync", false, "synchronous durability (one fence per transaction; defeats group commit)")
 		maxConns  = flag.Int("max-conns", 64, "concurrent connection cap (excess dialers queue)")
 		drainTime = flag.Duration("drain", 30*time.Second, "graceful-shutdown connection drain timeout")
+		metrics   = flag.String("metrics", "", "HTTP observability listen address serving /metrics, /debug/trace and /debug/pprof/ (empty = disabled)")
+		traceN    = flag.Int("trace-sample", 64, "trace the lifecycle of every N-th transaction (0 = off)")
+		watchdog  = flag.Duration("watchdog", time.Second, "pipeline stall watchdog sampling interval (0 = off)")
 	)
 	flag.Parse()
 
 	opts := dudetm.Options{
-		DataSize:  uint64(*dataMiB) << 20,
-		Threads:   *threads,
-		GroupSize: *group,
-		Sync:      *sync,
+		DataSize:         uint64(*dataMiB) << 20,
+		Threads:          *threads,
+		GroupSize:        *group,
+		Sync:             *sync,
+		TraceSampleEvery: *traceN,
+		Watchdog:         *watchdog,
 	}
 	var pool *dudetm.Pool
 	var err error
@@ -78,6 +89,21 @@ func main() {
 	}
 	log.Printf("dudesrv: listening on %s", ln.Addr())
 
+	var msrv *http.Server
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("dudesrv: metrics listener: %v", err)
+		}
+		msrv = &http.Server{Handler: srv.DebugHandler()}
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				log.Printf("dudesrv: metrics: %v", err)
+			}
+		}()
+		log.Printf("dudesrv: metrics on http://%s/metrics", mln.Addr())
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
@@ -94,6 +120,9 @@ func main() {
 
 	// Serve returned: the drain is complete. Quiesce the pool and write
 	// the image so the next start recovers every acknowledged write.
+	if msrv != nil {
+		msrv.Close()
+	}
 	st := srv.Stats()
 	pst := pool.Stats()
 	pool.Close()

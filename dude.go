@@ -34,6 +34,7 @@ import (
 
 	idudetm "dudetm/internal/dudetm"
 	"dudetm/internal/memdb"
+	"dudetm/internal/obs"
 	"dudetm/internal/pmem"
 )
 
@@ -41,6 +42,13 @@ import (
 // 8-byte words at pool addresses, plus Abort. It satisfies the
 // transaction context of the bundled data structures.
 type Tx = idudetm.Tx
+
+// TraceRecord is one lifecycle trace stamp (see Pool.TraceOf).
+type TraceRecord = obs.Record
+
+// StallReport is the watchdog's diagnostic dump for one pipeline stall
+// episode (see Options.Watchdog).
+type StallReport = idudetm.StallReport
 
 // Heap is the transactional allocator type usable inside transactions.
 type Heap = memdb.Heap
@@ -78,6 +86,21 @@ type Options struct {
 	ShadowBytes uint64
 	// HWPaging selects simulated hardware paging for the paged shadow.
 	HWPaging bool
+	// TraceSampleEvery enables lifecycle tracing for every N-th
+	// transaction: sampled transactions are stamped at commit,
+	// group-seal, persist-fence and reproduce-apply (TraceOf
+	// reconstructs the timeline) and feed the commit→durable /
+	// commit→reproduced latency histograms in Stats().Obs. 1 traces
+	// everything, 0 (default) disables per-transaction tracing;
+	// per-group metrics are always recorded.
+	TraceSampleEvery int
+	// Watchdog, when non-zero, runs a stall watchdog sampling the
+	// pipeline at this interval: a frontier with work queued behind it
+	// that stops advancing (outside PausePersist/PauseReproduce) is
+	// reported via OnStall, or to the standard logger when nil.
+	Watchdog time.Duration
+	// OnStall receives watchdog stall reports.
+	OnStall func(StallReport)
 	// Timing enables the NVM delay model.
 	Timing bool
 	// Latency and Bandwidth parameterize the delay model (defaults:
@@ -88,12 +111,15 @@ type Options struct {
 
 func (o Options) config() idudetm.Config {
 	cfg := idudetm.Config{
-		DataSize:       o.DataSize,
-		Threads:        o.Threads,
-		GroupSize:      o.GroupSize,
-		Compress:       o.Compress,
-		PersistThreads: o.PersistThreads,
-		ReproThreads:   o.ReproThreads,
+		DataSize:         o.DataSize,
+		Threads:          o.Threads,
+		GroupSize:        o.GroupSize,
+		Compress:         o.Compress,
+		PersistThreads:   o.PersistThreads,
+		ReproThreads:     o.ReproThreads,
+		TraceSampleEvery: o.TraceSampleEvery,
+		Watchdog:         o.Watchdog,
+		OnStall:          o.OnStall,
 	}
 	if cfg.Threads == 0 {
 		cfg.Threads = 4
@@ -281,6 +307,20 @@ func (p *Pool) Reproduced() uint64 { return p.sys.Reproduced() }
 
 // Stats returns pipeline and device statistics.
 func (p *Pool) Stats() idudetm.Stats { return p.sys.Stats() }
+
+// TraceOf reconstructs the lifecycle timeline of a sampled transaction
+// (Options.TraceSampleEvery): commit → group-seal → persist-fence →
+// reproduce-apply, ordered by timestamp. Transactions old enough to
+// have been overwritten in the trace rings return a partial or empty
+// timeline.
+func (p *Pool) TraceOf(tid uint64) []TraceRecord { return p.sys.TraceOf(tid) }
+
+// TraceTail returns the most recent n trace records across the pool's
+// trace rings (all of them when n <= 0), oldest first.
+func (p *Pool) TraceTail(n int) []TraceRecord { return p.sys.TraceTail(n) }
+
+// LastStall returns the most recent watchdog stall report, or nil.
+func (p *Pool) LastStall() *StallReport { return p.sys.LastStall() }
 
 // PausePersist freezes the Persist step (transactions keep committing
 // but stop becoming durable) — for crash drills and tests.

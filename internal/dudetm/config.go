@@ -115,6 +115,27 @@ type Config struct {
 	// concurrently under one fence. Default min(2, GOMAXPROCS),
 	// overridable with DUDETM_STAGE_THREADS.
 	ReproThreads int
+	// TraceSampleEvery enables lifecycle tracing for every N-th
+	// transaction ID: sampled transactions are stamped at commit,
+	// group-seal, persist-fence and reproduce-apply (TraceOf
+	// reconstructs the timeline) and their commit→durable /
+	// commit→reproduced latencies feed the obs histograms. 1 traces
+	// everything; 0 disables per-transaction tracing (the default,
+	// overridable with DUDETM_TRACE_SAMPLE). Per-group metrics (fence
+	// duration, group size, queue dwell) are always recorded.
+	TraceSampleEvery int
+	// TraceRingEntries is the per-source trace-ring capacity
+	// (default 4096).
+	TraceRingEntries int
+	// Watchdog enables the stall watchdog: when > 0, a background
+	// goroutine samples the pipeline every Watchdog interval and calls
+	// OnStall when a frontier with work queued behind it fails to
+	// advance across two consecutive samples (pauses via PausePersist /
+	// PauseReproduce are suppressed). 0 disables it.
+	Watchdog time.Duration
+	// OnStall receives stall reports from the watchdog; nil logs the
+	// report to the standard logger.
+	OnStall func(StallReport)
 	// OrecCount overrides the STM ownership-record table size.
 	OrecCount uint64
 	// Pmem carries the NVM timing model (latency, bandwidth,
@@ -150,6 +171,12 @@ func (c *Config) applyDefaults() {
 	if c.ReproThreads == 0 {
 		c.ReproThreads = defaultStageThreads()
 	}
+	if c.TraceSampleEvery == 0 {
+		c.TraceSampleEvery = defaultTraceSample()
+	}
+	if c.TraceSampleEvery < 0 {
+		c.TraceSampleEvery = 0
+	}
 	if c.DataSize == 0 {
 		c.DataSize = 64 << 20
 	}
@@ -167,4 +194,18 @@ func defaultStageThreads() int {
 		}
 	}
 	return min(2, runtime.GOMAXPROCS(0))
+}
+
+// defaultTraceSample resolves the default trace-sampling period:
+// DUDETM_TRACE_SAMPLE when set (the CI knob that exercises the tracing
+// paths in configs that don't ask for them), otherwise disabled. A
+// negative Config.TraceSampleEvery forces tracing off even when the
+// environment sets a period.
+func defaultTraceSample() int {
+	if v := os.Getenv("DUDETM_TRACE_SAMPLE"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
 }

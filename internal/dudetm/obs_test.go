@@ -1,0 +1,327 @@
+package dudetm
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dudetm/internal/obs"
+)
+
+// TestTraceLifecycleTimeline runs traced transactions through the full
+// pipeline and checks that TraceOf reconstructs a monotonic
+// Perform→Persist→Reproduce timeline: commit first, reproduce-apply
+// last, timestamps non-decreasing.
+func TestTraceLifecycleTimeline(t *testing.T) {
+	for _, mode := range []Mode{ModeAsync, ModeSync} {
+		cfg := testConfig()
+		cfg.Mode = mode
+		cfg.Threads = 2
+		cfg.GroupSize = 4
+		cfg.TraceSampleEvery = 1
+		s, err := Create(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last uint64
+		for i := uint64(0); i < 40; i++ {
+			tid, err := s.Run(int(i%2), func(tx *Tx) error { tx.Store(i*8, i+1); return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = tid
+		}
+		s.Drain()
+		s.Close()
+
+		recs := s.TraceOf(last)
+		if len(recs) < 3 {
+			t.Fatalf("mode %d: TraceOf(%d) = %d records, want a full lifecycle: %v", mode, last, len(recs), recs)
+		}
+		seen := map[obs.EventKind]bool{}
+		var prevAt int64 = -1
+		for i, r := range recs {
+			if r.MinTid > last || r.MaxTid < last {
+				t.Fatalf("mode %d: record %d range [%d,%d] does not cover tid %d", mode, i, r.MinTid, r.MaxTid, last)
+			}
+			if r.At < prevAt {
+				t.Fatalf("mode %d: record %d out of time order: %d < %d (%v)", mode, i, r.At, prevAt, recs)
+			}
+			prevAt = r.At
+			seen[r.Kind] = true
+		}
+		for _, k := range []obs.EventKind{obs.EvCommit, obs.EvGroupSeal, obs.EvPersistFence, obs.EvReproApply} {
+			if !seen[k] {
+				t.Errorf("mode %d: timeline missing %s stamp: %v", mode, k, recs)
+			}
+		}
+		if recs[0].Kind != obs.EvCommit {
+			t.Errorf("mode %d: first record = %s, want commit", mode, recs[0].Kind)
+		}
+		if recs[len(recs)-1].Kind != obs.EvReproApply {
+			t.Errorf("mode %d: last record = %s, want reproduce-apply", mode, recs[len(recs)-1].Kind)
+		}
+	}
+}
+
+// TestObsStatsHistograms checks that the latency histograms in
+// Stats().Obs account for every committed transaction once the
+// pipeline drains: with SampleEvery=1, one commit→durable and one
+// commit→reproduced observation per commit.
+func TestObsStatsHistograms(t *testing.T) {
+	cfg := testConfig()
+	cfg.GroupSize = 4
+	cfg.TraceSampleEvery = 1
+	s, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := uint64(0); i < n; i++ {
+		if _, err := s.Run(0, func(tx *Tx) error { tx.Store(i*8, i+1); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	st := s.Stats()
+	if st.Obs.SampleEvery != 1 || st.Obs.SampledCommits != n {
+		t.Errorf("sampled commits = %d (every %d), want %d (every 1)", st.Obs.SampledCommits, st.Obs.SampleEvery, n)
+	}
+	if st.Obs.CommitDurable.Count != n {
+		t.Errorf("commit→durable observations = %d, want %d", st.Obs.CommitDurable.Count, n)
+	}
+	if st.Obs.CommitReproduced.Count != n {
+		t.Errorf("commit→reproduced observations = %d, want %d", st.Obs.CommitReproduced.Count, n)
+	}
+	if st.Obs.Fence.Count == 0 || st.Obs.GroupTxns.Count == 0 {
+		t.Errorf("per-group histograms empty: fences %d groups %d", st.Obs.Fence.Count, st.Obs.GroupTxns.Count)
+	}
+	if st.Obs.GroupTxns.Sum != n {
+		t.Errorf("group-size histogram sums to %d transactions, want %d", st.Obs.GroupTxns.Sum, n)
+	}
+	if p50 := st.Obs.CommitDurable.Quantile(0.5); p50 == 0 {
+		t.Error("commit→durable p50 = 0, want a positive latency")
+	}
+}
+
+// TestTraceCrashRecovery crashes a system while the trace rings are
+// active (sampling every transaction) and checks that recovery is
+// unaffected and the recovered system traces cleanly: the rings are
+// volatile observability state and must never leak into the durable
+// image or the replay.
+func TestTraceCrashRecovery(t *testing.T) {
+	cfg := testConfig()
+	cfg.Threads = 1
+	cfg.TraceSampleEvery = 1
+	s, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 200; i++ {
+		if _, err := s.Run(0, func(tx *Tx) error { tx.Store((i-1)*8, i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash mid-pipeline: no drain, rings torn down wherever they are.
+	img := s.Crash()
+	dev := s.Device()
+	dev.Restore(img)
+
+	s2, err := Recover(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s2.Durable()
+	if d != s2.Reproduced() || d != s2.Clock() {
+		t.Fatalf("recovered frontiers diverge: durable=%d reproduced=%d clock=%d", d, s2.Reproduced(), s2.Clock())
+	}
+	s2.Run(0, func(tx *Tx) error {
+		for i := uint64(1); i <= d; i++ {
+			if v := tx.Load((i - 1) * 8); v != i {
+				t.Errorf("addr %d = %d, want %d (durable tx lost)", (i-1)*8, v, i)
+			}
+		}
+		return nil
+	})
+	// The recovered system's tracing starts fresh and works.
+	tid, err := s2.Run(0, func(tx *Tx) error { tx.Store(0, 42); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Drain()
+	if recs := s2.TraceOf(tid); len(recs) == 0 || recs[0].Kind != obs.EvCommit {
+		t.Errorf("post-recovery TraceOf(%d) = %v, want a fresh timeline", tid, recs)
+	}
+	s2.Close()
+}
+
+// TestWatchdogQuietDuringPauseDrills pins the suppression contract:
+// PausePersist / PauseReproduce freeze a frontier with work queued
+// behind it — the exact shape of a stall — and the watchdog must not
+// fire, because the pause flags explain the freeze.
+func TestWatchdogQuietDuringPauseDrills(t *testing.T) {
+	var fired atomic.Int64
+	cfg := testConfig()
+	cfg.Threads = 1
+	cfg.Watchdog = 2 * time.Millisecond
+	cfg.OnStall = func(StallReport) { fired.Add(1) }
+	s, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(n int) uint64 {
+		var last uint64
+		for i := 0; i < n; i++ {
+			tid, err := s.Run(0, func(tx *Tx) error { tx.Store(0, uint64(i)); return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = tid
+		}
+		return last
+	}
+	run(20)
+
+	s.PausePersist()
+	run(10) // commits pile up behind the frozen durable frontier
+	time.Sleep(30 * time.Millisecond)
+	s.ResumePersist()
+
+	last := run(10)
+	s.WaitDurable(last)
+	s.PauseReproduce()
+	run(10)
+	time.Sleep(30 * time.Millisecond)
+	s.ResumeReproduce()
+
+	s.Drain()
+	s.Close()
+	if n := fired.Load(); n != 0 {
+		t.Fatalf("watchdog fired %d times during pause drills", n)
+	}
+	if st := s.Stats(); st.Stalls != 0 {
+		t.Fatalf("Stats().Stalls = %d during pause drills", st.Stalls)
+	}
+}
+
+// TestWatchdogFiresOnGenuineStall wedges the Persist coordinator
+// directly — holding its gate without raising the pause flag, the
+// shape of a real deadlock — and checks the watchdog fires with a
+// usable report.
+func TestWatchdogFiresOnGenuineStall(t *testing.T) {
+	reports := make(chan StallReport, 16)
+	cfg := testConfig()
+	cfg.Threads = 1
+	cfg.TraceSampleEvery = 1
+	cfg.Watchdog = 2 * time.Millisecond
+	cfg.OnStall = func(r StallReport) {
+		select {
+		case reports <- r:
+		default:
+		}
+	}
+	s, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Run(0, func(tx *Tx) error { tx.Store(0, 1); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+
+	s.persistGate.Lock() // wedge the coordinator, no pause flag
+	for i := 0; i < 5; i++ {
+		if _, err := s.Run(0, func(tx *Tx) error { tx.Store(8, 2); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rep StallReport
+	select {
+	case rep = <-reports:
+	case <-time.After(2 * time.Second):
+		s.persistGate.Unlock()
+		t.Fatal("watchdog never fired on a wedged persist coordinator")
+	}
+	s.persistGate.Unlock()
+
+	if rep.Stage != "persist" {
+		t.Errorf("report stage = %q, want persist", rep.Stage)
+	}
+	if rep.Clock <= rep.Durable {
+		t.Errorf("report clock=%d durable=%d: no work behind the frontier", rep.Clock, rep.Durable)
+	}
+	if len(rep.Trace) == 0 {
+		t.Error("report carries no trace tail")
+	}
+	if rep.String() == "" {
+		t.Error("empty report rendering")
+	}
+
+	s.Drain()
+	s.Close()
+	if s.Stats().Stalls == 0 {
+		t.Error("Stats().Stalls = 0 after a detected stall")
+	}
+	if s.LastStall() == nil {
+		t.Error("LastStall() = nil after a detected stall")
+	}
+}
+
+// TestStallVerdict unit-tests the watchdog's pure decision function.
+func TestStallVerdict(t *testing.T) {
+	base := watchSample{valid: true, clock: 10, durable: 5, reproduced: 5}
+	cases := []struct {
+		name         string
+		prev, cur    watchSample
+		wantP, wantR bool
+	}{
+		{"first tick", watchSample{}, base, false, false},
+		{"persist stuck", base, base, true, false},
+		{"durable moved", base, watchSample{valid: true, clock: 12, durable: 7, reproduced: 5}, false, false},
+		{"repro stuck", watchSample{valid: true, clock: 10, durable: 10, reproduced: 5},
+			watchSample{valid: true, clock: 10, durable: 10, reproduced: 5}, false, true},
+		{"both stuck", watchSample{valid: true, clock: 10, durable: 8, reproduced: 5},
+			watchSample{valid: true, clock: 10, durable: 8, reproduced: 5}, true, true},
+		{"idle", watchSample{valid: true, clock: 5, durable: 5, reproduced: 5},
+			watchSample{valid: true, clock: 5, durable: 5, reproduced: 5}, false, false},
+		{"persist paused", base, watchSample{valid: true, clock: 10, durable: 5, reproduced: 5, persistPaused: true}, false, false},
+		{"persist pause also masks repro", watchSample{valid: true, clock: 10, durable: 8, reproduced: 5, persistPaused: true},
+			watchSample{valid: true, clock: 10, durable: 8, reproduced: 5, persistPaused: true}, false, false},
+		{"repro paused", watchSample{valid: true, clock: 10, durable: 10, reproduced: 5, reproPaused: true},
+			watchSample{valid: true, clock: 10, durable: 10, reproduced: 5, reproPaused: true}, false, false},
+		{"pause just released", watchSample{valid: true, clock: 10, durable: 5, reproduced: 5, persistPaused: true},
+			base, false, false},
+		{"shutdown", base, watchSample{valid: true, clock: 10, durable: 5, reproduced: 5, quiet: true}, false, false},
+	}
+	for _, c := range cases {
+		p, r := stallVerdict(c.prev, c.cur)
+		if p != c.wantP || r != c.wantR {
+			t.Errorf("%s: verdict = (%v,%v), want (%v,%v)", c.name, p, r, c.wantP, c.wantR)
+		}
+	}
+}
+
+// TestWindowDepthStat checks the lock-free window gauge: zero when the
+// pipeline has drained, and wired into PersistStats.
+func TestWindowDepthStat(t *testing.T) {
+	cfg := testConfig()
+	s, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		if _, err := s.Run(0, func(tx *Tx) error { tx.Store(i*8, i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+	s.Close()
+	if d := s.PersistStats().WindowDepth; d != 0 {
+		t.Fatalf("window depth = %d after drain, want 0", d)
+	}
+	if s.window.next.Load() == 0 {
+		t.Fatal("window never reserved a sequence")
+	}
+}

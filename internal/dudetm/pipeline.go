@@ -15,9 +15,10 @@ import (
 // the worker completes it in the seqWindow so the durable frontier
 // advances only over a contiguous prefix of appended groups.
 type persistMsg struct {
-	seq uint64
-	g   *redolog.Group
-	ep  *[]redolog.Entry
+	seq    uint64
+	g      *redolog.Group
+	ep     *[]redolog.Entry
+	sealAt int64 // obs seal timestamp, for the queue-dwell measurement
 }
 
 // applyTask is one address shard of a group fanned out to a Reproduce
@@ -80,6 +81,9 @@ func (s *System) persistLoop() {
 			comb.Reset()
 		}
 		g := &redolog.Group{MinTid: gMin, MaxTid: gMax, Entries: *ep}
+		// Sealed before the window reservation, so queue dwell includes
+		// time spent blocked on window back-pressure.
+		sealAt := s.obs.GroupSealed(s.srcCoord(), gMin, gMax, gCount, len(*ep))
 		seq, ok := s.window.reserve(&s.halted)
 		if !ok {
 			putEntrySlice(ep)
@@ -89,7 +93,7 @@ func (s *System) persistLoop() {
 		}
 		s.pm.enqueue()
 		// The queue has window capacity, so this send never blocks.
-		s.dispatch[seq%uint64(len(s.dispatch))] <- persistMsg{seq: seq, g: g, ep: ep}
+		s.dispatch[seq%uint64(len(s.dispatch))] <- persistMsg{seq: seq, g: g, ep: ep, sealAt: sealAt}
 		ep = nil
 		gCount = 0
 		return true
@@ -194,9 +198,11 @@ func (s *System) persistWorker(wi int) {
 			continue
 		}
 		s.workerGates[wi].Lock()
-		t0 := time.Now()
+		startAt := s.obs.Now()
 		w.AppendGroup(m.g)
-		s.pm.busy.Add(uint64(time.Since(t0)))
+		endAt := s.obs.Now()
+		s.obs.GroupPersisted(s.srcWorker(wi), m.g.MinTid, m.g.MaxTid, m.sealAt, startAt, endAt)
+		s.pm.busy.Add(uint64(endAt - startAt))
 		s.pm.groups.Add(1)
 		s.pm.fences.Add(1)
 		s.groups.Add(1)
@@ -309,6 +315,8 @@ func (s *System) reproduceLoop() {
 			s.rm.busy.Add(uint64(time.Since(t0)))
 		}
 		s.reproduced.Store(m.g.MaxTid)
+		s.obs.GroupApplied(s.srcRepro(), m.g.MinTid, m.g.MaxTid)
+		s.obs.ReproducedAdvanced(m.g.MaxTid)
 		s.rm.groups.Add(1)
 		putEntrySlice(m.ep)
 		p := &pend[m.wi]

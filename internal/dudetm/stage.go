@@ -19,11 +19,13 @@ const persistWindow = 1024
 // only once every sequence <= s has completed. It is a fixed-size bitmap
 // ring (one bit and one saved MaxTid per in-flight group), not a heap —
 // completion and frontier advance are O(groups completed), with no
-// per-group allocation.
+// per-group allocation. next and done are written only under mu but
+// read with atomics, so depth is lock-free and observers (stats,
+// watchdog) never contend with the coordinator or the workers.
 type seqWindow struct {
 	mu   sync.Mutex
-	next uint64 // next sequence to reserve
-	done uint64 // frontier: every sequence < done has completed
+	next atomic.Uint64 // next sequence to reserve
+	done atomic.Uint64 // frontier: every sequence < done has completed
 	bits [persistWindow / 64]uint64
 	tids [persistWindow]uint64 // MaxTid per slot, read when the frontier passes it
 }
@@ -33,9 +35,8 @@ type seqWindow struct {
 func (w *seqWindow) reserve(halted *atomic.Bool) (uint64, bool) {
 	for spins := 0; ; spins++ {
 		w.mu.Lock()
-		if w.next-w.done < persistWindow {
-			seq := w.next
-			w.next++
+		if seq := w.next.Load(); seq-w.done.Load() < persistWindow {
+			w.next.Store(seq + 1)
 			w.mu.Unlock()
 			return seq, true
 		}
@@ -61,27 +62,31 @@ func (w *seqWindow) complete(seq, maxTid uint64) (uint64, bool) {
 	slot := seq % persistWindow
 	w.tids[slot] = maxTid
 	w.bits[slot/64] |= 1 << (slot % 64)
-	if seq != w.done {
+	done := w.done.Load()
+	if seq != done {
 		return 0, false
 	}
+	next := w.next.Load()
 	var last uint64
-	for w.done < w.next {
-		s := w.done % persistWindow
+	for done < next {
+		s := done % persistWindow
 		if w.bits[s/64]&(1<<(s%64)) == 0 {
 			break
 		}
 		w.bits[s/64] &^= 1 << (s % 64)
 		last = w.tids[s]
-		w.done++
+		done++
 	}
+	w.done.Store(done)
 	return last, true
 }
 
-// depth returns the number of reserved-but-not-yet-retired sequences.
+// depth returns the number of reserved-but-not-yet-retired sequences,
+// lock-free. done is loaded first: both counters are monotonic, so a
+// racing advance can only make the result conservative, never negative.
 func (w *seqWindow) depth() uint64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.next - w.done
+	done := w.done.Load()
+	return w.next.Load() - done
 }
 
 // stageMetrics is the per-stage utilization instrumentation shared by
@@ -161,4 +166,10 @@ type StageStats struct {
 	// stays flat while the pool is idle because the timer is armed only
 	// when a recycle is pending.
 	TimerWakes uint64
+	// WindowDepth is the Persist stage's reserved-but-unretired
+	// dispatch-sequence count (ModeAsync only; 0 elsewhere). It differs
+	// from QueueDepth near the completion scan: a group leaves the
+	// queue when its append finishes but leaves the window only when
+	// the contiguous prefix passes it.
+	WindowDepth uint64
 }

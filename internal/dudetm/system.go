@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dudetm/internal/obs"
 	"dudetm/internal/pmem"
 	"dudetm/internal/redolog"
 	"dudetm/internal/shadow"
@@ -49,6 +50,22 @@ type System struct {
 	// Stage-utilization instrumentation.
 	pm stageMetrics // Persist
 	rm stageMetrics // Reproduce
+
+	// Lifecycle tracing and latency histograms. Source-ring ownership:
+	// [0, Threads) the Perform threads, Threads the Persist
+	// coordinator, then the persist workers, then the Reproduce loop
+	// (srcCoord / srcWorker / srcRepro).
+	obs *obs.Observer
+
+	// Stall watchdog (Config.Watchdog > 0).
+	watchStop chan struct{}
+	watchOnce sync.Once
+	stalls    atomic.Uint64
+	lastStall atomic.Pointer[StallReport]
+	// Pause flags shadow the gates so the watchdog can tell an
+	// operator-frozen stage from a stalled one.
+	persistPaused atomic.Bool
+	reproPaused   atomic.Bool
 
 	dense denseTracker // ModeSync durable-frontier tracking
 	notif durNotifier  // durable-ID waiters and subscribers
@@ -199,6 +216,11 @@ func build(cfg Config, dev *pmem.Device, lay layout, startTid uint64) (*System, 
 		s.workerGates = make([]sync.Mutex, cfg.PersistThreads)
 	}
 	s.applyCh = make(chan applyTask, cfg.ReproThreads)
+	s.obs = obs.New(obs.Config{
+		SampleEvery: cfg.TraceSampleEvery,
+		Sources:     cfg.Threads + 1 + cfg.PersistThreads + 1,
+		RingEntries: cfg.TraceRingEntries,
+	})
 	s.durable.Store(startTid)
 	s.reproduced.Store(startTid)
 	s.dense = denseTracker{next: startTid + 1, pend: make(map[uint64]struct{})}
@@ -247,6 +269,12 @@ func build(cfg Config, dev *pmem.Device, lay layout, startTid uint64) (*System, 
 	return s, nil
 }
 
+// Trace-ring source indices (see the obs field comment): each lifecycle
+// stamp comes from exactly one goroutine, the ring's single writer.
+func (s *System) srcCoord() int        { return s.cfg.Threads }
+func (s *System) srcWorker(wi int) int { return s.cfg.Threads + 1 + wi }
+func (s *System) srcRepro() int        { return s.cfg.Threads + 1 + s.cfg.PersistThreads }
+
 func (s *System) bindWriters() {
 	for i, th := range s.threads {
 		th.writer = s.writers[i]
@@ -271,6 +299,19 @@ func (s *System) start() {
 		}
 		s.wg.Add(1)
 		go s.persistLoop()
+	}
+	if s.cfg.Watchdog > 0 {
+		s.watchStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.watchdogLoop(s.cfg.Watchdog)
+	}
+}
+
+// stopWatchdog retires the watchdog goroutine (idempotent; no-op when
+// the watchdog was never started).
+func (s *System) stopWatchdog() {
+	if s.watchStop != nil {
+		s.watchOnce.Do(func() { close(s.watchStop) })
 	}
 }
 
@@ -349,6 +390,7 @@ func (s *System) setDurable(f uint64) {
 		}
 	}
 	s.notif.advance(f)
+	s.obs.DurableAdvanced(f)
 }
 
 // Run executes fn as a durable transaction on behalf of thread slot and
@@ -385,6 +427,10 @@ func (s *System) Run(slot int, fn func(*Tx) error) (tid uint64, err error) {
 		return tid, nil
 	}
 	s.txCommitted.Add(1)
+	// Stamp before the transaction is published downstream (AppendTxEnd
+	// / syncCommit), so the commit record orders before every later
+	// stamp of the same transaction.
+	s.obs.Commit(slot, tid)
 	if s.cfg.Mode == ModeSync {
 		s.syncCommit(th, tid)
 		return tid, nil
@@ -457,9 +503,14 @@ func (s *System) syncCommit(th *thread, tid uint64) {
 	ep := getEntrySlice()
 	*ep = append((*ep)[:0], th.entries...)
 	g := &redolog.Group{MinTid: tid, MaxTid: tid, Entries: *ep}
-	t0 := time.Now()
+	// The synchronous path seals, appends and fences inline on the
+	// Perform thread, so its lifecycle stamps share the thread's ring.
+	sealAt := s.obs.GroupSealed(th.slot, tid, tid, 1, len(th.entries))
+	startAt := s.obs.Now()
 	th.writer.AppendGroup(g)
-	s.pm.busy.Add(uint64(time.Since(t0)))
+	endAt := s.obs.Now()
+	s.obs.GroupPersisted(th.slot, tid, tid, sealAt, startAt, endAt)
+	s.pm.busy.Add(uint64(endAt - startAt))
 	s.pm.groups.Add(1)
 	s.pm.fences.Add(1)
 	s.rawEntries.Add(uint64(len(th.entries)))
@@ -486,6 +537,7 @@ func (s *System) Close() {
 		return
 	}
 	s.stopping.Store(true)
+	s.stopWatchdog()
 	if s.cfg.Mode == ModeSync {
 		close(s.reproCh)
 	}
@@ -511,6 +563,7 @@ func (s *System) Crash() []byte {
 	}
 	s.halted.Store(true)
 	s.stopping.Store(true)
+	s.stopWatchdog()
 	if s.cfg.Mode == ModeSync {
 		close(s.reproCh)
 	}
@@ -537,6 +590,11 @@ type Stats struct {
 	Device      pmem.Stats
 	Persist     StageStats // Persist-stage utilization
 	Reproduce   StageStats // Reproduce-stage utilization
+	// Obs holds the lifecycle-latency histograms and trace counters
+	// (mergeable; interval activity is After.Obs.Sub(Before.Obs)).
+	Obs obs.Snapshot
+	// Stalls counts watchdog stall episodes.
+	Stalls uint64
 }
 
 // Stats returns a snapshot of system activity.
@@ -562,8 +620,23 @@ func (s *System) Stats() Stats {
 		Device:      s.dev.Stats(),
 		Persist:     s.PersistStats(),
 		Reproduce:   s.ReproduceStats(),
+		Obs:         s.obs.Snapshot(),
+		Stalls:      s.stalls.Load(),
 	}
 }
+
+// TraceOf reconstructs the lifecycle timeline of a sampled transaction
+// from the trace rings: commit → group-seal → persist-fence →
+// reproduce-apply, ordered by timestamp. Older transactions may have
+// been overwritten and return a partial (or empty) timeline.
+func (s *System) TraceOf(tid uint64) []obs.Record { return s.obs.TraceOf(tid) }
+
+// TraceTail returns the most recent n trace records across all rings
+// (all of them when n <= 0), oldest first.
+func (s *System) TraceTail(n int) []obs.Record { return s.obs.TraceTail(n) }
+
+// LastStall returns the most recent watchdog stall report, or nil.
+func (s *System) LastStall() *StallReport { return s.lastStall.Load() }
 
 // PersistStats returns the Persist stage's utilization snapshot. Busy
 // time is summed across the worker pool, so Utilization is normalized
@@ -574,7 +647,11 @@ func (s *System) PersistStats() StageStats {
 		// Appends happen inline on the Perform threads.
 		n = s.cfg.Threads
 	}
-	return s.pm.snapshot(n, n)
+	st := s.pm.snapshot(n, n)
+	if s.cfg.Mode == ModeAsync {
+		st.WindowDepth = s.window.depth()
+	}
+	return st
 }
 
 // ReproduceStats returns the Reproduce stage's utilization snapshot.
@@ -591,6 +668,9 @@ func (s *System) ReproduceStats() StageStats {
 // releases it; the step must be resumed before Close. Lock order is
 // coordinator gate first, then worker gates in index order.
 func (s *System) PausePersist() {
+	// The flag is raised before the gates so the watchdog never sees a
+	// frozen frontier without the pause that explains it.
+	s.persistPaused.Store(true)
 	//dudelint:ignore unlockpath pause gates are intentionally held across the call; ResumePersist releases them
 	s.persistGate.Lock()
 	for i := range s.workerGates {
@@ -605,17 +685,24 @@ func (s *System) ResumePersist() {
 		s.workerGates[i].Unlock()
 	}
 	s.persistGate.Unlock()
+	s.persistPaused.Store(false)
 }
 
 // PauseReproduce freezes the Reproduce step: transactions become
 // durable in the log but are not applied to persistent data. It returns
 // only once the step is quiescent (no in-flight replay or recycle).
 // ResumeReproduce releases it; the step must be resumed before Close.
-//dudelint:ignore unlockpath pause gate is intentionally held across the call; ResumeReproduce releases it
-func (s *System) PauseReproduce() { s.reproduceGate.Lock() }
+func (s *System) PauseReproduce() {
+	s.reproPaused.Store(true)
+	//dudelint:ignore unlockpath pause gate is intentionally held across the call; ResumeReproduce releases it
+	s.reproduceGate.Lock()
+}
 
 // ResumeReproduce releases PauseReproduce.
-func (s *System) ResumeReproduce() { s.reproduceGate.Unlock() }
+func (s *System) ResumeReproduce() {
+	s.reproduceGate.Unlock()
+	s.reproPaused.Store(false)
+}
 
 // denseTracker computes the largest ID D such that every ID <= D has
 // been marked. Transaction IDs are dense (no-op commits are flushed as

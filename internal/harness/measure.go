@@ -160,6 +160,7 @@ func Measure(sys System, bench Bench, threads int, m MeasureOpts) (Result, error
 			ReproBusyNS:   after.ReproBusyNS - before.ReproBusyNS,
 			PersistFences: after.PersistFences - before.PersistFences,
 			ReproFences:   after.ReproFences - before.ReproFences,
+			Obs:           after.Obs.Sub(before.Obs),
 		},
 	}
 	if m.SampleLat {

@@ -35,6 +35,16 @@ type Record struct {
 	ReproBusyNS   uint64 `json:"repro_busy_ns"`
 	PersistFences uint64 `json:"persist_fences"`
 	ReproFences   uint64 `json:"repro_fences"`
+	// Observability-layer interval metrics (DudeTM only): sampled
+	// lifecycle latencies and per-group histogram quantiles.
+	TraceSampled    uint64 `json:"trace_sampled"`
+	DurP50NS        uint64 `json:"dur_p50_ns"`
+	DurP99NS        uint64 `json:"dur_p99_ns"`
+	DurP999NS       uint64 `json:"dur_p999_ns"`
+	ReproP99NS      uint64 `json:"repro_p99_ns"`
+	FenceP99NS      uint64 `json:"fence_p99_ns"`
+	QueueDwellP99NS uint64 `json:"queue_dwell_p99_ns"`
+	GroupTxnsP50    uint64 `json:"group_txns_p50"`
 }
 
 // recorder collects the Result of every Measure call while recording is
@@ -68,19 +78,19 @@ func record(res Result) {
 	recorder.mu.Lock()
 	if recorder.active {
 		recorder.records = append(recorder.records, Record{
-			Experiment:  recorder.experiment,
-			System:      res.Sys.String(),
-			Bench:       res.Bench,
-			Threads:     res.Threads,
-			Ops:         res.Ops,
-			ElapsedNS:   res.Elapsed.Nanoseconds(),
-			TPS:         res.TPS,
-			P50NS:       res.P50.Nanoseconds(),
-			P90NS:       res.P90.Nanoseconds(),
-			P99NS:       res.P99.Nanoseconds(),
-			Commits:     res.Stats.Commits,
-			Aborts:      res.Stats.Aborts,
-			Writes:      res.Stats.Writes,
+			Experiment:    recorder.experiment,
+			System:        res.Sys.String(),
+			Bench:         res.Bench,
+			Threads:       res.Threads,
+			Ops:           res.Ops,
+			ElapsedNS:     res.Elapsed.Nanoseconds(),
+			TPS:           res.TPS,
+			P50NS:         res.P50.Nanoseconds(),
+			P90NS:         res.P90.Nanoseconds(),
+			P99NS:         res.P99.Nanoseconds(),
+			Commits:       res.Stats.Commits,
+			Aborts:        res.Stats.Aborts,
+			Writes:        res.Stats.Writes,
 			NVMBytes:      res.Stats.NVMBytes,
 			LogBytes:      res.Stats.LogBytes,
 			RawEntries:    res.Stats.RawEntries,
@@ -89,6 +99,15 @@ func record(res Result) {
 			ReproBusyNS:   res.Stats.ReproBusyNS,
 			PersistFences: res.Stats.PersistFences,
 			ReproFences:   res.Stats.ReproFences,
+
+			TraceSampled:    res.Stats.Obs.SampledCommits,
+			DurP50NS:        res.Stats.Obs.CommitDurable.Quantile(0.5),
+			DurP99NS:        res.Stats.Obs.CommitDurable.Quantile(0.99),
+			DurP999NS:       res.Stats.Obs.CommitDurable.Quantile(0.999),
+			ReproP99NS:      res.Stats.Obs.CommitReproduced.Quantile(0.99),
+			FenceP99NS:      res.Stats.Obs.Fence.Quantile(0.99),
+			QueueDwellP99NS: res.Stats.Obs.QueueDwell.Quantile(0.99),
+			GroupTxnsP50:    res.Stats.Obs.GroupTxns.Quantile(0.5),
 		})
 	}
 	recorder.mu.Unlock()

@@ -17,6 +17,7 @@ import (
 	"dudetm/internal/baseline/nvml"
 	"dudetm/internal/dudetm"
 	"dudetm/internal/memdb"
+	"dudetm/internal/obs"
 	"dudetm/internal/pmem"
 	"dudetm/internal/shadow"
 	"dudetm/internal/stm"
@@ -86,6 +87,9 @@ type Options struct {
 	// Background-stage worker counts (0 = dudetm defaults).
 	PersistThreads int
 	ReproThreads   int
+	// TraceSampleEvery enables lifecycle tracing for every N-th
+	// transaction (DudeTM only; 0 = default / DUDETM_TRACE_SAMPLE).
+	TraceSampleEvery int
 }
 
 func (o *Options) applyDefaults() {
@@ -120,6 +124,9 @@ type SysStats struct {
 	ReproBusyNS   uint64
 	PersistFences uint64
 	ReproFences   uint64
+	// Obs carries the lifecycle-latency histograms (DudeTM only;
+	// mergeable snapshots, interval activity via Obs.Sub).
+	Obs obs.Snapshot
 }
 
 // System is the harness view of a system under test.
@@ -159,16 +166,17 @@ func NewSystem(kind SysKind, o Options) (System, error) {
 		return &volatileSys{kind: kind, tm: stm.NewHTM(sp, stm.HTMConfig{MaxSlots: o.Threads})}, nil
 	case DudeSTM, DudeInf, DudeSync, DudeHTM:
 		cfg := dudetm.Config{
-			DataSize:       o.DataSize,
-			Threads:        o.Threads,
-			GroupSize:      o.GroupSize,
-			Compress:       o.Compress,
-			VLogEntries:    o.VLogEntries,
-			Shadow:         o.Shadow,
-			ShadowBytes:    o.ShadowBytes,
-			PersistThreads: o.PersistThreads,
-			ReproThreads:   o.ReproThreads,
-			Pmem:           pc,
+			DataSize:         o.DataSize,
+			Threads:          o.Threads,
+			GroupSize:        o.GroupSize,
+			Compress:         o.Compress,
+			VLogEntries:      o.VLogEntries,
+			Shadow:           o.Shadow,
+			ShadowBytes:      o.ShadowBytes,
+			PersistThreads:   o.PersistThreads,
+			ReproThreads:     o.ReproThreads,
+			TraceSampleEvery: o.TraceSampleEvery,
+			Pmem:             pc,
 		}
 		switch kind {
 		case DudeInf:
@@ -271,6 +279,7 @@ func (d *dudeSys) Stats() SysStats {
 		ReproBusyNS:   st.Reproduce.BusyNanos,
 		PersistFences: st.Persist.Fences,
 		ReproFences:   st.Reproduce.Fences,
+		Obs:           st.Obs,
 	}
 }
 

@@ -81,6 +81,7 @@ var All = []*Analyzer{
 	analyzerAtomicMix,
 	analyzerUnlockPath,
 	analyzerCrashCover,
+	analyzerTraceStamp,
 }
 
 func analyzerNames() map[string]bool {

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// analyzerTraceStamp checks that observability stamps stay outside
+// persist-ordered regions. A flush→fence window is the code the persist
+// barrier orders: between a Device.FlushRange / Batch.Flush and the
+// fence that closes it, the only stores that belong are the ones being
+// made durable. A trace stamp there is wrong twice over: the stamp's
+// volatile ring write interleaves extra work into the measured barrier
+// path (skewing the very fence-duration histogram it feeds), and a
+// stamp that reads the clock mid-window brackets only part of the
+// flush+fence sequence, so the recorded fence latency silently excludes
+// the barrier. Stamps must bracket the window (before the first flush
+// or after the closing fence), which is also where the pipeline takes
+// them.
+//
+// The pmem and obs packages themselves and test files are exempt.
+var analyzerTraceStamp = &Analyzer{
+	Name: "tracestamp",
+	Doc:  "trace stamps must not sit inside an open flush→fence persist window",
+	Run:  runTraceStamp,
+}
+
+// obsStampMethods are the Observer calls that stamp trace rings or read
+// the trace clock.
+var obsStampMethods = []string{
+	"Now", "Commit", "GroupSealed", "GroupPersisted", "GroupApplied",
+	"DurableAdvanced", "ReproducedAdvanced",
+}
+
+// isObsStampCall reports whether call invokes a stamp method on
+// obs.Observer. Falls back to receivers spelled "obs" (or ending in
+// ".obs") when types did not resolve.
+func isObsStampCall(pkg *Package, call *ast.CallExpr) bool {
+	recv, method := callee(call)
+	if recv == nil || !contains(obsStampMethods, method) {
+		return false
+	}
+	if t := recvType(pkg, recv); t != nil {
+		return namedIn(t, "internal/obs", "Observer")
+	}
+	path := exprPath(recv)
+	return path == "obs" || strings.HasSuffix(path, ".obs")
+}
+
+func runTraceStamp(pass *Pass) {
+	name := strings.TrimSuffix(pass.Pkg.Name, "_test")
+	if name == "pmem" || name == "obs" {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, scope := range funcScopes(f.AST) {
+			checkTraceStampScope(pass, scope)
+		}
+	}
+}
+
+type stampEvent struct {
+	pos  token.Pos
+	kind int // 0 = flush, 1 = fence, 2 = stamp
+	name string
+}
+
+func checkTraceStampScope(pass *Pass, scope funcScope) {
+	var events []stampEvent
+	walkScope(scope.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isDeviceCall(pass.Pkg, call, "FlushRange") || isBatchCall(pass.Pkg, call, "Flush"):
+			events = append(events, stampEvent{pos: call.Pos(), kind: 0})
+		case isDeviceCall(pass.Pkg, call, "Fence") || isBatchCall(pass.Pkg, call, "Fence"):
+			events = append(events, stampEvent{pos: call.Pos(), kind: 1})
+		case isObsStampCall(pass.Pkg, call):
+			_, method := callee(call)
+			events = append(events, stampEvent{pos: call.Pos(), kind: 2, name: method})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	open := false
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			open = true
+		case 1:
+			open = false
+		case 2:
+			if open {
+				pass.Reportf(ev.pos,
+					"trace stamp %s in %s sits inside an open flush→fence window: stamp before the flush or after the fence so the barrier path stays pure and the fence measurement brackets the whole barrier",
+					ev.name, scope.name)
+			}
+		}
+	}
+}

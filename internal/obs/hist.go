@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count of every Histogram: bucket i
+// holds values v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+// Power-of-two bucketing gives HDR-style relative error (< 2x) over the
+// full uint64 range with no configuration and no allocation.
+const histBuckets = 64
+
+// Histogram is a concurrent power-of-two-bucket histogram. Observe is
+// two atomic adds; any number of writers may record concurrently and
+// Snapshot may race them (each counter is read atomically, so a
+// snapshot is a consistent-enough view for monitoring: per-bucket
+// counts never tear, though buckets may be skewed by in-flight adds).
+// The zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+func bucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (the
+// largest value the bucket can hold).
+func BucketBound(i int) uint64 {
+	if i >= histBuckets-1 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Snapshot returns a point-in-time copy of the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is an immutable histogram snapshot. Snapshots from
+// different histograms (or different processes) merge by addition, and
+// interval activity is the difference of two snapshots of the same
+// histogram — both closed operations, so sharded recording and
+// delta-based monitoring compose.
+type HistSnapshot struct {
+	Counts [histBuckets]uint64
+	Count  uint64
+	Sum    uint64
+}
+
+// Merge returns the bucket-wise sum of s and o.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	return s
+}
+
+// Sub returns the interval histogram between an earlier snapshot o and
+// s (bucket counts are monotonic, so the difference is itself a valid
+// snapshot).
+func (s HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
+	for i := range s.Counts {
+		s.Counts[i] -= o.Counts[i]
+	}
+	s.Count -= o.Count
+	s.Sum -= o.Sum
+	return s
+}
+
+// Quantile returns the approximate q-quantile (q in [0,1]): the value
+// is interpolated linearly within the bucket where the cumulative count
+// crosses q*Count, so the error is bounded by the bucket width (a
+// factor of two). Returns 0 for an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			if i == 0 {
+				return 0
+			}
+			lo := float64(BucketBound(i-1) + 1)
+			hi := float64(BucketBound(i))
+			frac := (rank - cum) / float64(c)
+			return uint64(lo + (hi-lo)*frac)
+		}
+		cum = next
+	}
+	return BucketBound(histBuckets - 1)
+}
+
+// Mean returns the arithmetic mean of the recorded values (0 when
+// empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

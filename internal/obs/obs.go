@@ -1,0 +1,313 @@
+// Package obs is the low-overhead observability layer of the DudeTM
+// pipeline: per-source lock-free trace rings that stamp each sampled
+// transaction at commit, group-seal, persist-fence and reproduce-apply
+// (so TraceOf reconstructs the full Perform→Persist→Reproduce
+// timeline), power-of-two-bucket latency histograms with mergeable
+// snapshots, and a Prometheus text-format renderer for live scraping.
+//
+// The package deliberately knows nothing about the transaction system:
+// dudetm calls the stamp hooks at its lifecycle points and obs only
+// records. Per-transaction work (trace stamps, commit→durable latency
+// tracking) is sampled 1-in-N and costs a single comparison when
+// sampling is disabled; per-group work (fence duration, group size,
+// queue dwell) is a few atomic adds and is always on.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes an Observer.
+type Config struct {
+	// SampleEvery enables lifecycle tracing for every N-th transaction
+	// ID (1 traces everything, 0 disables tracing and per-transaction
+	// latency sampling entirely).
+	SampleEvery int
+	// Sources is the number of single-writer event sources (one trace
+	// ring each): Perform threads, the Persist coordinator and workers,
+	// and the Reproduce loop.
+	Sources int
+	// RingEntries is the per-source trace-ring capacity (default 4096,
+	// rounded up to a power of two).
+	RingEntries int
+}
+
+// Observer records lifecycle traces and latency histograms for one
+// system instance. All methods are safe for concurrent use; each trace
+// ring additionally requires a single writer (the source goroutine it
+// belongs to).
+type Observer struct {
+	sampleEvery uint64
+	epoch       time.Time
+	rings       []*traceRing
+
+	// Histograms. Latencies are nanoseconds.
+	commitDurable Histogram // commit → durable-frontier pass (sampled)
+	commitRepro   Histogram // commit → reproduced-frontier pass (sampled)
+	fenceDur      Histogram // log append + persist barrier duration, per group
+	queueDwell    Histogram // group seal → persist-worker pickup, per group
+	groupTxns     Histogram // transactions per sealed group
+	groupEntries  Histogram // combined log entries per sealed group
+
+	sampledCommits atomic.Uint64
+
+	// Sampled commits whose durability / reproduction latency is still
+	// pending. pendN gates the frontier-advance hooks so an advance
+	// with nothing pending costs one atomic load.
+	mu        sync.Mutex
+	pendDur   []pendTx
+	pendRepro []pendTx
+	pendN     atomic.Int64
+}
+
+type pendTx struct {
+	tid uint64
+	at  int64
+}
+
+// New builds an Observer. cfg.Sources must cover every source index
+// the stamp hooks will be called with.
+func New(cfg Config) *Observer {
+	if cfg.RingEntries <= 0 {
+		cfg.RingEntries = 4096
+	}
+	if cfg.Sources <= 0 {
+		cfg.Sources = 1
+	}
+	o := &Observer{
+		sampleEvery: uint64(max(cfg.SampleEvery, 0)),
+		epoch:       time.Now(),
+		rings:       make([]*traceRing, cfg.Sources),
+	}
+	for i := range o.rings {
+		o.rings[i] = newTraceRing(cfg.RingEntries)
+	}
+	return o
+}
+
+// Now returns nanoseconds since the observer's epoch on the monotonic
+// clock — the timestamp base of every trace record.
+func (o *Observer) Now() int64 { return int64(time.Since(o.epoch)) }
+
+// SampleEvery returns the configured sampling period (0 = disabled).
+func (o *Observer) SampleEvery() int { return int(o.sampleEvery) }
+
+// Sampled reports whether transaction tid is traced.
+func (o *Observer) Sampled(tid uint64) bool {
+	n := o.sampleEvery
+	return n != 0 && tid%n == 0
+}
+
+// rangeSampled reports whether any transaction in [minTid, maxTid] is
+// traced (i.e. the range contains a multiple of the sampling period).
+func (o *Observer) rangeSampled(minTid, maxTid uint64) bool {
+	n := o.sampleEvery
+	return n != 0 && maxTid/n*n >= minTid
+}
+
+// Commit stamps a committed write transaction. Call it on the
+// committing thread before the transaction is published to the Persist
+// step, so the commit stamp orders before every downstream stamp of
+// the same transaction. When the transaction is not sampled this is a
+// single comparison and no allocation.
+func (o *Observer) Commit(src int, tid uint64) {
+	if !o.Sampled(tid) {
+		return
+	}
+	at := o.Now()
+	o.rings[src].put(EvCommit, tid, tid, at)
+	o.sampledCommits.Add(1)
+	// The pending count is raised before the entries are visible, so a
+	// racing frontier advance can at worst take the mutex and find
+	// nothing — it can never miss a pending entry for good.
+	o.pendN.Add(2)
+	o.mu.Lock()
+	o.pendDur = append(o.pendDur, pendTx{tid: tid, at: at})
+	o.pendRepro = append(o.pendRepro, pendTx{tid: tid, at: at})
+	o.mu.Unlock()
+}
+
+// GroupSealed stamps a sealed persist group covering [minTid, maxTid]
+// with txns transactions and entries combined log entries, and returns
+// the seal timestamp (for the queue-dwell measurement at pickup).
+func (o *Observer) GroupSealed(src int, minTid, maxTid uint64, txns, entries int) int64 {
+	o.groupTxns.Observe(uint64(txns))
+	o.groupEntries.Observe(uint64(entries))
+	at := o.Now()
+	if o.rangeSampled(minTid, maxTid) {
+		o.rings[src].put(EvGroupSeal, minTid, maxTid, at)
+	}
+	return at
+}
+
+// GroupPersisted stamps a group's completed log append and persist
+// barrier: startAt/endAt bound the append (fence duration), sealAt is
+// GroupSealed's return value (queue dwell = startAt-sealAt; pass 0
+// when the group was never queued, e.g. the synchronous commit path).
+func (o *Observer) GroupPersisted(src int, minTid, maxTid uint64, sealAt, startAt, endAt int64) {
+	if d := endAt - startAt; d > 0 {
+		o.fenceDur.Observe(uint64(d))
+	} else {
+		o.fenceDur.Observe(0)
+	}
+	if sealAt > 0 {
+		if d := startAt - sealAt; d > 0 {
+			o.queueDwell.Observe(uint64(d))
+		} else {
+			o.queueDwell.Observe(0)
+		}
+	}
+	if o.rangeSampled(minTid, maxTid) {
+		o.rings[src].put(EvPersistFence, minTid, maxTid, endAt)
+	}
+}
+
+// GroupApplied stamps a group's Reproduce application to the
+// persistent data region.
+func (o *Observer) GroupApplied(src int, minTid, maxTid uint64) {
+	if o.rangeSampled(minTid, maxTid) {
+		o.rings[src].put(EvReproApply, minTid, maxTid, o.Now())
+	}
+}
+
+// DurableAdvanced records commit→durable latency for every pending
+// sampled transaction the new durable frontier covers.
+func (o *Observer) DurableAdvanced(frontier uint64) {
+	if o.pendN.Load() == 0 {
+		return
+	}
+	o.drain(&o.pendDur, frontier, &o.commitDurable)
+}
+
+// ReproducedAdvanced records commit→reproduced latency for every
+// pending sampled transaction the new reproduced frontier covers.
+func (o *Observer) ReproducedAdvanced(frontier uint64) {
+	if o.pendN.Load() == 0 {
+		return
+	}
+	o.drain(&o.pendRepro, frontier, &o.commitRepro)
+}
+
+func (o *Observer) drain(pend *[]pendTx, frontier uint64, h *Histogram) {
+	now := o.Now()
+	o.mu.Lock()
+	kept := (*pend)[:0]
+	done := 0
+	for _, p := range *pend {
+		if p.tid <= frontier {
+			if d := now - p.at; d > 0 {
+				h.Observe(uint64(d))
+			} else {
+				h.Observe(0)
+			}
+			done++
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	*pend = kept
+	o.mu.Unlock()
+	if done > 0 {
+		o.pendN.Add(-int64(done))
+	}
+}
+
+// TraceOf reconstructs the lifecycle timeline of transaction tid from
+// every source's trace ring: all stable records whose ID range covers
+// tid, ordered by timestamp. For a sampled transaction still resident
+// in the rings this is commit → group-seal → persist-fence →
+// reproduce-apply; older transactions may have been overwritten and
+// return a partial (or empty) timeline.
+func (o *Observer) TraceOf(tid uint64) []Record {
+	var recs []Record
+	for _, r := range o.rings {
+		recs = r.collect(recs, tid)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].At < recs[j].At })
+	return recs
+}
+
+// TraceTail returns the most recent n stable records across all rings
+// (all of them when n <= 0), newest last — the watchdog's diagnostic
+// dump.
+func (o *Observer) TraceTail(n int) []Record {
+	var recs []Record
+	for _, r := range o.rings {
+		recs = r.collect(recs, 0)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].At < recs[j].At })
+	if n > 0 && len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	return recs
+}
+
+// Snapshot is a mergeable point-in-time view of every histogram and
+// counter. Interval activity between two snapshots is After.Sub(Before).
+type Snapshot struct {
+	// SampleEvery echoes the sampling configuration (0 = tracing off).
+	SampleEvery int
+	// SampledCommits counts commit stamps taken so far.
+	SampledCommits uint64
+	// CommitDurable is the commit→durable latency histogram (ns,
+	// sampled transactions).
+	CommitDurable HistSnapshot
+	// CommitReproduced is the commit→reproduced latency histogram (ns,
+	// sampled transactions).
+	CommitReproduced HistSnapshot
+	// Fence is the per-group log-append + persist-barrier duration
+	// histogram (ns).
+	Fence HistSnapshot
+	// QueueDwell is the per-group seal→pickup dwell histogram (ns).
+	QueueDwell HistSnapshot
+	// GroupTxns is the transactions-per-sealed-group histogram.
+	GroupTxns HistSnapshot
+	// GroupEntries is the combined-entries-per-sealed-group histogram.
+	GroupEntries HistSnapshot
+}
+
+// Snapshot captures the current histograms and counters.
+func (o *Observer) Snapshot() Snapshot {
+	return Snapshot{
+		SampleEvery:      int(o.sampleEvery),
+		SampledCommits:   o.sampledCommits.Load(),
+		CommitDurable:    o.commitDurable.Snapshot(),
+		CommitReproduced: o.commitRepro.Snapshot(),
+		Fence:            o.fenceDur.Snapshot(),
+		QueueDwell:       o.queueDwell.Snapshot(),
+		GroupTxns:        o.groupTxns.Snapshot(),
+		GroupEntries:     o.groupEntries.Snapshot(),
+	}
+}
+
+// Sub returns the interval snapshot between an earlier snapshot b and s.
+func (s Snapshot) Sub(b Snapshot) Snapshot {
+	return Snapshot{
+		SampleEvery:      s.SampleEvery,
+		SampledCommits:   s.SampledCommits - b.SampledCommits,
+		CommitDurable:    s.CommitDurable.Sub(b.CommitDurable),
+		CommitReproduced: s.CommitReproduced.Sub(b.CommitReproduced),
+		Fence:            s.Fence.Sub(b.Fence),
+		QueueDwell:       s.QueueDwell.Sub(b.QueueDwell),
+		GroupTxns:        s.GroupTxns.Sub(b.GroupTxns),
+		GroupEntries:     s.GroupEntries.Sub(b.GroupEntries),
+	}
+}
+
+// Merge returns the union of two snapshots (e.g. from sharded
+// observers).
+func (s Snapshot) Merge(b Snapshot) Snapshot {
+	return Snapshot{
+		SampleEvery:      s.SampleEvery,
+		SampledCommits:   s.SampledCommits + b.SampledCommits,
+		CommitDurable:    s.CommitDurable.Merge(b.CommitDurable),
+		CommitReproduced: s.CommitReproduced.Merge(b.CommitReproduced),
+		Fence:            s.Fence.Merge(b.Fence),
+		QueueDwell:       s.QueueDwell.Merge(b.QueueDwell),
+		GroupTxns:        s.GroupTxns.Merge(b.GroupTxns),
+		GroupEntries:     s.GroupEntries.Merge(b.GroupEntries),
+	}
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4). Errors are sticky; check Err once at the end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Header emits the HELP/TYPE preamble of one metric family. typ is
+// "gauge", "counter" or "histogram".
+func (p *PromWriter) Header(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample emits one series sample. labels is the raw label list without
+// braces (`stage="persist"`), or "" for an unlabeled series.
+func (p *PromWriter) Sample(name, labels string, v float64) {
+	if labels == "" {
+		p.printf("%s %s\n", name, formatValue(v))
+		return
+	}
+	p.printf("%s{%s} %s\n", name, labels, formatValue(v))
+}
+
+// Gauge emits a complete single-sample gauge family.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.Header(name, "gauge", help)
+	p.Sample(name, "", v)
+}
+
+// Counter emits a complete single-sample counter family.
+func (p *PromWriter) Counter(name, help string, v float64) {
+	p.Header(name, "counter", help)
+	p.Sample(name, "", v)
+}
+
+// Histogram emits a HistSnapshot as a Prometheus histogram family.
+// Bucket bounds are scaled by scale (1e-9 renders nanosecond
+// observations in seconds); empty buckets are elided (the cumulative
+// convention keeps sparse output valid), the +Inf bucket, _sum and
+// _count always appear.
+func (p *PromWriter) Histogram(name, help string, s HistSnapshot, scale float64) {
+	p.Header(name, "histogram", help)
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		bound := float64(BucketBound(i)) * scale
+		p.Sample(name+"_bucket", fmt.Sprintf("le=%q", strconv.FormatFloat(bound, 'g', -1, 64)), float64(cum))
+	}
+	p.Sample(name+"_bucket", `le="+Inf"`, float64(s.Count))
+	p.Sample(name+"_sum", "", float64(s.Sum)*scale)
+	p.Sample(name+"_count", "", float64(s.Count))
+}
+
+// ParseProm parses Prometheus text exposition into a flat map keyed by
+// the series as written (name, or name{labels}). Comment and blank
+// lines are skipped; a malformed sample line is an error. Values that
+// parse to NaN or ±Inf are kept — validity checking is the caller's
+// policy (dudectl top -check fails on them).
+func ParseProm(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the last space-separated field; the series name
+		// (possibly containing spaces inside label values) is the rest.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("obs: malformed metric line %q", line)
+		}
+		series := strings.TrimSpace(line[:i])
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: malformed value in %q: %v", line, err)
+		}
+		out[series] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package obs
+
+import "sync/atomic"
+
+// EventKind labels one point of the transaction lifecycle.
+type EventKind uint8
+
+const (
+	// EvCommit: the transaction committed in the Perform step (the
+	// timestamp is taken before the ring publish, so it orders before
+	// every downstream stamp of the same transaction).
+	EvCommit EventKind = iota + 1
+	// EvGroupSeal: the Persist coordinator sealed the group covering
+	// the transaction and handed it to a log writer.
+	EvGroupSeal
+	// EvPersistFence: the group's log append and persist barrier
+	// completed — the transaction is on NVM.
+	EvPersistFence
+	// EvReproApply: the Reproduce step applied the group to the
+	// persistent data region.
+	EvReproApply
+)
+
+// String returns the lifecycle-stage name.
+func (k EventKind) String() string {
+	switch k {
+	case EvCommit:
+		return "commit"
+	case EvGroupSeal:
+		return "group-seal"
+	case EvPersistFence:
+		return "persist-fence"
+	case EvReproApply:
+		return "reproduce-apply"
+	}
+	return "unknown"
+}
+
+// Record is one trace stamp. Commit stamps cover a single transaction
+// (MinTid == MaxTid); group stamps cover the sealed ID range. At is
+// nanoseconds since the observer's epoch (monotonic), so subtracting
+// two records of one transaction gives the stage latency between them.
+type Record struct {
+	Kind   EventKind
+	MinTid uint64
+	MaxTid uint64
+	At     int64
+}
+
+// traceRing is one event source's fixed-size trace buffer: a single
+// writer goroutine stamps records, any number of readers scan them
+// lock-free. Each slot is a seqlock (odd sequence = write in progress;
+// a reader that observes an unstable or changed sequence discards the
+// slot), so a reader never blocks the hot path and never observes a
+// torn record — at worst it misses the slot being overwritten.
+type traceRing struct {
+	slots []traceSlot
+	mask  uint64
+	pos   atomic.Uint64 // next write index (monotonic)
+}
+
+type traceSlot struct {
+	seq    atomic.Uint64
+	kind   atomic.Uint64
+	minTid atomic.Uint64
+	maxTid atomic.Uint64
+	at     atomic.Int64
+}
+
+func newTraceRing(capacity int) *traceRing {
+	c := uint64(1)
+	for c < uint64(capacity) {
+		c <<= 1
+	}
+	return &traceRing{slots: make([]traceSlot, c), mask: c - 1}
+}
+
+// put stamps one record. Single writer per ring.
+func (r *traceRing) put(kind EventKind, minTid, maxTid uint64, at int64) {
+	p := r.pos.Load()
+	s := &r.slots[p&r.mask]
+	s.seq.Store(2*p + 1) // odd: write in progress
+	s.kind.Store(uint64(kind))
+	s.minTid.Store(minTid)
+	s.maxTid.Store(maxTid)
+	s.at.Store(at)
+	s.seq.Store(2*p + 2) // even: stable
+	r.pos.Store(p + 1)
+}
+
+// collect appends to dst every stable record in the ring whose ID range
+// contains tid (tid == 0 collects everything). Readers race the writer;
+// slots mid-overwrite are skipped.
+func (r *traceRing) collect(dst []Record, tid uint64) []Record {
+	for i := range r.slots {
+		s := &r.slots[i]
+		seq := s.seq.Load()
+		if seq == 0 || seq&1 == 1 {
+			continue
+		}
+		rec := Record{
+			Kind:   EventKind(s.kind.Load()),
+			MinTid: s.minTid.Load(),
+			MaxTid: s.maxTid.Load(),
+			At:     s.at.Load(),
+		}
+		if s.seq.Load() != seq {
+			continue // overwritten mid-read
+		}
+		if tid != 0 && (tid < rec.MinTid || tid > rec.MaxTid) {
+			continue
+		}
+		dst = append(dst, rec)
+	}
+	return dst
+}

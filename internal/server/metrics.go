@@ -1,0 +1,192 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"dudetm"
+	idudetm "dudetm/internal/dudetm"
+	"dudetm/internal/obs"
+)
+
+// WriteMetrics renders the pool's pipeline state and the server's
+// service counters in the Prometheus text exposition format (0.0.4).
+// One scrape is a consistent-enough snapshot for operations: every
+// value is read from a monotonic counter or a current gauge; no locks
+// are taken on the transaction hot path.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	st := s.pool.Stats()
+	sv := s.Stats()
+	p := obs.NewPromWriter(w)
+
+	// Pipeline frontiers. clock >= durable >= reproduced in steady
+	// state; the gaps are the Persist and Reproduce backlogs in
+	// transaction IDs — the decoupling the paper buys throughput with.
+	p.Gauge("dudetm_clock_tid", "Largest committed transaction ID (Perform frontier).", float64(st.Clock))
+	p.Gauge("dudetm_durable_tid", "Durable frontier: every transaction at or below it survives a crash.", float64(st.Durable))
+	p.Gauge("dudetm_reproduced_tid", "Largest transaction ID applied to persistent data.", float64(st.Reproduced))
+
+	p.Counter("dudetm_commits_total", "Committed write transactions.", float64(st.Committed))
+	p.Counter("dudetm_log_bytes_total", "Serialized bytes appended to persistent redo logs.", float64(st.LogBytes))
+	p.Counter("dudetm_nvm_bytes_total", "Bytes written back to (simulated) NVM.", float64(st.Device.BytesFlushed))
+	p.Counter("dudetm_device_fences_total", "Persist barriers issued to the device.", float64(st.Device.Fences))
+
+	// Per-stage utilization, labeled like a real job system so one
+	// dashboard query covers both background stages.
+	stages := []struct {
+		labels string
+		ss     idudetm.StageStats
+	}{
+		{`stage="persist"`, st.Persist},
+		{`stage="reproduce"`, st.Reproduce},
+	}
+	p.Header("dudetm_stage_busy_seconds_total", "counter", "Busy time per pipeline stage (summed across workers).")
+	for _, r := range stages {
+		p.Sample("dudetm_stage_busy_seconds_total", r.labels, float64(r.ss.BusyNanos)*1e-9)
+	}
+	p.Header("dudetm_stage_groups_total", "counter", "Groups processed per pipeline stage.")
+	for _, r := range stages {
+		p.Sample("dudetm_stage_groups_total", r.labels, float64(r.ss.Groups))
+	}
+	p.Header("dudetm_stage_fences_total", "counter", "Persist barriers issued per pipeline stage.")
+	for _, r := range stages {
+		p.Sample("dudetm_stage_fences_total", r.labels, float64(r.ss.Fences))
+	}
+	p.Header("dudetm_stage_workers", "gauge", "Configured worker count per pipeline stage.")
+	for _, r := range stages {
+		p.Sample("dudetm_stage_workers", r.labels, float64(r.ss.Workers))
+	}
+	p.Header("dudetm_stage_queue_depth", "gauge", "Current stage backlog in groups.")
+	for _, r := range stages {
+		p.Sample("dudetm_stage_queue_depth", r.labels, float64(r.ss.QueueDepth))
+	}
+	p.Header("dudetm_stage_utilization", "gauge", "Per-worker stage utilization in [0,1].")
+	for _, r := range stages {
+		p.Sample("dudetm_stage_utilization", r.labels, r.ss.Utilization)
+	}
+	p.Gauge("dudetm_persist_window_depth", "Reserved-but-unretired persist dispatch sequences.", float64(st.Persist.WindowDepth))
+
+	// Lifecycle latency histograms (nanosecond observations rendered in
+	// seconds) and their headline quantiles as ready-made gauges, so a
+	// scraper without histogram_quantile still sees p50/p99/p999.
+	ob := st.Obs
+	p.Gauge("dudetm_trace_sample_every", "Lifecycle trace sampling period (0 = tracing off).", float64(ob.SampleEvery))
+	p.Counter("dudetm_trace_sampled_total", "Transactions stamped by the lifecycle tracer.", float64(ob.SampledCommits))
+	p.Histogram("dudetm_commit_durable_seconds", "Commit to durable-fence latency of sampled transactions.", ob.CommitDurable, 1e-9)
+	p.Histogram("dudetm_commit_reproduced_seconds", "Commit to reproduce-apply latency of sampled transactions.", ob.CommitReproduced, 1e-9)
+	p.Histogram("dudetm_fence_seconds", "Per-group log append + persist barrier duration.", ob.Fence, 1e-9)
+	p.Histogram("dudetm_queue_dwell_seconds", "Per-group seal-to-pickup queue dwell.", ob.QueueDwell, 1e-9)
+	p.Histogram("dudetm_group_txns", "Transactions per sealed persist group.", ob.GroupTxns, 1)
+	p.Histogram("dudetm_group_entries", "Combined log entries per sealed persist group.", ob.GroupEntries, 1)
+
+	quantiles := []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}}
+	p.Header("dudetm_commit_durable_latency_seconds", "gauge", "Commit to durable latency quantiles of sampled transactions.")
+	for _, q := range quantiles {
+		p.Sample("dudetm_commit_durable_latency_seconds", `quantile="`+q.label+`"`, float64(ob.CommitDurable.Quantile(q.q))*1e-9)
+	}
+	p.Header("dudetm_commit_reproduced_latency_seconds", "gauge", "Commit to reproduced latency quantiles of sampled transactions.")
+	for _, q := range quantiles {
+		p.Sample("dudetm_commit_reproduced_latency_seconds", `quantile="`+q.label+`"`, float64(ob.CommitReproduced.Quantile(q.q))*1e-9)
+	}
+
+	p.Counter("dudetm_watchdog_stalls_total", "Pipeline stall episodes detected by the watchdog.", float64(st.Stalls))
+
+	// Service counters.
+	p.Counter("dudesrv_connections_total", "Connections accepted.", float64(sv.Conns))
+	p.Counter("dudesrv_requests_total", "Requests executed.", float64(sv.Requests))
+	p.Counter("dudesrv_acked_writes_total", "Write transactions acknowledged durable to clients.", float64(sv.AckedWrites))
+	p.Counter("dudesrv_notifier_wakeups_total", "Durable-frontier advances observed by the ack notifier.", float64(sv.Notifier.Wakeups))
+	p.Counter("dudesrv_notifier_released_total", "Waiters released by the ack notifier.", float64(sv.Notifier.Released))
+	p.Gauge("dudesrv_notifier_max_batch", "Most waiters released by a single frontier advance.", float64(sv.Notifier.MaxBatch))
+	return p.Err()
+}
+
+// DebugHandler returns the server's observability endpoint: /metrics
+// (Prometheus text), /debug/trace (lifecycle trace inspection),
+// /debug/stall (last watchdog report) and the standard pprof profiles
+// under /debug/pprof/. Serve it on a loopback or operations port — it
+// is diagnostic surface, not client API.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.WriteMetrics(w); err != nil {
+			// Headers are gone; the truncated body is the best signal.
+			fmt.Fprintf(w, "\n# write error: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/stall", s.handleStall)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleTrace serves lifecycle trace records. ?tid=N reconstructs one
+// sampled transaction's timeline; without it the most recent ?n=
+// records (default 64) across all rings are dumped, oldest first.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if tidStr := r.URL.Query().Get("tid"); tidStr != "" {
+		tid, err := strconv.ParseUint(tidStr, 10, 64)
+		if err != nil {
+			http.Error(w, "trace: bad tid: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		recs := s.pool.TraceOf(tid)
+		if len(recs) == 0 {
+			fmt.Fprintf(w, "tid %d: no trace records (unsampled, or evicted from the trace rings)\n", tid)
+			return
+		}
+		fmt.Fprintf(w, "tid %d lifecycle:\n", tid)
+		writeTrace(w, recs)
+		return
+	}
+	n := 64
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		v, err := strconv.Atoi(nStr)
+		if err != nil {
+			http.Error(w, "trace: bad n: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	recs := s.pool.TraceTail(n)
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "no trace records (is -trace-sample enabled?)")
+		return
+	}
+	fmt.Fprintf(w, "last %d trace records:\n", len(recs))
+	writeTrace(w, recs)
+}
+
+// writeTrace renders records with timestamps relative to the first, so
+// a timeline reads as elapsed pipeline time.
+func writeTrace(w io.Writer, recs []dudetm.TraceRecord) {
+	base := recs[0].At
+	for _, rec := range recs {
+		fmt.Fprintf(w, "  +%-12v %-15s tids [%d,%d]\n",
+			time.Duration(rec.At-base), rec.Kind, rec.MinTid, rec.MaxTid)
+	}
+}
+
+// handleStall serves the most recent watchdog stall report.
+func (s *Server) handleStall(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	rep := s.pool.LastStall()
+	if rep == nil {
+		fmt.Fprintln(w, "no stalls recorded")
+		return
+	}
+	fmt.Fprintln(w, rep.String())
+}

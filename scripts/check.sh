@@ -21,13 +21,41 @@ go test ./...
 
 echo "== go test -race (stm, redolog, dudetm, server; 4 stage threads)"
 # DUDETM_STAGE_THREADS=4 forces the parallel Persist/Reproduce paths in
-# every test that does not pin its own worker counts, so the race pass
-# exercises the sharded pipeline, not the single-worker degenerate case.
-DUDETM_STAGE_THREADS=4 go test -race -count=1 ./internal/stm ./internal/redolog ./internal/dudetm ./internal/server
+# every test that does not pin its own worker counts, and
+# DUDETM_TRACE_SAMPLE=4 turns the lifecycle tracer on underneath them,
+# so the race pass exercises the sharded pipeline with trace stamps and
+# stat scrapes racing it — not the single-worker, tracing-off
+# degenerate case.
+DUDETM_STAGE_THREADS=4 DUDETM_TRACE_SAMPLE=4 go test -race -count=1 ./internal/stm ./internal/redolog ./internal/dudetm ./internal/server
 
 echo "== dudebench smoke (stage utilization counters)"
 # Fails if the persist or reproduce utilization counters stay zero — a
 # regression that routed work around the worker pools.
 go run ./cmd/dudebench -experiment smoke -quick
+
+echo "== dudesrv /metrics smoke (live scrape gate)"
+# Boot a real dudesrv with the observability endpoint, drive load
+# through the wire protocol, then hold the endpoint to its contract:
+# dudectl top -check fails on any missing or non-finite required series
+# (frontier gauges, per-stage utilization, durability quantiles).
+SRV_ADDR=127.0.0.1:17070
+MET_ADDR=127.0.0.1:17071
+go build -o /tmp/dudesrv.check ./cmd/dudesrv
+go build -o /tmp/dudectl.check ./cmd/dudectl
+/tmp/dudesrv.check -addr "$SRV_ADDR" -metrics "$MET_ADDR" -trace-sample 8 \
+    >/tmp/dudesrv.check.log 2>&1 &
+SRV_PID=$!
+trap 'kill "$SRV_PID" 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+    if /tmp/dudectl.check top -addr "$MET_ADDR" -check >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then echo "dudesrv metrics endpoint never came up"; cat /tmp/dudesrv.check.log; exit 1; fi
+    sleep 0.1
+done
+go run ./examples/netbank -addr "$SRV_ADDR" >/dev/null
+/tmp/dudectl.check top -addr "$MET_ADDR" -n 1
+/tmp/dudectl.check top -addr "$MET_ADDR" -check
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+trap - EXIT
 
 echo "ok: all tier-1 checks passed"
