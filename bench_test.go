@@ -400,6 +400,49 @@ func BenchmarkObs(b *testing.B) {
 	}
 }
 
+// BenchmarkBlackbox sweeps the persistent flight recorder on the
+// pipeline workload: recorder disabled vs. the default ring. The tps
+// metric across the two rows is the steady-state recording overhead
+// signal — stamps ride the pipeline's existing persist barriers
+// (TestBlackboxFenceBudget pins the fence budget and the blackbox
+// package's alloc test pins the stamp path at zero allocations), so on
+// vs. off should be within noise. Runs are recorded to
+// BENCH_blackbox.json (same schema as dudebench -json); the off row
+// comes first.
+func BenchmarkBlackbox(b *testing.B) {
+	harness.StartRecording()
+	harness.SetExperiment("blackbox")
+	for _, entries := range []int{-1, 0} {
+		name := "ring=1024"
+		if entries < 0 {
+			name = "ring=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Run(harness.DudeSTM, harness.NewHashBench(), harness.Options{
+					Threads:         2,
+					GroupSize:       64,
+					PersistThreads:  2,
+					ReproThreads:    2,
+					BlackboxEntries: entries,
+				}, harness.MeasureOpts{TotalOps: 30000, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.TPS, "tps")
+			}
+		})
+	}
+	f, err := os.Create("BENCH_blackbox.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := harness.WriteJSON(f); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkExtensionMixes measures the full TPC-C and TATP transaction
 // blends (repository extensions beyond the paper's single-transaction
 // workloads) under DUDETM and its synchronous variant.

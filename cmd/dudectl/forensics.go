@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dudetm/internal/dudetm"
+	"dudetm/internal/pmem"
+)
+
+// runForensics implements `dudectl forensics [-json] [-verify] <image>`:
+// decode the flight-recorder ring and log-region state of a crash image
+// into a CrashReport, without mutating the image.
+func runForensics(args []string) {
+	fs := flag.NewFlagSet("forensics", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the crash report as JSON")
+	verify := fs.Bool("verify", false, "also recover a scratch copy and check the report's frontier against it")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dudectl forensics [-json] [-verify] <image>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	img, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	dev := pmem.New(pmem.Config{Size: uint64(len(img))})
+	dev.Restore(img)
+	rep, err := dudetm.Forensics(dev)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *verify {
+		// Recover a scratch copy (the on-disk image is untouched) and
+		// cross-check the forensic frontier against the live system.
+		scratch := pmem.New(pmem.Config{Size: uint64(len(img))})
+		scratch.Restore(img)
+		sys, rerr := dudetm.Recover(scratch, dudetm.Config{Threads: 1})
+		if rerr != nil {
+			fatal(fmt.Errorf("verify: %w", rerr))
+		}
+		durable := sys.Durable()
+		sys.Close()
+		if durable != rep.LogFrontier {
+			fatal(fmt.Errorf("verify: recovered durable frontier %d != report frontier %d", durable, rep.LogFrontier))
+		}
+		fmt.Fprintf(os.Stderr, "verify: recovered durable frontier %d matches the report\n", durable)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Println(rep.String())
+}

@@ -6,6 +6,7 @@
 //
 //	dudectl inspect <image>     show pool geometry, log state, frontier
 //	dudectl recover <image>     replay logs, write the recovered image back
+//	dudectl forensics <image>   decode the flight recorder into a crash report (-json, -verify)
 //	dudectl lint [dirs]         run the dudelint analyzers (default: whole module)
 //	dudectl top [flags]         live pipeline view from a dudesrv -metrics endpoint
 package main
@@ -29,8 +30,12 @@ func main() {
 		runTop(os.Args[2:])
 		return
 	}
+	if len(os.Args) >= 2 && os.Args[1] == "forensics" {
+		runForensics(os.Args[2:])
+		return
+	}
 	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: dudectl inspect|recover <image> | dudectl lint [dirs] | dudectl top [flags]")
+		fmt.Fprintln(os.Stderr, "usage: dudectl inspect|recover|forensics <image> | dudectl lint [dirs] | dudectl top [flags]")
 		os.Exit(2)
 	}
 	cmd, path := os.Args[1], os.Args[2]

@@ -29,9 +29,43 @@ var requiredSeries = []string{
 	`dudetm_commit_durable_latency_seconds{quantile="0.99"}`,
 	`dudetm_commit_durable_latency_seconds{quantile="0.999"}`,
 	"dudetm_watchdog_stalls_total",
+	"dudetm_recovery_runs_total",
+	"dudetm_recovery_replay_seconds",
+	"dudetm_recovery_bytes_replayed",
+	`dudetm_region_flushed_bytes_total{region="log"}`,
+	`dudetm_region_flushed_bytes_total{region="data"}`,
+	`dudetm_region_fences_total{region="log"}`,
 	"dudesrv_connections_total",
 	"dudesrv_requests_total",
 	"dudesrv_acked_writes_total",
+}
+
+// rateSeries are the monotone counters whose scrape-to-scrape rates the
+// live view renders and -check validates. A dudesrv restart between two
+// scrapes resets them to zero; rate() clamps the negative delta so the
+// view (and the -check gate) never reports a negative or non-finite
+// rate across a restart.
+var rateSeries = []string{
+	"dudesrv_requests_total",
+	"dudesrv_acked_writes_total",
+	"dudetm_durable_tid",
+	`dudetm_region_flushed_bytes_total{region="log"}`,
+}
+
+// rate converts two counter samples into a per-second rate. Counter
+// resets (server restart between scrapes) show up as a negative delta:
+// the pre-reset baseline is meaningless, so the rate is reported as 0
+// rather than a negative or wrapped value. A non-positive elapsed time
+// also yields 0 instead of Inf/NaN.
+func rate(cur, prev map[string]float64, name string, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	delta := cur[name] - prev[name]
+	if delta < 0 || math.IsNaN(delta) {
+		return 0
+	}
+	return delta / elapsed.Seconds()
 }
 
 // runTop polls a dudesrv metrics endpoint and renders a live view of
@@ -67,19 +101,38 @@ func runTop(args []string) {
 				bad++
 			}
 		}
+		// Second scrape: the derived rates must be finite and
+		// non-negative even if the server restarted (counters reset to
+		// zero) between the two samples.
+		start := time.Now()
+		time.Sleep(100 * time.Millisecond)
+		m2 := scrape(url)
+		for _, series := range rateSeries {
+			r := rate(m2, m, series, time.Since(start))
+			if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+				fmt.Fprintf(os.Stderr, "dudectl top: rate(%s) = %v\n", series, r)
+				bad++
+			}
+		}
 		if bad > 0 {
-			fmt.Fprintf(os.Stderr, "dudectl top: %d of %d required series missing or non-finite\n", bad, len(requiredSeries))
+			fmt.Fprintf(os.Stderr, "dudectl top: %d of %d required series missing, non-finite, or with bad rates\n", bad, len(requiredSeries))
 			os.Exit(1)
 		}
-		fmt.Printf("dudectl top: %s healthy (%d required series present and finite)\n", url, len(requiredSeries))
+		fmt.Printf("dudectl top: %s healthy (%d required series present and finite, %d rates sane)\n",
+			url, len(requiredSeries), len(rateSeries))
 		return
 	}
 
+	var prev map[string]float64
+	var prevAt time.Time
 	for i := 0; *n == 0 || i < *n; i++ {
 		if i > 0 {
 			time.Sleep(*interval)
 		}
-		renderTop(url, scrape(url), i+1)
+		m := scrape(url)
+		now := time.Now()
+		renderTop(url, m, prev, now.Sub(prevAt), i+1)
+		prev, prevAt = m, now
 	}
 }
 
@@ -99,7 +152,7 @@ func scrape(url string) map[string]float64 {
 	return m
 }
 
-func renderTop(url string, m map[string]float64, sample int) {
+func renderTop(url string, m, prev map[string]float64, elapsed time.Duration, sample int) {
 	clock := m["dudetm_clock_tid"]
 	durable := m["dudetm_durable_tid"]
 	repro := m["dudetm_reproduced_tid"]
@@ -126,6 +179,22 @@ func renderTop(url string, m map[string]float64, sample int) {
 	fmt.Printf("  server      conns %.0f   requests %.0f   acked writes %.0f   stalls %.0f\n",
 		m["dudesrv_connections_total"], m["dudesrv_requests_total"],
 		m["dudesrv_acked_writes_total"], m["dudetm_watchdog_stalls_total"])
+	if prev != nil {
+		// Rates survive a server restart between samples: rate() clamps
+		// the reset's negative delta to 0.
+		fmt.Printf("  rates       %.0f req/s   %.0f acks/s   %.0f tid/s   %.0f log B/s\n",
+			rate(m, prev, "dudesrv_requests_total", elapsed),
+			rate(m, prev, "dudesrv_acked_writes_total", elapsed),
+			rate(m, prev, "dudetm_durable_tid", elapsed),
+			rate(m, prev, `dudetm_region_flushed_bytes_total{region="log"}`, elapsed))
+	}
+	if m["dudetm_recovery_runs_total"] > 0 {
+		fmt.Printf("  recovery    replay %s   %.0f groups   %.0f entries   %.0f bytes\n",
+			secs(m["dudetm_recovery_replay_seconds"]),
+			m["dudetm_recovery_groups_replayed"],
+			m["dudetm_recovery_entries_replayed"],
+			m["dudetm_recovery_bytes_replayed"])
+	}
 }
 
 // secs renders a latency gauge in a human unit.

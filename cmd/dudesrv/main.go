@@ -68,7 +68,16 @@ func main() {
 			if err != nil {
 				log.Fatalf("dudesrv: mounting %s: %v", *image, err)
 			}
-			log.Printf("dudesrv: recovered %s (durable id %d)", *image, pool.Durable())
+			rec := pool.Stats().Recovery
+			log.Printf("dudesrv: recovered %s (durable id %d): scanned %d logs in %s, replayed %d groups / %d entries / %d bytes in %s, recycle %s",
+				*image, pool.Durable(), rec.LogsScanned, time.Duration(rec.ScanNanos),
+				rec.GroupsReplayed, rec.EntriesReplayed, rec.BytesReplayed,
+				time.Duration(rec.ReplayNanos), time.Duration(rec.RecycleNanos))
+			if r := rec.Report; r != nil {
+				log.Printf("dudesrv: crash report: last durable stamp %d, %d sealed-unpersisted group(s), %d in-flight fence(s), %d torn recorder slot(s), %d torn log(s)",
+					r.LastDurableStamp, len(r.SealedUnpersisted), len(r.InFlightFences),
+					r.TornBlackboxSlots, r.TornLogs)
+			}
 		}
 	}
 	if pool == nil {

@@ -50,6 +50,16 @@ type TraceRecord = obs.Record
 // episode (see Options.Watchdog).
 type StallReport = idudetm.StallReport
 
+// CrashReport is the post-crash forensic summary of a pool image: the
+// durable frontier provable from the log region plus what the
+// persistent flight recorder says the pipeline was doing when power
+// failed (see Forensics and Stats().Recovery.Report).
+type CrashReport = idudetm.CrashReport
+
+// RecoveryStats instruments a recovery mount: per-phase wall times,
+// replay volume, and the forensic report (see Stats().Recovery).
+type RecoveryStats = idudetm.RecoveryStats
+
 // Heap is the transactional allocator type usable inside transactions.
 type Heap = memdb.Heap
 
@@ -101,6 +111,11 @@ type Options struct {
 	Watchdog time.Duration
 	// OnStall receives watchdog stall reports.
 	OnStall func(StallReport)
+	// BlackboxEntries sizes the persistent flight-recorder ring stamped
+	// at pipeline milestones and decoded into the post-crash
+	// CrashReport. 0 selects the default (1024 slots); negative
+	// disables the recorder.
+	BlackboxEntries int
 	// Timing enables the NVM delay model.
 	Timing bool
 	// Latency and Bandwidth parameterize the delay model (defaults:
@@ -120,6 +135,7 @@ func (o Options) config() idudetm.Config {
 		TraceSampleEvery: o.TraceSampleEvery,
 		Watchdog:         o.Watchdog,
 		OnStall:          o.OnStall,
+		BlackboxEntries:  o.BlackboxEntries,
 	}
 	if cfg.Threads == 0 {
 		cfg.Threads = 4
@@ -307,6 +323,23 @@ func (p *Pool) Reproduced() uint64 { return p.sys.Reproduced() }
 
 // Stats returns pipeline and device statistics.
 func (p *Pool) Stats() idudetm.Stats { return p.sys.Stats() }
+
+// AuditRecovery cross-checks an ID that was acknowledged as durable
+// before a crash against this recovered pool: it returns nil when the
+// recovered durable frontier covers the ID, and an error carrying the
+// forensic crash report when the durability contract was broken.
+func (p *Pool) AuditRecovery(ackedTid uint64) error { return p.sys.AuditRecovery(ackedTid) }
+
+// Forensics decodes a pool image (a Snapshot, a Crash image, or a file
+// read from disk) into a CrashReport without mounting it: the durable
+// frontier recomputed from the logs, sealed-but-unpersisted groups,
+// in-flight persist barriers, torn-record counts and the surviving
+// flight-recorder event tail.
+func Forensics(img []byte) (*CrashReport, error) {
+	dev := pmem.New(pmem.Config{Size: uint64(len(img))})
+	dev.Restore(img)
+	return idudetm.Forensics(dev)
+}
 
 // TraceOf reconstructs the lifecycle timeline of a sampled transaction
 // (Options.TraceSampleEvery): commit → group-seal → persist-fence →

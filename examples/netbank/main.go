@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -41,6 +42,7 @@ const (
 
 func main() {
 	external := flag.String("addr", "", "drive an external dudesrv at this address instead of the in-process drill")
+	crashImage := flag.String("crash-image", "", "write the pre-recovery crash image to this file (inspect it with dudectl forensics)")
 	flag.Parse()
 	if *external != "" {
 		c, err := server.Dial(*external)
@@ -91,15 +93,19 @@ func main() {
 	var mu sync.Mutex
 	ackedGen := make(map[uint64]uint64)
 	acked := 0
+	var maxTid uint64
 	crash := make(chan struct{})
 	go func() {
 		time.Sleep(150 * time.Millisecond)
 		close(crash)
 	}()
-	run(ln.Addr().String(), crash, func(key, gen uint64) {
+	run(ln.Addr().String(), crash, func(key, gen, tid uint64) {
 		mu.Lock()
 		if gen > ackedGen[key] {
 			ackedGen[key] = gen
+		}
+		if tid > maxTid {
+			maxTid = tid
 		}
 		acked++
 		mu.Unlock()
@@ -110,12 +116,24 @@ func main() {
 	fences := pool.Stats().Device.Fences
 	fmt.Printf("crash after %d acked transfers; %d fences for %d durable acks; notifier max batch %d\n",
 		acked, fences, st.AckedWrites, st.Notifier.MaxBatch)
+	if *crashImage != "" {
+		if err := writeFile(*crashImage, img); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("crash image written to %s\n", *crashImage)
+	}
 
 	pool2, err := dudetm.OpenSnapshot(img, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer pool2.Close()
+	// Online durability audit: the recovered frontier must cover every
+	// transfer the server acknowledged durable; on failure the error
+	// carries the image's forensic crash report.
+	if err := pool2.AuditRecovery(maxTid); err != nil {
+		log.Fatalf("durability audit: %v", err)
+	}
 	srv2, err := server.New(pool2, server.Config{})
 	if err != nil {
 		log.Fatal(err)
@@ -165,8 +183,9 @@ func main() {
 // run drives transfer traffic until each connection completes its quota
 // or the crash channel fires. Each account's value is [balance u64,
 // generation u64]; a transfer is one atomic 2-account transaction, and
-// onAck records only transfers the server acknowledged durable.
-func run(addr string, crash <-chan struct{}, onAck func(key, gen uint64)) {
+// onAck records only transfers the server acknowledged durable, along
+// with the acknowledged transaction ID.
+func run(addr string, crash <-chan struct{}, onAck func(key, gen, tid uint64)) {
 	var wg sync.WaitGroup
 	for w := 0; w < conns; w++ {
 		wg.Add(1)
@@ -210,15 +229,16 @@ func run(addr string, crash <-chan struct{}, onAck func(key, gen uint64)) {
 				if sb < amt {
 					continue
 				}
-				if _, err := c.Txn(
+				put, err := c.Txn(
 					wire.Op{Kind: wire.OpPut, Key: src, Val: account(sb-amt, sg+1)},
 					wire.Op{Kind: wire.OpPut, Key: dst, Val: account(db+amt, dg+1)},
-				); err != nil {
+				)
+				if err != nil {
 					return
 				}
 				if onAck != nil {
-					onAck(src, sg+1)
-					onAck(dst, dg+1)
+					onAck(src, sg+1, put.Tid)
+					onAck(dst, dg+1, put.Tid)
 				}
 			}
 		}(w)
@@ -235,4 +255,8 @@ func account(balance, gen uint64) []byte {
 
 func split(v []byte) (balance, gen uint64) {
 	return binary.LittleEndian.Uint64(v[:8]), binary.LittleEndian.Uint64(v[8:16])
+}
+
+func writeFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
 }

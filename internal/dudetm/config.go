@@ -136,6 +136,12 @@ type Config struct {
 	// OnStall receives stall reports from the watchdog; nil logs the
 	// report to the standard logger.
 	OnStall func(StallReport)
+	// BlackboxEntries sizes the persistent flight-recorder ring (one
+	// 64-byte slot per entry, in its own pool region): the pipeline
+	// stamps it at persistence milestones and the post-crash forensics
+	// pass decodes the survivors into the CrashReport. 0 selects the
+	// default (1024 slots); a negative value disables the recorder.
+	BlackboxEntries int
 	// OrecCount overrides the STM ownership-record table size.
 	OrecCount uint64
 	// Pmem carries the NVM timing model (latency, bandwidth,
@@ -177,10 +183,22 @@ func (c *Config) applyDefaults() {
 	if c.TraceSampleEvery < 0 {
 		c.TraceSampleEvery = 0
 	}
+	if c.BlackboxEntries == 0 {
+		c.BlackboxEntries = 1024
+	}
 	if c.DataSize == 0 {
 		c.DataSize = 64 << 20
 	}
 	c.DataSize = (c.DataSize + c.PageSize - 1) &^ (c.PageSize - 1)
+}
+
+// bbEntries resolves BlackboxEntries to a ring slot count (0 when the
+// recorder is disabled).
+func (c *Config) bbEntries() uint64 {
+	if c.BlackboxEntries <= 0 {
+		return 0
+	}
+	return uint64(c.BlackboxEntries)
 }
 
 // defaultStageThreads resolves the default worker count for the two

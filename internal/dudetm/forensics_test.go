@@ -1,0 +1,205 @@
+package dudetm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dudetm/internal/pmem"
+)
+
+// crashWithDeepLog drives a system with Reproduce frozen so the crash
+// image holds durable-but-unreproduced groups, and returns the image
+// device plus the last acknowledged-durable transaction ID.
+func crashWithDeepLog(t *testing.T, cfg Config) (dev *pmem.Device, last uint64) {
+	t.Helper()
+	s, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PauseReproduce()
+	for i := uint64(0); i < 30; i++ {
+		tid, err := s.Run(0, func(tx *Tx) error { tx.Store(i*8, i+1); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = tid
+	}
+	if err := s.WaitDurable(last); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the persist loop go idle
+	d := restoreInto(s)
+	s.ResumeReproduce()
+	s.Close()
+	return d, last
+}
+
+// TestCrashReportMatchesRecoveredImage pins the tentpole acceptance
+// criterion: the forensic report's durable frontier, computed from the
+// crash image alone, exactly matches what Recover restores — and the
+// flight-recorder stamps agree with both.
+func TestCrashReportMatchesRecoveredImage(t *testing.T) {
+	for _, mode := range []Mode{ModeAsync, ModeSync} {
+		cfg := testConfig()
+		cfg.Mode = mode
+		dev, last := crashWithDeepLog(t, cfg)
+
+		rep, err := Forensics(dev)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if rep.LogFrontier < last {
+			t.Errorf("mode %d: report frontier %d < acked %d", mode, rep.LogFrontier, last)
+		}
+		if rep.LastDurableStamp == 0 {
+			t.Errorf("mode %d: no durable stamp survived the crash", mode)
+		}
+		if rep.LastDurableStamp > rep.LogFrontier {
+			t.Errorf("mode %d: durable stamp %d ahead of log frontier %d (stamp flushed before its group?)",
+				mode, rep.LastDurableStamp, rep.LogFrontier)
+		}
+		if rep.LiveGroups == 0 {
+			t.Errorf("mode %d: no live groups in a paused-Reproduce crash image", mode)
+		}
+		// Every lost-work finding must be above the recovered frontier
+		// and absent from the surviving log.
+		for _, g := range append(append([]TidRange{}, rep.SealedUnpersisted...), rep.InFlightFences...) {
+			if g.MinTid <= rep.LogFrontier {
+				t.Errorf("mode %d: lost-work range [%d,%d] at or below frontier %d",
+					mode, g.MinTid, g.MaxTid, rep.LogFrontier)
+			}
+		}
+		if !strings.Contains(rep.String(), "log frontier") {
+			t.Errorf("mode %d: String() lacks the frontier line:\n%s", mode, rep)
+		}
+
+		s2, err := Recover(dev, cfg)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if got := s2.Durable(); got != rep.LogFrontier {
+			t.Errorf("mode %d: recovered durable %d != report frontier %d", mode, got, rep.LogFrontier)
+		}
+
+		rec := s2.Stats().Recovery
+		if !rec.Recovered {
+			t.Errorf("mode %d: Recovery.Recovered false after Recover", mode)
+		}
+		if rec.Report == nil || rec.Report.LogFrontier != rep.LogFrontier {
+			t.Errorf("mode %d: recovery-attached report %+v disagrees with standalone forensics %d",
+				mode, rec.Report, rep.LogFrontier)
+		}
+		if rec.GroupsReplayed == 0 || rec.EntriesReplayed == 0 || rec.BytesReplayed == 0 {
+			t.Errorf("mode %d: replay counters empty: %+v", mode, rec)
+		}
+		if rec.LogsScanned == 0 {
+			t.Errorf("mode %d: LogsScanned = 0", mode)
+		}
+		if rec.ScanNanos < 0 || rec.ReplayNanos < 0 || rec.RecycleNanos < 0 {
+			t.Errorf("mode %d: negative phase timing: %+v", mode, rec)
+		}
+		s2.Close()
+	}
+}
+
+// TestAuditRecovery pins both audit verdicts: an acked ID within the
+// recovered frontier passes; one beyond it fails with the forensic
+// report attached.
+func TestAuditRecovery(t *testing.T) {
+	cfg := testConfig()
+	dev, last := crashWithDeepLog(t, cfg)
+	s2, err := Recover(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.AuditRecovery(last); err != nil {
+		t.Errorf("audit of acked tid %d failed: %v", last, err)
+	}
+	err = s2.AuditRecovery(s2.Durable() + 10)
+	if err == nil {
+		t.Fatal("audit accepted a tid beyond the recovered frontier")
+	}
+	if !strings.Contains(err.Error(), "crash report") {
+		t.Errorf("audit failure lacks forensic context: %v", err)
+	}
+}
+
+// TestBlackboxFenceBudget pins the steady-state overhead criterion:
+// the recorder's write-backs ride the pipeline's existing barriers, so
+// the blackbox region sees at most the boot Sync's fence no matter how
+// many groups the run seals.
+func TestBlackboxFenceBudget(t *testing.T) {
+	cfg := testConfig()
+	s, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var last uint64
+	for i := uint64(0); i < 200; i++ {
+		last, _ = s.Run(0, func(tx *Tx) error { tx.Store(i%32*8, i); return nil })
+	}
+	s.WaitDurable(last)
+	var bb *pmem.RegionStats
+	for _, r := range s.Stats().Regions {
+		if r.Name == "blackbox" {
+			rr := r
+			bb = &rr
+		}
+	}
+	if bb == nil {
+		t.Fatal("no blackbox region in Stats().Regions")
+	}
+	if bb.BytesFlushed == 0 {
+		t.Error("no recorder stamps were written back")
+	}
+	if bb.Fences > 2 {
+		t.Errorf("blackbox region charged %d fences for 200 transactions, want <= 2 (boot only)", bb.Fences)
+	}
+}
+
+// TestBlackboxDisabled checks the opt-out: a negative BlackboxEntries
+// yields a pool with no recorder region that still crashes and
+// recovers, producing a log-only report.
+func TestBlackboxDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.BlackboxEntries = -1
+	dev, last := crashWithDeepLog(t, cfg)
+	rep, err := Forensics(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Events) != 0 || rep.LastDurableStamp != 0 {
+		t.Errorf("recorder disabled but report has stamps: %+v", rep)
+	}
+	if rep.LogFrontier < last {
+		t.Errorf("log-only frontier %d < acked %d", rep.LogFrontier, last)
+	}
+	s2, err := Recover(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, r := range s2.Stats().Regions {
+		if r.Name == "blackbox" {
+			t.Error("disabled recorder still has a region")
+		}
+	}
+	if err := s2.AuditRecovery(last); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecoveryStatsFreshCreate: a Create mount reports no recovery.
+func TestRecoveryStatsFreshCreate(t *testing.T) {
+	s, err := Create(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if rec := s.Stats().Recovery; rec.Recovered || rec.Report != nil {
+		t.Errorf("fresh Create reports recovery: %+v", rec)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"dudetm/internal/obs/blackbox"
 	"dudetm/internal/pmem"
 	"dudetm/internal/redolog"
 )
@@ -12,14 +13,16 @@ import (
 // Pool layout on the simulated NVM device:
 //
 //	[0,   64)               header (magic, nlogs, logSize, dataSize,
-//	                        pageSize, crc)
+//	                        pageSize, bbEntries, crc)
 //	[64,  64+64*nlogs)      per-log metadata blocks (redolog.MetaSize
 //	                        used, line-aligned so each persists
 //	                        atomically)
+//	[bbOff, logsOff)        flight-recorder ring (blackbox.Size(bbEntries)
+//	                        bytes; absent when bbEntries is 0)
 //	[logsOff, ...)          nlogs persistent log buffers
 //	[dataOff, +dataSize)    persistent data region (page aligned)
 const (
-	poolMagic     = 0x44554445544d3031 // "DUDETM01"
+	poolMagic     = 0x44554445544d3032 // "DUDETM02"
 	headerBytes   = 64
 	metaSlotBytes = 64
 )
@@ -27,21 +30,28 @@ const (
 var headerCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 type layout struct {
-	nlogs    uint64
-	logSize  uint64
-	dataSize uint64
-	pageSize uint64
+	nlogs     uint64
+	logSize   uint64
+	dataSize  uint64
+	pageSize  uint64
+	bbEntries uint64 // flight-recorder ring slots; 0 = no ring
 
 	metaOff uint64
+	bbOff   uint64
 	logsOff uint64
 	dataOff uint64
 	total   uint64
 }
 
-func computeLayout(nlogs, logSize, dataSize, pageSize uint64) layout {
-	l := layout{nlogs: nlogs, logSize: logSize, dataSize: dataSize, pageSize: pageSize}
+func computeLayout(nlogs, logSize, dataSize, pageSize, bbEntries uint64) layout {
+	l := layout{nlogs: nlogs, logSize: logSize, dataSize: dataSize,
+		pageSize: pageSize, bbEntries: bbEntries}
 	l.metaOff = headerBytes
-	l.logsOff = l.metaOff + nlogs*metaSlotBytes
+	l.bbOff = l.metaOff + nlogs*metaSlotBytes
+	l.logsOff = l.bbOff
+	if bbEntries > 0 {
+		l.logsOff += blackbox.Size(bbEntries)
+	}
 	l.dataOff = (l.logsOff + nlogs*logSize + pageSize - 1) &^ (pageSize - 1)
 	l.total = l.dataOff + dataSize
 	return l
@@ -49,6 +59,22 @@ func computeLayout(nlogs, logSize, dataSize, pageSize uint64) layout {
 
 func (l layout) metaAddr(i int) uint64 { return l.metaOff + uint64(i)*metaSlotBytes }
 func (l layout) logAddr(i int) uint64  { return l.logsOff + uint64(i)*l.logSize }
+
+// regions names the layout's sub-ranges for the device's per-region
+// flush/fence/byte accounting.
+func (l layout) regions() []pmem.Region {
+	rs := []pmem.Region{
+		{Name: "header", Addr: 0, Size: headerBytes},
+		{Name: "meta", Addr: l.metaOff, Size: l.nlogs * metaSlotBytes},
+	}
+	if l.bbEntries > 0 {
+		rs = append(rs, pmem.Region{Name: "blackbox", Addr: l.bbOff, Size: l.logsOff - l.bbOff})
+	}
+	return append(rs,
+		pmem.Region{Name: "log", Addr: l.logsOff, Size: l.nlogs * l.logSize},
+		pmem.Region{Name: "data", Addr: l.dataOff, Size: l.dataSize},
+	)
+}
 
 // writeHeader persists the pool header.
 func writeHeader(dev *pmem.Device, l layout) {
@@ -58,8 +84,9 @@ func writeHeader(dev *pmem.Device, l layout) {
 	binary.LittleEndian.PutUint64(b[16:], l.logSize)
 	binary.LittleEndian.PutUint64(b[24:], l.dataSize)
 	binary.LittleEndian.PutUint64(b[32:], l.pageSize)
-	crc := crc32.Checksum(b[:40], headerCRCTable)
-	binary.LittleEndian.PutUint64(b[40:], uint64(crc))
+	binary.LittleEndian.PutUint64(b[40:], l.bbEntries)
+	crc := crc32.Checksum(b[:48], headerCRCTable)
+	binary.LittleEndian.PutUint64(b[48:], uint64(crc))
 	dev.Store(0, b[:])
 	dev.Persist(0, headerBytes)
 }
@@ -71,8 +98,8 @@ func readHeader(dev *pmem.Device) (layout, error) {
 	if binary.LittleEndian.Uint64(b[0:]) != poolMagic {
 		return layout{}, fmt.Errorf("dudetm: bad pool magic")
 	}
-	crc := binary.LittleEndian.Uint64(b[40:])
-	if uint64(crc32.Checksum(b[:40], headerCRCTable)) != crc {
+	crc := binary.LittleEndian.Uint64(b[48:])
+	if uint64(crc32.Checksum(b[:48], headerCRCTable)) != crc {
 		return layout{}, fmt.Errorf("dudetm: corrupt pool header")
 	}
 	l := computeLayout(
@@ -80,6 +107,7 @@ func readHeader(dev *pmem.Device) (layout, error) {
 		binary.LittleEndian.Uint64(b[16:]),
 		binary.LittleEndian.Uint64(b[24:]),
 		binary.LittleEndian.Uint64(b[32:]),
+		binary.LittleEndian.Uint64(b[40:]),
 	)
 	if l.total > dev.Size() {
 		return layout{}, fmt.Errorf("dudetm: pool layout (%d bytes) exceeds device (%d bytes)", l.total, dev.Size())

@@ -163,7 +163,12 @@ func TestWatchdogQuietDuringPauseDrills(t *testing.T) {
 	var fired atomic.Int64
 	cfg := testConfig()
 	cfg.Threads = 1
-	cfg.Watchdog = 2 * time.Millisecond
+	// Wide enough that two consecutive ticks never both land inside one
+	// race-detector scheduling hiccup (a 2ms interval false-fires under
+	// -race); the pause sleeps below still span several ticks, so the
+	// watchdog does sample the frozen-frontier shape it must stay quiet
+	// about.
+	cfg.Watchdog = 25 * time.Millisecond
 	cfg.OnStall = func(StallReport) { fired.Add(1) }
 	s, err := Create(cfg)
 	if err != nil {
@@ -184,14 +189,14 @@ func TestWatchdogQuietDuringPauseDrills(t *testing.T) {
 
 	s.PausePersist()
 	run(10) // commits pile up behind the frozen durable frontier
-	time.Sleep(30 * time.Millisecond)
+	time.Sleep(100 * time.Millisecond)
 	s.ResumePersist()
 
 	last := run(10)
 	s.WaitDurable(last)
 	s.PauseReproduce()
 	run(10)
-	time.Sleep(30 * time.Millisecond)
+	time.Sleep(100 * time.Millisecond)
 	s.ResumeReproduce()
 
 	s.Drain()

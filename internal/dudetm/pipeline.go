@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"dudetm/internal/obs/blackbox"
 	"dudetm/internal/pmem"
 	"dudetm/internal/redolog"
 )
@@ -84,6 +85,11 @@ func (s *System) persistLoop() {
 		// Sealed before the window reservation, so queue dwell includes
 		// time spent blocked on window back-pressure.
 		sealAt := s.obs.GroupSealed(s.srcCoord(), gMin, gMax, gCount, len(*ep))
+		// The seal stamp must be on media before the group can appear in
+		// a log: forensics treats a durable seal with no persisted group
+		// as sealed-but-unpersisted work lost to the crash.
+		s.bbStamp(blackbox.KindGroupSeal, gMin, gMax, uint64(gCount))
+		s.bbFlush()
 		seq, ok := s.window.reserve(&s.halted)
 		if !ok {
 			putEntrySlice(ep)
@@ -198,9 +204,15 @@ func (s *System) persistWorker(wi int) {
 			continue
 		}
 		s.workerGates[wi].Lock()
+		// Flushed before the append begins, so a crash inside the
+		// append leaves a durable fence-begin with no matching
+		// persist-fence — the forensic signature of an in-flight barrier.
+		s.bbStamp(blackbox.KindFenceBegin, m.g.MinTid, m.g.MaxTid, uint64(wi))
+		s.bbFlush()
 		startAt := s.obs.Now()
 		w.AppendGroup(m.g)
 		endAt := s.obs.Now()
+		s.bbStamp(blackbox.KindPersistFence, m.g.MinTid, m.g.MaxTid, uint64(wi))
 		s.obs.GroupPersisted(s.srcWorker(wi), m.g.MinTid, m.g.MaxTid, m.sealAt, startAt, endAt)
 		s.pm.busy.Add(uint64(endAt - startAt))
 		s.pm.groups.Add(1)
@@ -212,6 +224,9 @@ func (s *System) persistWorker(wi int) {
 		s.pm.dequeue()
 		s.rm.enqueue()
 		s.reproCh <- repoMsg{g: m.g, w: w, wi: wi, ep: m.ep}
+		// One write-back for the fence/durable stamps above; it rides
+		// after the group's own barrier, adding no fence of its own.
+		s.bbFlush()
 		s.workerGates[wi].Unlock()
 	}
 }
@@ -275,11 +290,14 @@ func (s *System) reproduceLoop() {
 	flushRecycles := func() {
 		for i := range pend {
 			if pend[i].count > 0 {
-				s.writers[i].Recycle(pend[i].pos, pend[i].seq, s.reproduced.Load())
+				repro := s.reproduced.Load()
+				s.writers[i].Recycle(pend[i].pos, pend[i].seq, repro)
+				s.bbStamp(blackbox.KindRecycle, uint64(i), pend[i].seq, repro)
 				pendingRecycles -= pend[i].count
 				pend[i].count = 0
 			}
 		}
+		s.bbFlush()
 	}
 
 	apply := func(m repoMsg) {
@@ -325,6 +343,8 @@ func (s *System) reproduceLoop() {
 		pendingRecycles++
 		if p.count >= s.cfg.RecycleEvery {
 			s.writers[m.wi].Recycle(p.pos, p.seq, m.g.MaxTid)
+			s.bbStamp(blackbox.KindRecycle, uint64(m.wi), p.seq, m.g.MaxTid)
+			s.bbFlush()
 			pendingRecycles -= p.count
 			p.count = 0
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dudetm/internal/obs"
+	"dudetm/internal/obs/blackbox"
 	"dudetm/internal/pmem"
 	"dudetm/internal/redolog"
 	"dudetm/internal/shadow"
@@ -56,6 +57,14 @@ type System struct {
 	// coordinator, then the persist workers, then the Reproduce loop
 	// (srcCoord / srcWorker / srcRepro).
 	obs *obs.Observer
+
+	// Persistent flight recorder (nil when BlackboxEntries < 0): stamped
+	// at pipeline milestones, decoded by forensics after a crash.
+	bb *blackbox.Recorder
+
+	// Recovery instrumentation from the Recover that produced this mount
+	// (zero-valued on a fresh Create).
+	recov RecoveryStats
 
 	// Stall watchdog (Config.Watchdog > 0).
 	watchStop chan struct{}
@@ -164,11 +173,15 @@ func Create(cfg Config) (*System, error) {
 	if cfg.PersistThreads > nlogs {
 		nlogs = cfg.PersistThreads
 	}
-	lay := computeLayout(uint64(nlogs), cfg.LogBufBytes, cfg.DataSize, cfg.PageSize)
+	lay := computeLayout(uint64(nlogs), cfg.LogBufBytes, cfg.DataSize, cfg.PageSize, cfg.bbEntries())
 	pc := cfg.Pmem
 	pc.Size = lay.total
 	dev := pmem.New(pc)
+	dev.SetRegions(lay.regions())
 	writeHeader(dev, lay)
+	if lay.bbEntries > 0 {
+		blackbox.Format(dev, lay.bbOff, lay.bbEntries)
+	}
 
 	s, err := build(cfg, dev, lay, 0)
 	if err != nil {
@@ -224,6 +237,19 @@ func build(cfg Config, dev *pmem.Device, lay layout, startTid uint64) (*System, 
 	s.durable.Store(startTid)
 	s.reproduced.Store(startTid)
 	s.dense = denseTracker{next: startTid + 1, pend: make(map[uint64]struct{})}
+	if lay.bbEntries > 0 {
+		bb, err := blackbox.Open(dev, lay.bbOff)
+		if err != nil {
+			return nil, err
+		}
+		s.bb = bb
+		// Async durable-advance stamps ride the completion window's
+		// mutex (see seqWindow.onAdvance for why); the write-back still
+		// batches with the worker's next bbFlush.
+		s.window.onAdvance = func(tid uint64) {
+			bb.Stamp(blackbox.KindDurable, tid, 0, 0)
+		}
+	}
 
 	switch cfg.Shadow {
 	case ShadowFlat:
@@ -281,7 +307,34 @@ func (s *System) bindWriters() {
 	}
 }
 
+// Flight-recorder helpers: nil-safe so a disabled recorder costs one
+// branch per milestone. Stamps are batched — bbFlush rides the
+// pipeline's existing barriers — and bbSync fences immediately (boot,
+// stall).
+func (s *System) bbStamp(kind blackbox.Kind, a, b, c uint64) {
+	if s.bb != nil {
+		s.bb.Stamp(kind, a, b, c)
+	}
+}
+
+func (s *System) bbFlush() {
+	if s.bb != nil {
+		s.bb.Flush()
+	}
+}
+
+func (s *System) bbSync() {
+	if s.bb != nil {
+		s.bb.Sync()
+	}
+}
+
 func (s *System) start() {
+	// The boot stamp opens a new forensic epoch: recovery discards
+	// uncommitted IDs, so stamps from earlier epochs may reference
+	// transaction IDs this mount will reassign.
+	s.bbStamp(blackbox.KindBoot, s.startTid, uint64(s.cfg.Mode), 0)
+	s.bbSync()
 	s.pm.markStart()
 	s.rm.markStart()
 	s.wg.Add(1)
@@ -391,6 +444,12 @@ func (s *System) setDurable(f uint64) {
 	}
 	s.notif.advance(f)
 	s.obs.DurableAdvanced(f)
+	// The durable-advance flight-recorder stamp is NOT issued here: it
+	// must happen-before waiters wake, or a caller that waits out the
+	// frontier and then snapshots the device races with the stamp's
+	// store. The async path stamps inside the completion window's
+	// critical section (seqWindow.onAdvance); the sync path stamps in
+	// markDurable on the committing thread.
 }
 
 // Run executes fn as a durable transaction on behalf of thread slot and
@@ -506,9 +565,13 @@ func (s *System) syncCommit(th *thread, tid uint64) {
 	// The synchronous path seals, appends and fences inline on the
 	// Perform thread, so its lifecycle stamps share the thread's ring.
 	sealAt := s.obs.GroupSealed(th.slot, tid, tid, 1, len(th.entries))
+	s.bbStamp(blackbox.KindGroupSeal, tid, tid, 1)
+	s.bbStamp(blackbox.KindFenceBegin, tid, tid, uint64(th.slot))
+	s.bbFlush()
 	startAt := s.obs.Now()
 	th.writer.AppendGroup(g)
 	endAt := s.obs.Now()
+	s.bbStamp(blackbox.KindPersistFence, tid, tid, uint64(th.slot))
 	s.obs.GroupPersisted(th.slot, tid, tid, sealAt, startAt, endAt)
 	s.pm.busy.Add(uint64(endAt - startAt))
 	s.pm.groups.Add(1)
@@ -517,6 +580,7 @@ func (s *System) syncCommit(th *thread, tid uint64) {
 	s.combEntries.Add(uint64(len(th.entries)))
 	s.groups.Add(1)
 	s.markDurable(tid)
+	s.bbFlush()
 	s.rm.enqueue()
 	s.reproCh <- repoMsg{g: g, w: th.writer, wi: th.slot, ep: ep}
 	th.entries = th.entries[:0]
@@ -526,7 +590,11 @@ func (s *System) syncCommit(th *thread, tid uint64) {
 // markDurable records tid as flushed and advances the durable frontier
 // to the largest prefix-complete ID.
 func (s *System) markDurable(tid uint64) {
-	s.setDurable(s.dense.mark(tid))
+	f := s.dense.mark(tid)
+	// Batched: the caller's bbFlush writes it back. Stamped on the
+	// committing thread itself, so it is sequenced before Run returns.
+	s.bbStamp(blackbox.KindDurable, f, 0, 0)
+	s.setDurable(f)
 }
 
 // Close drains the pipeline and stops the background threads. All Run
@@ -595,6 +663,12 @@ type Stats struct {
 	Obs obs.Snapshot
 	// Stalls counts watchdog stall episodes.
 	Stalls uint64
+	// Recovery describes the Recover that produced this mount (Recovered
+	// is false on a fresh Create).
+	Recovery RecoveryStats
+	// Regions breaks device flush/fence/byte traffic down by pool region
+	// (header, meta, blackbox, log, data).
+	Regions []pmem.RegionStats
 }
 
 // Stats returns a snapshot of system activity.
@@ -622,6 +696,8 @@ func (s *System) Stats() Stats {
 		Reproduce:   s.ReproduceStats(),
 		Obs:         s.obs.Snapshot(),
 		Stalls:      s.stalls.Load(),
+		Recovery:    s.recov,
+		Regions:     s.dev.RegionStats(),
 	}
 }
 

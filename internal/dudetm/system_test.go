@@ -281,8 +281,11 @@ func TestCrashDurableNotReproduced(t *testing.T) {
 			}
 			return nil
 		})
-		if s2.Durable() < last {
-			t.Errorf("mode %d: recovered durable %d < %d", mode, s2.Durable(), last)
+		// The durability audit cross-checks the acked frontier against
+		// the recovered image and attaches the forensic report on
+		// failure.
+		if err := s2.AuditRecovery(last); err != nil {
+			t.Errorf("mode %d: %v", mode, err)
 		}
 		s2.Close()
 	}
@@ -390,8 +393,8 @@ func TestCrashMidPipelineBankInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	if s2.Durable() < last {
-		t.Errorf("durable regressed: %d < %d", s2.Durable(), last)
+	if err := s2.AuditRecovery(last); err != nil {
+		t.Errorf("durable regressed: %v", err)
 	}
 	s2.Run(0, func(tx *Tx) error {
 		var sum uint64

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dudetm/internal/obs"
+	"dudetm/internal/obs/blackbox"
 )
 
 // StallReport is the watchdog's diagnostic dump for one stall episode:
@@ -68,10 +69,11 @@ func (s *System) sampleWatch() watchSample {
 // both samples and the output frontier did not move between them.
 // Operator pauses suppress the verdict — a reproduce verdict is also
 // suppressed while Persist is paused, because the pause freezes the
-// upstream feed and the residual reproduce backlog is not guaranteed to
-// drain within one tick (a genuinely wedged Reproduce is still caught
-// once Persist resumes). Shutdown (stopping/halted) at either sample
-// suppresses everything.
+// upstream feed. Shutdown (stopping/halted) at either sample
+// suppresses everything. The residual-backlog problem — a resumed
+// stage is not guaranteed to drain the work that piled up during the
+// pause within one tick — is handled by the caller's post-pause hold
+// (see watchdogLoop), not here.
 func stallVerdict(prev, cur watchSample) (persist, repro bool) {
 	if !prev.valid || cur.quiet || prev.quiet {
 		return false, false
@@ -96,6 +98,17 @@ func (s *System) watchdogLoop(interval time.Duration) {
 	defer ticker.Stop()
 	var prev watchSample
 	persistFiring, reproFiring := false, false
+	// Post-pause hold: a pause freezes a frontier with work queued
+	// behind it — the exact shape of a stall — and the backlog it
+	// leaves is not guaranteed to drain within one tick of the resume
+	// (nor within any fixed number: one slow group mid-drain re-freezes
+	// the frontier). A pause therefore arms a hold on the stage's
+	// verdict (persist pause also holds reproduce, whose feed it froze)
+	// that is released only when the stage catches its input frontier —
+	// the pause's backlog is fully cleared. The trade: a stage wedged
+	// during or just after a pause drill is reported only after it
+	// catches up once and sticks again.
+	persistHold, reproHold := false, false
 	for {
 		select {
 		case <-s.watchStop:
@@ -103,7 +116,21 @@ func (s *System) watchdogLoop(interval time.Duration) {
 		case <-ticker.C:
 		}
 		cur := s.sampleWatch()
+		if cur.durable >= cur.clock {
+			persistHold = false
+		}
+		if cur.reproduced >= cur.durable {
+			reproHold = false
+		}
+		if cur.persistPaused {
+			persistHold, reproHold = true, true
+		}
+		if cur.reproPaused {
+			reproHold = true
+		}
 		p, r := stallVerdict(prev, cur)
+		p = p && !persistHold
+		r = r && !reproHold
 		if p && !persistFiring {
 			s.fireStall("persist", interval, cur)
 		}
@@ -132,6 +159,14 @@ func (s *System) fireStall(stage string, interval time.Duration, cur watchSample
 	}
 	s.stalls.Add(1)
 	s.lastStall.Store(&rep)
+	// Synced immediately: if the stall ends in a crash, the stamp is the
+	// forensic evidence the pipeline was wedged, not merely behind.
+	stageCode := uint64(1)
+	if stage == "reproduce" {
+		stageCode = 2
+	}
+	s.bbStamp(blackbox.KindStall, stageCode, cur.durable, cur.reproduced)
+	s.bbSync()
 	if s.cfg.OnStall != nil {
 		s.cfg.OnStall(rep)
 		return

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"text/tabwriter"
 	"time"
 
@@ -451,6 +452,107 @@ func Table4(c ExpConfig) error {
 		slowdown(VolatileHTM, DudeHTM, 0), slowdown(VolatileHTM, DudeHTM, 1), slowdown(VolatileHTM, DudeHTM, 2))
 	tw.Flush()
 	fmt.Fprintln(c.Out)
+	return nil
+}
+
+// Recovery is the crash-forensics drill: run a DUDETM load with
+// Reproduce frozen so the crash image carries a deep unreproduced log,
+// pull the plug, remount with crash recovery, and audit the result —
+// the durable frontier must cover every acknowledged transaction, the
+// standalone forensic report (computed from the image alone) must agree
+// with what recovery restored, and the recovery pass must account for
+// its replay work. The remounted system then serves a measured run, so
+// -json records carry the recovery phase timings and replay volume.
+func Recovery(c ExpConfig) error {
+	c.applyDefaults()
+	ops := 20000
+	if c.Quick {
+		ops /= 10
+	}
+	opts := Options{
+		Threads:   c.Threads,
+		GroupSize: 16,
+	}
+
+	// Phase 1: the crash. Freeze Reproduce so acknowledged-durable work
+	// piles up in the persistent logs, then snapshot the durable image
+	// mid-flight — exactly what a power failure leaves behind.
+	sys, err := NewSystem(DudeSTM, opts)
+	if err != nil {
+		return err
+	}
+	bench := NewHashBench()
+	if err := bench.Setup(sys); err != nil {
+		sys.Close()
+		return fmt.Errorf("recovery setup: %w", err)
+	}
+	ds := sys.(*dudeSys).Sys()
+	ds.PauseReproduce()
+	rng := rand.New(rand.NewSource(42))
+	var last uint64
+	for i := 0; i < ops; i++ {
+		tid, err := bench.Op(sys, 0, rng)
+		if err != nil {
+			ds.ResumeReproduce()
+			sys.Close()
+			return fmt.Errorf("recovery load: %w", err)
+		}
+		if tid > last {
+			last = tid
+		}
+	}
+	if err := ds.WaitDurable(last); err != nil {
+		ds.ResumeReproduce()
+		sys.Close()
+		return fmt.Errorf("recovery drill: %w", err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the persist stage go idle
+	img := ds.Device().PersistedImage()
+	ds.ResumeReproduce()
+	sys.Close()
+
+	// Phase 2: standalone forensics on the image, before any recovery
+	// mutates it.
+	fdev := pmem.New(pmem.Config{Size: uint64(len(img))})
+	fdev.Restore(img)
+	rep, err := dudetm.Forensics(fdev)
+	if err != nil {
+		return fmt.Errorf("recovery forensics: %w", err)
+	}
+
+	// Phase 3: remount, audit, and cross-check report vs. image.
+	rsys, err := RecoverSystem(DudeSTM, img, opts)
+	if err != nil {
+		return fmt.Errorf("recovery remount: %w", err)
+	}
+	defer rsys.Close()
+	rds := rsys.(*dudeSys).Sys()
+	if err := rds.AuditRecovery(last); err != nil {
+		return fmt.Errorf("recovery durability audit: %w", err)
+	}
+	if got := rds.Durable(); got != rep.LogFrontier {
+		return fmt.Errorf("recovery: forensic frontier %d != recovered durable %d\n%s",
+			rep.LogFrontier, got, rep)
+	}
+	rec := rsys.Stats().Recovery
+	if !rec.Recovered || rec.Report == nil {
+		return fmt.Errorf("recovery: stats not instrumented: %+v", rec)
+	}
+	if rec.GroupsReplayed == 0 || rec.EntriesReplayed == 0 || rec.BytesReplayed == 0 {
+		return fmt.Errorf("recovery: paused-Reproduce image replayed nothing: %+v", rec)
+	}
+
+	// Phase 4: the recovered system serves a measured run; its Record
+	// carries the recovery stats.
+	res, err := Measure(rsys, bench, c.Threads, MeasureOpts{TotalOps: ops})
+	if err != nil {
+		return fmt.Errorf("recovery measured run: %w", err)
+	}
+	fmt.Fprintf(c.Out, "recovery: audited durable frontier %d (acked %d) · scan %v · replay %v (%d groups, %d entries, %d KiB) · recycle %v · then %s\n",
+		rds.Durable(), last,
+		time.Duration(rec.ScanNanos), time.Duration(rec.ReplayNanos),
+		rec.GroupsReplayed, rec.EntriesReplayed, rec.BytesReplayed>>10,
+		time.Duration(rec.RecycleNanos), fmtTPS(res.TPS))
 	return nil
 }
 

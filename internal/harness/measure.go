@@ -161,6 +161,9 @@ func Measure(sys System, bench Bench, threads int, m MeasureOpts) (Result, error
 			PersistFences: after.PersistFences - before.PersistFences,
 			ReproFences:   after.ReproFences - before.ReproFences,
 			Obs:           after.Obs.Sub(before.Obs),
+			// Recovery happened (if at all) at mount, before the run;
+			// carry it absolute rather than as an interval delta.
+			Recovery: after.Recovery,
 		},
 	}
 	if m.SampleLat {

@@ -45,6 +45,15 @@ type Record struct {
 	FenceP99NS      uint64 `json:"fence_p99_ns"`
 	QueueDwellP99NS uint64 `json:"queue_dwell_p99_ns"`
 	GroupTxnsP50    uint64 `json:"group_txns_p50"`
+	// Crash-recovery instrumentation (DudeTM only, zero unless the
+	// system was mounted with Recover): per-phase timings and replay
+	// volume of the mount-time recovery pass.
+	RecoveryScanNS    int64  `json:"recovery_scan_ns"`
+	RecoveryReplayNS  int64  `json:"recovery_replay_ns"`
+	RecoveryRecycleNS int64  `json:"recovery_recycle_ns"`
+	RecoveryGroups    uint64 `json:"recovery_groups_replayed"`
+	RecoveryEntries   uint64 `json:"recovery_entries_replayed"`
+	RecoveryBytes     uint64 `json:"recovery_bytes_replayed"`
 }
 
 // recorder collects the Result of every Measure call while recording is
@@ -108,6 +117,13 @@ func record(res Result) {
 			FenceP99NS:      res.Stats.Obs.Fence.Quantile(0.99),
 			QueueDwellP99NS: res.Stats.Obs.QueueDwell.Quantile(0.99),
 			GroupTxnsP50:    res.Stats.Obs.GroupTxns.Quantile(0.5),
+
+			RecoveryScanNS:    res.Stats.Recovery.ScanNanos,
+			RecoveryReplayNS:  res.Stats.Recovery.ReplayNanos,
+			RecoveryRecycleNS: res.Stats.Recovery.RecycleNanos,
+			RecoveryGroups:    res.Stats.Recovery.GroupsReplayed,
+			RecoveryEntries:   res.Stats.Recovery.EntriesReplayed,
+			RecoveryBytes:     res.Stats.Recovery.BytesReplayed,
 		})
 	}
 	recorder.mu.Unlock()

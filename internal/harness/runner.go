@@ -90,6 +90,9 @@ type Options struct {
 	// TraceSampleEvery enables lifecycle tracing for every N-th
 	// transaction (DudeTM only; 0 = default / DUDETM_TRACE_SAMPLE).
 	TraceSampleEvery int
+	// BlackboxEntries sizes the persistent flight-recorder ring (DudeTM
+	// only; 0 = dudetm default, negative disables the recorder).
+	BlackboxEntries int
 }
 
 func (o *Options) applyDefaults() {
@@ -127,6 +130,11 @@ type SysStats struct {
 	// Obs carries the lifecycle-latency histograms (DudeTM only;
 	// mergeable snapshots, interval activity via Obs.Sub).
 	Obs obs.Snapshot
+	// Recovery describes the mount-time recovery pass (DudeTM only).
+	// Unlike the counters above it is not an interval delta: recovery
+	// happens once, before any measurement, so snapshots carry it
+	// absolute.
+	Recovery dudetm.RecoveryStats
 }
 
 // System is the harness view of a system under test.
@@ -165,30 +173,7 @@ func NewSystem(kind SysKind, o Options) (System, error) {
 		sp := shadow.NewFlat(o.DataSize, nil, 4096)
 		return &volatileSys{kind: kind, tm: stm.NewHTM(sp, stm.HTMConfig{MaxSlots: o.Threads})}, nil
 	case DudeSTM, DudeInf, DudeSync, DudeHTM:
-		cfg := dudetm.Config{
-			DataSize:         o.DataSize,
-			Threads:          o.Threads,
-			GroupSize:        o.GroupSize,
-			Compress:         o.Compress,
-			VLogEntries:      o.VLogEntries,
-			Shadow:           o.Shadow,
-			ShadowBytes:      o.ShadowBytes,
-			PersistThreads:   o.PersistThreads,
-			ReproThreads:     o.ReproThreads,
-			TraceSampleEvery: o.TraceSampleEvery,
-			Pmem:             pc,
-		}
-		switch kind {
-		case DudeInf:
-			if cfg.VLogEntries == 0 {
-				cfg.VLogEntries = 1 << 23 // effectively unbounded for a run
-			}
-		case DudeSync:
-			cfg.Mode = dudetm.ModeSync
-		case DudeHTM:
-			cfg.Engine = dudetm.EngineHTM
-		}
-		s, err := dudetm.Create(cfg)
+		s, err := dudetm.Create(dudeConfig(kind, o, pc))
 		if err != nil {
 			return nil, err
 		}
@@ -215,6 +200,62 @@ func NewSystem(kind SysKind, o Options) (System, error) {
 		return &NVMLSys{s: s}, nil
 	}
 	return nil, fmt.Errorf("harness: unknown system kind %d", kind)
+}
+
+// dudeConfig maps harness Options onto a dudetm.Config for the given
+// DudeTM variant.
+func dudeConfig(kind SysKind, o Options, pc pmem.Config) dudetm.Config {
+	cfg := dudetm.Config{
+		DataSize:         o.DataSize,
+		Threads:          o.Threads,
+		GroupSize:        o.GroupSize,
+		Compress:         o.Compress,
+		VLogEntries:      o.VLogEntries,
+		Shadow:           o.Shadow,
+		ShadowBytes:      o.ShadowBytes,
+		PersistThreads:   o.PersistThreads,
+		ReproThreads:     o.ReproThreads,
+		TraceSampleEvery: o.TraceSampleEvery,
+		BlackboxEntries:  o.BlackboxEntries,
+		Pmem:             pc,
+	}
+	switch kind {
+	case DudeInf:
+		if cfg.VLogEntries == 0 {
+			cfg.VLogEntries = 1 << 23 // effectively unbounded for a run
+		}
+	case DudeSync:
+		cfg.Mode = dudetm.ModeSync
+	case DudeHTM:
+		cfg.Engine = dudetm.EngineHTM
+	}
+	return cfg
+}
+
+// RecoverSystem remounts a DudeTM crash image as a harness System,
+// running the crash-recovery pass; Stats().Recovery carries its phase
+// timings and replay counters. Only the DudeTM kinds can recover.
+func RecoverSystem(kind SysKind, img []byte, o Options) (System, error) {
+	switch kind {
+	case DudeSTM, DudeInf, DudeSync, DudeHTM:
+	default:
+		return nil, fmt.Errorf("harness: %s cannot recover a crash image", kind)
+	}
+	o.applyDefaults()
+	pc := pmem.Config{
+		WriteLatency: o.Latency,
+		Bandwidth:    o.Bandwidth,
+		DelayEnabled: o.DelaysOn,
+	}
+	devCfg := pc
+	devCfg.Size = uint64(len(img))
+	dev := pmem.New(devCfg)
+	dev.Restore(img)
+	s, err := dudetm.Recover(dev, dudeConfig(kind, o, pc))
+	if err != nil {
+		return nil, err
+	}
+	return &dudeSys{kind: kind, s: s}, nil
 }
 
 // --- volatile TM adapter ---
@@ -280,6 +321,7 @@ func (d *dudeSys) Stats() SysStats {
 		PersistFences: st.Persist.Fences,
 		ReproFences:   st.Reproduce.Fences,
 		Obs:           st.Obs,
+		Recovery:      st.Recovery,
 	}
 }
 

@@ -27,7 +27,7 @@ var analyzerCrashCover = &Analyzer{
 // checkImage, mustRecover, ...).
 var (
 	crashVerifiers          = []string{"Load", "Load8", "DirtyLines"}
-	crashVerifierSubstrings = []string{"scan", "recover", "restore", "verify", "reopen", "persistedimage", "check", "opensnapshot", "openimage"}
+	crashVerifierSubstrings = []string{"scan", "recover", "restore", "verify", "reopen", "persistedimage", "check", "opensnapshot", "openimage", "decode", "forensic", "report", "audit"}
 )
 
 func isCrashVerifier(name string) bool {

@@ -27,9 +27,11 @@ import (
 // duty at the join barrier; conversely, handing a locally created batch
 // to other code (as a call argument, composite-literal field, or
 // channel send) counts as flush-like evidence, so the owner's fence
-// after the join is not a "wasted barrier". The pmem package itself and
-// test files (which deliberately leave data unflushed to exercise
-// Crash()) are exempt.
+// after the join is not a "wasted barrier". The pmem package itself,
+// the blackbox flight recorder (whose batched-barrier API deliberately
+// splits Stamp / Flush / Sync across calls so recorder write-backs ride
+// the pipeline's existing fences) and test files (which deliberately
+// leave data unflushed to exercise Crash()) are exempt.
 var analyzerFencePair = &Analyzer{
 	Name: "fencepair",
 	Doc:  "every flush needs a following fence; every fence needs a preceding flush",
@@ -37,7 +39,7 @@ var analyzerFencePair = &Analyzer{
 }
 
 func runFencePair(pass *Pass) {
-	if strings.TrimSuffix(pass.Pkg.Name, "_test") == "pmem" {
+	if pkg := strings.TrimSuffix(pass.Pkg.Name, "_test"); pkg == "pmem" || pkg == "blackbox" {
 		return
 	}
 	for _, f := range pass.Pkg.Files {

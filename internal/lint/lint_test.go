@@ -73,6 +73,19 @@ func TestGoldenAnalyzers(t *testing.T) {
 	}
 }
 
+// TestBlackboxExemption pins the flight-recorder carve-out: a package
+// named blackbox using the batched-barrier API (stores covered by a
+// later Flush call, flushes fenced by a later Sync call) lints clean
+// under the full analyzer suite, with no //dudelint:ignore directives.
+func TestBlackboxExemption(t *testing.T) {
+	root := moduleRoot(t)
+	res := runTestdata(t, root, "blackbox", nil)
+	compareGolden(t, "blackbox", formatDiags(res))
+	if res.Suppressed != 0 {
+		t.Errorf("fixture needed %d suppressions, want 0", res.Suppressed)
+	}
+}
+
 // TestSuppression checks the //dudelint:ignore machinery: justified
 // directives silence findings, mismatched or malformed ones do not,
 // and malformed directives are themselves diagnosed.

@@ -23,7 +23,9 @@ import (
 // durability to their caller (e.g. an undo-log Tx.Store whose flush
 // happens at commit) carry a //dudelint:ignore persistorder comment
 // with the justification. The pmem package itself — the substrate that
-// defines Store and Flush — and test files are exempt.
+// defines Store and Flush — the blackbox flight recorder (a second
+// substrate: Stamp stores a slot that the batched Flush/Sync write back
+// later, by design) and test files are exempt.
 //
 // The sharded Reproduce apply path needs no suppression: an applier
 // that stores its address shard and flushes it into the group's shared
@@ -38,7 +40,7 @@ var analyzerPersistOrder = &Analyzer{
 }
 
 func runPersistOrder(pass *Pass) {
-	if strings.TrimSuffix(pass.Pkg.Name, "_test") == "pmem" {
+	if pkg := strings.TrimSuffix(pass.Pkg.Name, "_test"); pkg == "pmem" || pkg == "blackbox" {
 		return
 	}
 	for _, f := range pass.Pkg.Files {

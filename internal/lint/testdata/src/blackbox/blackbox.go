@@ -1,0 +1,55 @@
+// Package blackbox is dudelint analyzer testdata mirroring the
+// internal/obs/blackbox flight recorder's batched-barrier API: Stamp
+// stores a slot without flushing it, Flush writes pending slots back
+// without a fence, and Sync fences without a visible flush. The
+// persistorder and fencepair analyzers exempt the package (it is a
+// persistence substrate, like pmem), so the expected diagnostic list
+// is empty. Never built by the go tool.
+package blackbox
+
+import (
+	"sync"
+
+	"dudetm/internal/pmem"
+)
+
+type recorder struct {
+	dev     *pmem.Device
+	base    uint64
+	entries uint64
+
+	mu        sync.Mutex
+	seq       uint64
+	flushed   uint64
+	pendBytes uint64
+}
+
+// stamp stores a slot that a later flush writes back: persistorder
+// would flag the uncovered store anywhere else.
+func (r *recorder) stamp(val uint64) {
+	r.mu.Lock()
+	r.dev.Store8(r.base+(r.seq%r.entries)*64, val)
+	r.seq++
+	r.mu.Unlock()
+}
+
+// flush writes pending slots back with no fence: fencepair would flag
+// the unordered write-back anywhere else.
+func (r *recorder) flush() {
+	r.mu.Lock()
+	for s := r.flushed; s < r.seq; s++ {
+		r.pendBytes += r.dev.FlushRange(r.base+(s%r.entries)*64, 64)
+	}
+	r.flushed = r.seq
+	r.mu.Unlock()
+}
+
+// sync fences flushes issued by earlier calls: fencepair would flag
+// the fence with no preceding flush anywhere else.
+func (r *recorder) sync() {
+	r.mu.Lock()
+	bytes := r.pendBytes
+	r.pendBytes = 0
+	r.mu.Unlock()
+	r.dev.Fence(bytes)
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestPromRoundTripFull pins the writer↔parser contract exhaustively:
+// everything the PromWriter emits — gauges, counters, labeled samples,
+// and every non-empty bucket of a densely populated histogram family —
+// parses back to the same series and values, with the cumulative-bucket
+// invariants intact.
+func TestPromRoundTripFull(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i * 37)
+	}
+	snap := h.Snapshot()
+
+	var buf bytes.Buffer
+	w := NewPromWriter(&buf)
+	w.Gauge("test_gauge", "a gauge", 42.5)
+	w.Counter("test_counter", "a counter", 12345)
+	w.Header("test_labeled", "gauge", "labeled series")
+	w.Sample("test_labeled", `stage="persist"`, 0.25)
+	w.Sample("test_labeled", `stage="reproduce"`, 0.75)
+	w.Histogram("test_hist_seconds", "a histogram", snap, 1e-9)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parsing writer output: %v\n%s", err, buf.String())
+	}
+	want := map[string]float64{
+		"test_gauge":                          42.5,
+		"test_counter":                        12345,
+		`test_labeled{stage="persist"}`:       0.25,
+		`test_labeled{stage="reproduce"}`:     0.75,
+		`test_hist_seconds_bucket{le="+Inf"}`: float64(snap.Count),
+		"test_hist_seconds_count":             float64(snap.Count),
+		"test_hist_seconds_sum":               float64(snap.Sum) * 1e-9,
+	}
+	for series, v := range want {
+		got, ok := m[series]
+		if !ok {
+			t.Errorf("round trip lost %s\n%s", series, buf.String())
+			continue
+		}
+		if math.Abs(got-v) > math.Abs(v)*1e-12 {
+			t.Errorf("%s = %v, want %v", series, got, v)
+		}
+	}
+
+	// Every non-empty bucket emitted must parse back, cumulative counts
+	// must be non-decreasing, and the last finite bucket must not exceed
+	// the +Inf bucket.
+	var cum, buckets float64
+	for i, c := range snap.Counts {
+		if c == 0 {
+			continue
+		}
+		buckets++
+		bound := float64(BucketBound(i)) * 1e-9
+		series := fmt.Sprintf("test_hist_seconds_bucket{le=%q}", strconv.FormatFloat(bound, 'g', -1, 64))
+		got, ok := m[series]
+		if !ok {
+			t.Fatalf("round trip lost bucket %s", series)
+		}
+		if got < cum {
+			t.Errorf("bucket %s cumulative count %v < previous %v", series, got, cum)
+		}
+		cum = got
+	}
+	if buckets == 0 {
+		t.Fatal("histogram emitted no finite buckets")
+	}
+	if cum > float64(snap.Count) {
+		t.Errorf("last finite bucket %v exceeds +Inf bucket %v", cum, snap.Count)
+	}
+}
+
+// TestParsePromRejectsMalformed: sample lines without a value are
+// errors, not silent drops.
+func TestParsePromRejectsMalformed(t *testing.T) {
+	if _, err := ParseProm(bytes.NewReader([]byte("loneseries\n"))); err == nil {
+		t.Error("no-value line accepted")
+	}
+	if _, err := ParseProm(bytes.NewReader([]byte("series notanumber\n"))); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+	m, err := ParseProm(bytes.NewReader([]byte("# HELP x y\n\nseries 1\n")))
+	if err != nil || m["series"] != 1 {
+		t.Errorf("comments/blanks mishandled: %v %v", m, err)
+	}
+}
+
+// TestHistogramConcurrentMerge exercises the histogram under racing
+// writers (the -race gate) and pins the merge algebra: sharded
+// histograms merged by addition account for every observation, and
+// Sub(earlier) inverts Merge.
+func TestHistogramConcurrentMerge(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 10000
+	)
+	shards := make([]*Histogram, writers)
+	var shared Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		shards[w] = &Histogram{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				v := uint64(w*perW + i + 1)
+				shards[w].Observe(v)
+				shared.Observe(v)
+			}
+		}(w)
+	}
+	// Snapshot concurrently with the writers: the race detector checks
+	// the access discipline; consistency is checked after the join.
+	for i := 0; i < 100; i++ {
+		s := shared.Snapshot()
+		if s.Quantile(0.5) > math.MaxUint64/2 {
+			t.Errorf("mid-run p50 out of range: %d", s.Quantile(0.5))
+		}
+	}
+	wg.Wait()
+
+	var merged HistSnapshot
+	for _, h := range shards {
+		merged = merged.Merge(h.Snapshot())
+	}
+	total := shared.Snapshot()
+	if merged != total {
+		t.Errorf("sharded merge diverges from single histogram:\nmerged %+v\ntotal  %+v", merged.Count, total.Count)
+	}
+	if want := uint64(writers * perW); merged.Count != want {
+		t.Errorf("merged count %d, want %d", merged.Count, want)
+	}
+	// Sum of 1..N.
+	n := uint64(writers * perW)
+	if want := n * (n + 1) / 2; merged.Sum != want {
+		t.Errorf("merged sum %d, want %d", merged.Sum, want)
+	}
+	// Sub inverts Merge: removing one shard leaves the rest.
+	rest := total.Sub(shards[0].Snapshot())
+	var wantRest HistSnapshot
+	for _, h := range shards[1:] {
+		wantRest = wantRest.Merge(h.Snapshot())
+	}
+	if rest != wantRest {
+		t.Error("Sub(shard0) does not invert Merge")
+	}
+	// The quantile of the merged view lands within the power-of-two
+	// bucket of the true median.
+	p50 := merged.Quantile(0.5)
+	trueMedian := n / 2
+	if p50 < trueMedian/2 || p50 > trueMedian*2 {
+		t.Errorf("merged p50 %d outside 2x of true median %d", p50, trueMedian)
+	}
+}

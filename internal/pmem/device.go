@@ -86,10 +86,66 @@ type Stats struct {
 	DelayNanos uint64
 }
 
+// Region names a sub-range of the device for per-region accounting:
+// the pool layout registers its header, log, flight-recorder and data
+// regions so flush/fence/byte traffic can be attributed to each.
+type Region struct {
+	Name string
+	Addr uint64
+	Size uint64
+}
+
+// RegionStats is the per-region slice of the activity counters. A fence
+// is attributed to a region when the flush traffic it orders touched
+// that region (Persist, or a Batch whose Flush calls covered it);
+// standalone Fence calls order traffic the device cannot attribute and
+// count only in the global total.
+type RegionStats struct {
+	Name         string
+	Stores       uint64
+	BytesStored  uint64
+	BytesFlushed uint64
+	LinesFlushed uint64
+	Fences       uint64
+}
+
+// regionCtr is the live counter block of one configured region.
+type regionCtr struct {
+	name      string
+	idx       int
+	addr, end uint64
+
+	stores       atomic.Uint64
+	bytesStored  atomic.Uint64
+	bytesFlushed atomic.Uint64
+	linesFlushed atomic.Uint64
+	fences       atomic.Uint64
+}
+
 type shard struct {
 	mu    sync.Mutex
 	saved map[uint64][]byte // line index -> last persisted copy
+	// free recycles retired persisted-line copies: the steady-state
+	// pipeline dirties and flushes the same lines continuously, and
+	// allocating 64 bytes per clean->dirty transition would put the
+	// simulator's bookkeeping — which has no real-hardware counterpart —
+	// on the measured allocation profile of every persist path.
+	free [][]byte
 }
+
+// getLineCopy pops a recycled line buffer or allocates one. Caller holds
+// s.mu.
+func (s *shard) getLineCopy() []byte {
+	if n := len(s.free); n > 0 {
+		cp := s.free[n-1]
+		s.free = s.free[:n-1]
+		return cp
+	}
+	return make([]byte, LineSize)
+}
+
+// putLineCopy retires a saved-line buffer for reuse. Caller holds s.mu.
+func (s *shard) putLineCopy(cp []byte) { s.free = append(s.free, cp) }
 
 // Device is a simulated NVM device. All methods are safe for concurrent
 // use; concurrent stores to overlapping ranges race exactly as concurrent
@@ -106,6 +162,60 @@ type Device struct {
 	linesFlushed atomic.Uint64
 	fences       atomic.Uint64
 	delayNanos   atomic.Uint64
+
+	regions atomic.Pointer[[]*regionCtr]
+}
+
+// SetRegions installs named sub-ranges for per-region accounting;
+// subsequent stores, flushes and attributable fences are credited to the
+// region containing their start address. At most 64 regions are
+// supported (a Batch tracks touched regions in one word). Replaces any
+// previous configuration; counters start at zero.
+func (d *Device) SetRegions(regions []Region) {
+	if len(regions) > 64 {
+		panic("pmem: at most 64 regions")
+	}
+	rs := make([]*regionCtr, 0, len(regions))
+	for i, r := range regions {
+		d.check(r.Addr, r.Size)
+		rs = append(rs, &regionCtr{name: r.Name, idx: i, addr: r.Addr, end: r.Addr + r.Size})
+	}
+	d.regions.Store(&rs)
+}
+
+// regionOf returns the configured region containing addr, or nil.
+func (d *Device) regionOf(addr uint64) *regionCtr {
+	rs := d.regions.Load()
+	if rs == nil {
+		return nil
+	}
+	for _, r := range *rs {
+		if addr >= r.addr && addr < r.end {
+			return r
+		}
+	}
+	return nil
+}
+
+// RegionStats snapshots the per-region counters (nil when SetRegions was
+// never called).
+func (d *Device) RegionStats() []RegionStats {
+	rs := d.regions.Load()
+	if rs == nil {
+		return nil
+	}
+	out := make([]RegionStats, 0, len(*rs))
+	for _, r := range *rs {
+		out = append(out, RegionStats{
+			Name:         r.name,
+			Stores:       r.stores.Load(),
+			BytesStored:  r.bytesStored.Load(),
+			BytesFlushed: r.bytesFlushed.Load(),
+			LinesFlushed: r.linesFlushed.Load(),
+			Fences:       r.fences.Load(),
+		})
+	}
+	return out
 }
 
 // New creates a device of the configured size, zero-filled and fully
@@ -155,7 +265,7 @@ func (d *Device) markDirty(line uint64) {
 		// this line may be in flight (its dirty-bit check can race with
 		// a flush clearing the bit), and either snapshot is a legal
 		// "persisted" image for a store concurrent with a write-back.
-		cp := make([]byte, LineSize)
+		cp := s.getLineCopy()
 		base := line << lineShift
 		for o := uint64(0); o < LineSize; o += 8 {
 			binary.LittleEndian.PutUint64(cp[o:], word.Load(d.data, base+o))
@@ -182,6 +292,10 @@ func (d *Device) Store(addr uint64, b []byte) {
 	copy(d.data[addr:], b)
 	d.stores.Add(1)
 	d.bytesStored.Add(n)
+	if r := d.regionOf(addr); r != nil {
+		r.stores.Add(1)
+		r.bytesStored.Add(n)
+	}
 }
 
 // Store8 atomically writes the 8-byte word at addr, which must be
@@ -194,6 +308,10 @@ func (d *Device) Store8(addr, val uint64) {
 	word.Store(d.data, addr, val)
 	d.stores.Add(1)
 	d.bytesStored.Add(8)
+	if r := d.regionOf(addr); r != nil {
+		r.stores.Add(1)
+		r.bytesStored.Add(8)
+	}
 }
 
 // Load reads len(b) bytes at addr into b, observing the latest (possibly
@@ -226,6 +344,7 @@ func (d *Device) FlushRange(addr, n uint64) uint64 {
 		s := &d.sh[line%numShards]
 		s.mu.Lock()
 		if d.lineDirty(line) {
+			s.putLineCopy(s.saved[line])
 			delete(s.saved, line)
 			atomic.AndUint32(&d.dirty[line/32], ^uint32(1<<(line%32)))
 			bytes += LineSize
@@ -235,6 +354,10 @@ func (d *Device) FlushRange(addr, n uint64) uint64 {
 	if bytes > 0 {
 		d.bytesFlushed.Add(bytes)
 		d.linesFlushed.Add(bytes / LineSize)
+		if r := d.regionOf(addr); r != nil {
+			r.bytesFlushed.Add(bytes)
+			r.linesFlushed.Add(bytes / LineSize)
+		}
 	}
 	return bytes
 }
@@ -264,6 +387,9 @@ func (d *Device) Fence(bytes uint64) {
 // operation" (CLWB ... SFENCE) used once per transaction or per update.
 func (d *Device) Persist(addr, n uint64) {
 	b := d.FlushRange(addr, n)
+	if r := d.regionOf(addr); r != nil {
+		r.fences.Add(1)
+	}
 	d.Fence(b)
 }
 
@@ -276,17 +402,34 @@ func (d *Device) Persist(addr, n uint64) {
 type Batch struct {
 	d     *Device
 	bytes atomic.Uint64
+	// touched is a bitmask of region indices this batch flushed, so the
+	// closing fence can be attributed to every region it orders.
+	touched atomic.Uint64
 }
 
 // NewBatch starts a flush batch.
 func (d *Device) NewBatch() *Batch { return &Batch{d: d} }
 
 // Flush writes back the dirty lines of the range, accumulating volume.
-func (b *Batch) Flush(addr, n uint64) { b.bytes.Add(b.d.FlushRange(addr, n)) }
+func (b *Batch) Flush(addr, n uint64) {
+	b.bytes.Add(b.d.FlushRange(addr, n))
+	if r := b.d.regionOf(addr); r != nil {
+		b.touched.Or(1 << uint(r.idx))
+	}
+}
 
 // Fence orders the batch and stalls for max(latency, volume/bandwidth).
 // The batch can be reused afterwards.
 func (b *Batch) Fence() {
+	if mask := b.touched.Swap(0); mask != 0 {
+		if rs := b.d.regions.Load(); rs != nil {
+			for _, r := range *rs {
+				if mask&(1<<uint(r.idx)) != 0 {
+					r.fences.Add(1)
+				}
+			}
+		}
+	}
 	b.d.Fence(b.bytes.Swap(0))
 }
 
@@ -299,6 +442,7 @@ func (d *Device) Crash() {
 		s.mu.Lock()
 		for line, cp := range s.saved {
 			copy(d.data[line<<lineShift:], cp)
+			s.putLineCopy(cp)
 			delete(s.saved, line)
 			atomic.AndUint32(&d.dirty[line/32], ^uint32(1<<(line%32)))
 		}
@@ -336,7 +480,8 @@ func (d *Device) Restore(img []byte) {
 	copy(d.data, img)
 	for i := range d.sh {
 		s := &d.sh[i]
-		for line := range s.saved {
+		for line, cp := range s.saved {
+			s.putLineCopy(cp)
 			delete(s.saved, line)
 			atomic.AndUint32(&d.dirty[line/32], ^uint32(1<<(line%32)))
 		}
@@ -376,6 +521,15 @@ func (d *Device) ResetStats() {
 	d.linesFlushed.Store(0)
 	d.fences.Store(0)
 	d.delayNanos.Store(0)
+	if rs := d.regions.Load(); rs != nil {
+		for _, r := range *rs {
+			r.stores.Store(0)
+			r.bytesStored.Store(0)
+			r.bytesFlushed.Store(0)
+			r.linesFlushed.Store(0)
+			r.fences.Store(0)
+		}
+	}
 }
 
 // spinWait busy-waits for roughly dur. time.Sleep has coarse granularity

@@ -22,6 +22,12 @@ type ScanResult struct {
 	// log's last recycle; recovery anchors its replay at the maximum
 	// across all logs.
 	ReproTid uint64
+	// Torn reports that the scan stopped at a half-written record — one
+	// carrying the expected sequence number but failing validation — the
+	// signature of a crash mid-append rather than a clean log end
+	// (sequence numbers start at 1, so zeroed never-written space can
+	// never match the expected sequence).
+	Torn bool
 }
 
 // Scan reads the persistent log at dev[base:base+size) with metadata at
@@ -70,10 +76,15 @@ func Scan(dev *pmem.Device, meta, base, size uint64) (ScanResult, error) {
 
 		// Bound fields before arithmetic: a torn header can hold garbage.
 		if payloadLen >= size || uncomp > size<<8 || uncomp%EntrySize != 0 {
+			res.Torn = recSeq == seq
 			break
 		}
 		padded := (payloadLen + 7) &^ 7
-		if recSeq != seq || headerSize+padded > size-idx {
+		if recSeq != seq {
+			break // stale record: clean end of the durable prefix
+		}
+		if headerSize+padded > size-idx {
+			res.Torn = true
 			break
 		}
 		payload := make([]byte, payloadLen)
@@ -81,20 +92,24 @@ func Scan(dev *pmem.Device, meta, base, size uint64) (ScanResult, error) {
 		crc := crc32.Checksum(hdr[:48], crcTable)
 		crc = crc32.Update(crc, crcTable, payload)
 		if uint64(crc) != wantCRC {
+			res.Torn = true
 			break
 		}
 		body := payload
 		if flags&flagCompressed != 0 {
 			dec, err := lz4.Decompress(body, int(uncomp))
 			if err != nil {
+				res.Torn = true
 				break
 			}
 			body = dec
 		} else if uncomp != payloadLen {
+			res.Torn = true
 			break
 		}
 		entries, ok := DecodeEntries(body)
 		if !ok {
+			res.Torn = true
 			break
 		}
 		recSize := headerSize + padded

@@ -98,6 +98,41 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 
 	p.Counter("dudetm_watchdog_stalls_total", "Pipeline stall episodes detected by the watchdog.", float64(st.Stalls))
 
+	// Recovery observability. The gauges exist (at zero) on a fresh
+	// pool so scrapers and `dudectl top -check` see a stable series set;
+	// after a recovery mount they describe it.
+	rec := st.Recovery
+	var recovered float64
+	if rec.Recovered {
+		recovered = 1
+	}
+	p.Counter("dudetm_recovery_runs_total", "Recovery mounts performed by this process's pool (0 or 1).", recovered)
+	p.Gauge("dudetm_recovery_scan_seconds", "Wall time of the recovery log-scan phase.", float64(rec.ScanNanos)*1e-9)
+	p.Gauge("dudetm_recovery_replay_seconds", "Wall time of the recovery replay phase.", float64(rec.ReplayNanos)*1e-9)
+	p.Gauge("dudetm_recovery_recycle_seconds", "Wall time of the recovery log-reset phase.", float64(rec.RecycleNanos)*1e-9)
+	p.Gauge("dudetm_recovery_groups_replayed", "Redo-log groups replayed by recovery.", float64(rec.GroupsReplayed))
+	p.Gauge("dudetm_recovery_entries_replayed", "Redo-log entries replayed by recovery.", float64(rec.EntriesReplayed))
+	p.Gauge("dudetm_recovery_bytes_replayed", "Bytes written back to the data region by recovery replay.", float64(rec.BytesReplayed))
+
+	// Per-region device traffic: which pool region (header, meta,
+	// blackbox, log, data) the flush/fence/byte volume lands in.
+	p.Header("dudetm_region_stored_bytes_total", "counter", "Bytes stored per pool region.")
+	for _, r := range st.Regions {
+		p.Sample("dudetm_region_stored_bytes_total", `region="`+r.Name+`"`, float64(r.BytesStored))
+	}
+	p.Header("dudetm_region_flushed_bytes_total", "counter", "Bytes written back per pool region.")
+	for _, r := range st.Regions {
+		p.Sample("dudetm_region_flushed_bytes_total", `region="`+r.Name+`"`, float64(r.BytesFlushed))
+	}
+	p.Header("dudetm_region_flushed_lines_total", "counter", "Cache lines written back per pool region.")
+	for _, r := range st.Regions {
+		p.Sample("dudetm_region_flushed_lines_total", `region="`+r.Name+`"`, float64(r.LinesFlushed))
+	}
+	p.Header("dudetm_region_fences_total", "counter", "Persist barriers attributed per pool region.")
+	for _, r := range st.Regions {
+		p.Sample("dudetm_region_fences_total", `region="`+r.Name+`"`, float64(r.Fences))
+	}
+
 	// Service counters.
 	p.Counter("dudesrv_connections_total", "Connections accepted.", float64(sv.Conns))
 	p.Counter("dudesrv_requests_total", "Requests executed.", float64(sv.Requests))

@@ -30,6 +30,12 @@ var requiredSeries = []string{
 	`dudetm_commit_durable_latency_seconds{quantile="0.99"}`,
 	`dudetm_commit_durable_latency_seconds{quantile="0.999"}`,
 	"dudetm_watchdog_stalls_total",
+	"dudetm_recovery_runs_total",
+	"dudetm_recovery_replay_seconds",
+	"dudetm_recovery_bytes_replayed",
+	`dudetm_region_flushed_bytes_total{region="log"}`,
+	`dudetm_region_flushed_bytes_total{region="data"}`,
+	`dudetm_region_fences_total{region="log"}`,
 	"dudesrv_connections_total",
 	"dudesrv_requests_total",
 	"dudesrv_acked_writes_total",
@@ -87,6 +93,14 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if m["dudesrv_acked_writes_total"] < 50 {
 		t.Errorf("dudesrv_acked_writes_total = %v, want >= 50", m["dudesrv_acked_writes_total"])
+	}
+	// 50 durable writes must have flushed log-region bytes; this pool
+	// was created fresh, so no recovery has run.
+	if m[`dudetm_region_flushed_bytes_total{region="log"}`] == 0 {
+		t.Error("log region reports no flushed bytes after 50 durable writes")
+	}
+	if m["dudetm_recovery_runs_total"] != 0 {
+		t.Errorf("dudetm_recovery_runs_total = %v on a fresh pool", m["dudetm_recovery_runs_total"])
 	}
 
 	// /debug/trace: the tail shows lifecycle stamps; a specific durable

@@ -334,7 +334,7 @@ func TestServerCrashDrill(t *testing.T) {
 	srv, _, addr := startServer(t, opts, Config{})
 
 	const conns = 8
-	type ack struct{ key, gen uint64 }
+	type ack struct{ key, gen, tid uint64 }
 	ackedCh := make(chan ack, 1<<16)
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -358,10 +358,11 @@ func TestServerCrashDrill(t *testing.T) {
 				for i := range val {
 					val[i] = byte(gen >> (8 * i))
 				}
-				if err := c.Put(key, val); err != nil {
+				resp, err := c.Do([]wire.Op{{Kind: wire.OpPut, Key: key, Val: val}}, false)
+				if err != nil {
 					return // connection severed by the crash
 				}
-				ackedCh <- ack{key, gen}
+				ackedCh <- ack{key, gen, resp.Tid}
 			}
 		}(w)
 	}
@@ -374,25 +375,39 @@ func TestServerCrashDrill(t *testing.T) {
 	close(ackedCh)
 
 	// Highest acknowledged generation per key: that write and nothing
-	// newer must be in the recovered store.
+	// newer must be in the recovered store. Also the highest acked
+	// transaction ID, for the online durability audit below.
 	minGen := make(map[uint64]uint64)
 	var total int
+	var maxTid uint64
 	for a := range ackedCh {
 		total++
 		if a.gen > minGen[a.key] {
 			minGen[a.key] = a.gen
 		}
+		if a.tid > maxTid {
+			maxTid = a.tid
+		}
 	}
 	if total == 0 {
 		t.Fatal("crash drill produced no acknowledged writes")
 	}
-	t.Logf("acked %d writes over %d keys before the crash", total, len(minGen))
+	t.Logf("acked %d writes over %d keys (max tid %d) before the crash", total, len(minGen), maxTid)
 
 	pool2, err := dudetm.OpenSnapshot(img, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer pool2.Close()
+	// Online durability audit: the recovered frontier must cover every
+	// acknowledged transaction; a failure carries the forensic crash
+	// report so the lost work is identifiable.
+	if err := pool2.AuditRecovery(maxTid); err != nil {
+		t.Errorf("durability audit after crash recovery: %v", err)
+	}
+	if rec := pool2.Stats().Recovery; !rec.Recovered || rec.Report == nil {
+		t.Errorf("recovered pool missing recovery stats or crash report: %+v", rec)
+	}
 	srv2, err := New(pool2, Config{})
 	if err != nil {
 		t.Fatal(err)

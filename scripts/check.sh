@@ -19,14 +19,15 @@ go run ./cmd/dudelint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (stm, redolog, dudetm, server; 4 stage threads)"
+echo "== go test -race (stm, redolog, dudetm, server, obs; 4 stage threads)"
 # DUDETM_STAGE_THREADS=4 forces the parallel Persist/Reproduce paths in
 # every test that does not pin its own worker counts, and
 # DUDETM_TRACE_SAMPLE=4 turns the lifecycle tracer on underneath them,
 # so the race pass exercises the sharded pipeline with trace stamps and
 # stat scrapes racing it — not the single-worker, tracing-off
-# degenerate case.
-DUDETM_STAGE_THREADS=4 DUDETM_TRACE_SAMPLE=4 go test -race -count=1 ./internal/stm ./internal/redolog ./internal/dudetm ./internal/server
+# degenerate case. internal/obs rides along for the concurrent
+# histogram-merge and trace-ring reader tests.
+DUDETM_STAGE_THREADS=4 DUDETM_TRACE_SAMPLE=4 go test -race -count=1 ./internal/stm ./internal/redolog ./internal/dudetm ./internal/server ./internal/obs
 
 echo "== dudebench smoke (stage utilization counters)"
 # Fails if the persist or reproduce utilization counters stay zero — a
@@ -57,5 +58,34 @@ go run ./examples/netbank -addr "$SRV_ADDR" >/dev/null
 kill -TERM "$SRV_PID"
 wait "$SRV_PID"
 trap - EXIT
+
+echo "== crash forensics gate (netbank drill + dudectl forensics)"
+# Run the netbank kill -9 drill (which itself audits recovery with
+# AuditRecovery), keep its pre-recovery crash image, and hold the
+# forensic decoder to its contract: the report pretty-prints, the -json
+# form parses, and its durable frontier exactly matches what recovery
+# restores from the same image (-verify recovers a scratch copy and
+# compares).
+CRASH_IMG=/tmp/dude.check.crash.img
+rm -f "$CRASH_IMG"
+go run ./examples/netbank -crash-image "$CRASH_IMG" >/dev/null
+test -s "$CRASH_IMG" || { echo "netbank drill wrote no crash image"; exit 1; }
+/tmp/dudectl.check forensics "$CRASH_IMG" | grep -q "log frontier" \
+    || { echo "forensics report missing the frontier line"; exit 1; }
+/tmp/dudectl.check forensics -json -verify "$CRASH_IMG" >/tmp/dude.check.report.json
+python3 - "$CRASH_IMG" <<'EOF'
+import json, subprocess, sys
+rep = json.load(open("/tmp/dude.check.report.json"))
+for key in ("log_frontier", "last_durable_stamp", "events"):
+    if key not in rep:
+        sys.exit(f"forensics -json lacks {key!r}")
+if rep["log_frontier"] <= 0:
+    sys.exit(f"forensics frontier {rep['log_frontier']} not positive after a loaded drill")
+if rep["last_durable_stamp"] > rep["log_frontier"]:
+    sys.exit("durable stamp ahead of the log frontier")
+print(f"forensics gate: frontier {rep['log_frontier']}, "
+      f"{len(rep['events'])} recorder events, verified against recovery")
+EOF
+rm -f "$CRASH_IMG" /tmp/dude.check.report.json
 
 echo "ok: all tier-1 checks passed"
