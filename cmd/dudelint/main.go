@@ -3,12 +3,19 @@
 //
 // Usage:
 //
-//	dudelint [-json] [packages]
+//	dudelint [-json] [-list] [-run a,b] [packages]
 //
 // Packages may be "./..." (the whole module, the default) or directory
 // paths. Output is stable and sorted (file, line, column, analyzer) so
 // CI can diff runs. Exit status: 0 clean, 1 unsuppressed diagnostics,
 // 2 usage or load error.
+//
+// -list prints the analyzers with their one-line docs and exits.
+// -run restricts the run to a comma-separated subset of analyzers
+// (stale-suppression auditing only covers directives whose analyzers
+// all ran). -json emits the versioned report documented on
+// lint.ReportSchema: {"schema":1,"diagnostics":[...],"suppressed":N,
+// "counts":{...}}.
 //
 // Diagnostics are suppressed, with a mandatory justification, by
 //
@@ -23,18 +30,40 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"dudetm/internal/lint"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit the versioned JSON report (schema documented on lint.ReportSchema)")
+	list := flag.Bool("list", false, "list the analyzers with their one-line docs and exit")
+	run := flag.String("run", "", "comma-separated analyzer subset to run (default: all)")
 	verbose := flag.Bool("v", false, "print loader warnings and suppression counts")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dudelint [-json] [-v] [./... | dirs]")
+		fmt.Fprintln(os.Stderr, "usage: dudelint [-json] [-list] [-run a,b] [-v] [./... | dirs]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var analyzers []*lint.Analyzer
+	if *run != "" {
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.Lookup(name)
+			if a == nil {
+				fatal(fmt.Errorf("unknown analyzer %q (see dudelint -list)", name))
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
@@ -51,7 +80,7 @@ func main() {
 	}
 	var res *lint.Result
 	if len(args) == 1 && (args[0] == "./..." || args[0] == "...") {
-		res, err = lint.RunModule(root, nil)
+		res, err = lint.RunModule(root, analyzers)
 	} else {
 		dirs := make([]string, 0, len(args))
 		for _, a := range args {
@@ -61,7 +90,7 @@ func main() {
 			}
 			dirs = append(dirs, d)
 		}
-		res, err = lint.Run(root, dirs, nil)
+		res, err = lint.Run(root, dirs, analyzers)
 	}
 	if err != nil {
 		fatal(err)
@@ -78,10 +107,7 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if res.Diags == nil {
-			res.Diags = []lint.Diagnostic{}
-		}
-		if err := enc.Encode(res.Diags); err != nil {
+		if err := enc.Encode(lint.NewReport(res, analyzers)); err != nil {
 			fatal(err)
 		}
 	} else {

@@ -192,6 +192,12 @@ func (s *System) persistLoop() {
 // the window (advancing the global durable ID when the completed prefix
 // grows), and forwards the group to Reproduce. Its gate makes
 // PausePersist wait out an in-flight append.
+//
+// The budget pins the paper's fence economy: one persist barrier per
+// group (AppendGroup's), with the flight-recorder write-backs riding
+// behind it fence-free.
+//
+//dudelint:fencebudget 1
 func (s *System) persistWorker(wi int) {
 	defer s.persistWG.Done()
 	w := s.writers[wi]

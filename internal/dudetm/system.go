@@ -747,10 +747,8 @@ func (s *System) PausePersist() {
 	// The flag is raised before the gates so the watchdog never sees a
 	// frozen frontier without the pause that explains it.
 	s.persistPaused.Store(true)
-	//dudelint:ignore unlockpath pause gates are intentionally held across the call; ResumePersist releases them
 	s.persistGate.Lock()
 	for i := range s.workerGates {
-		//dudelint:ignore unlockpath pause gates are intentionally held across the call; ResumePersist releases them
 		s.workerGates[i].Lock()
 	}
 }
@@ -770,7 +768,6 @@ func (s *System) ResumePersist() {
 // ResumeReproduce releases it; the step must be resumed before Close.
 func (s *System) PauseReproduce() {
 	s.reproPaused.Store(true)
-	//dudelint:ignore unlockpath pause gate is intentionally held across the call; ResumeReproduce releases it
 	s.reproduceGate.Lock()
 }
 

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// analyzerFenceBudget holds annotated hot paths to a static worst-case
+// fence count. The paper's performance argument is fence economy:
+// decoupling exists so the critical path pays the minimum number of
+// flush+fence barriers (§4), so a fence quietly added to the persist
+// worker loop or a stamp path is a performance regression that no test
+// fails on. An entry point declares its budget in its doc comment:
+//
+//	//dudelint:fencebudget 1
+//
+// and the analyzer evaluates the worst-case number of persist barriers
+// (Device.Fence, Batch.Fence, Device.Persist, plus the summarized
+// worst case of every statically resolved callee) one activation of
+// the function can execute. Branches take the costliest path; a loop
+// body counts once, so the budget bounds the barriers per iteration of
+// a hot loop — the per-message cost. Calls the analysis cannot resolve
+// (interface dispatch, func values, goroutine hand-offs) contribute
+// nothing and are the stated boundary of the check; a recursive cycle
+// that fences reports as unbounded.
+var analyzerFenceBudget = &Analyzer{
+	Name: "fencebudget",
+	Doc:  "worst-case fences on a //dudelint:fencebudget path must not exceed the budget",
+	Run:  runFenceBudget,
+}
+
+func runFenceBudget(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	for _, iss := range prog.issues[pass.Pkg] {
+		if iss.analyzer == "fencebudget" {
+			pass.Reportf(iss.pos, "%s", iss.msg)
+		}
+	}
+	for _, fi := range prog.funcsOf(pass.Pkg) {
+		if !fi.HasBudget {
+			continue
+		}
+		worst := fi.Sum.MaxFences
+		if worst <= fi.FenceBudget {
+			continue
+		}
+		witness := fenceWitness(prog, pass.Pkg, fi)
+		if worst >= fenceInf {
+			pass.Reportf(fi.Decl.Name.Pos(),
+				"%s exceeds its fence budget of %d: a recursive call cycle fences, so the worst case is unbounded%s",
+				fi.Decl.Name.Name, fi.FenceBudget, witness)
+			continue
+		}
+		pass.Reportf(fi.Decl.Name.Pos(),
+			"%s exceeds its fence budget: worst-case %d persist barriers per activation, budget %d%s",
+			fi.Decl.Name.Name, worst, fi.FenceBudget, witness)
+	}
+}
+
+// fenceWitness names the costliest fence contributor in fi's body, so
+// the diagnostic points at what to remove.
+func fenceWitness(prog *Program, pkg *Package, fi *FuncInfo) string {
+	bestCount := 0
+	var bestPos token.Pos
+	bestDesc := ""
+	walkScope(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isDeviceCall(pkg, call, "Fence", "Persist") || isBatchCall(pkg, call, "Fence"):
+			if bestCount < 1 {
+				bestCount = 1
+				bestPos = call.Pos()
+				_, name := callee(call)
+				bestDesc = name
+			}
+		default:
+			if cfi := prog.FuncOf(pkg, call); cfi != nil && cfi.Sum.MaxFences > bestCount {
+				bestCount = cfi.Sum.MaxFences
+				bestPos = call.Pos()
+				bestDesc = "call to " + cfi.Decl.Name.Name
+			}
+		}
+		return true
+	})
+	if bestDesc == "" {
+		return ""
+	}
+	line := pkg.Fset.Position(bestPos).Line
+	return " (heaviest contributor: " + bestDesc + " at line " + strconv.Itoa(line) + ")"
+}

@@ -1,8 +1,6 @@
 package lint
 
 import (
-	"go/ast"
-	"go/token"
 	"strings"
 )
 
@@ -16,8 +14,17 @@ import (
 //     textual path out of the function leaves the write-back unordered,
 //     i.e. not durable.
 //
-// Device.Persist is a self-contained flush+fence and participates in
-// neither rule.
+// Device.Persist is a self-contained flush+fence: it imposes no
+// obligation of its own, and its fence half closes any earlier flush
+// (a fence orders every prior write-back, whoever issued it).
+//
+// The event stream is interprocedural (see summary.go): a statically
+// resolved call contributes the flushes and fences its summary
+// exports, so a helper that performs the closing fence satisfies the
+// caller's flush, a self-contained helper like AppendGroup neither
+// wastes nor demands a barrier, and a helper's trailing unfenced flush
+// becomes an obligation at the call site. A //dudelint:ignore on the
+// helper's flush stops the obligation from propagating.
 //
 // Batch ownership splits the rules across the sharded apply path: a
 // Batch.Flush on a batch the function did not create (a parameter,
@@ -53,57 +60,48 @@ func runFencePair(pass *Pass) {
 }
 
 func checkFencePairScope(pass *Pass, scope funcScope) {
-	local := localBatchObjs(pass.Pkg, scope)
-	var flushes, foreignFlushes, fences []token.Pos
-	walkScope(scope.body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch {
-		case isDeviceCall(pass.Pkg, call, "FlushRange") || isBatchCall(pass.Pkg, call, "Flush"):
-			if isForeignBatchCall(pass.Pkg, call, local) {
-				// Flushing a shard into a batch owned elsewhere: the
-				// owner fences at the join barrier.
-				foreignFlushes = append(foreignFlushes, call.Pos())
+	events := persistEvents(pass.Prog, pass.Pkg, scope)
+	for i, ev := range events {
+		switch ev.kind {
+		case pevFence:
+			if ev.via != "" {
+				// A callee's fence orders the callee's own flushes; the
+				// wasted-barrier rule is about fences this function
+				// issues itself.
+				continue
+			}
+			preceded := false
+			for _, fl := range events[:i] {
+				if fl.kind == pevFlush || fl.kind == pevCoveredFlush || fl.kind == pevEscape {
+					preceded = true
+					break
+				}
+			}
+			if !preceded {
+				pass.Reportf(ev.pos,
+					"fence in %s has no preceding flush in this function: a wasted persist barrier (if the flushes happen in a caller, suppress with a reason)",
+					scope.name)
+			}
+		case pevFlush:
+			followed := false
+			for _, fe := range events[i+1:] {
+				if fe.kind == pevFence {
+					followed = true
+					break
+				}
+			}
+			if followed {
+				continue
+			}
+			if ev.via != "" {
+				pass.Reportf(ev.pos,
+					"the call to %s in %s leaves a flush that is never followed by a fence before the function returns: the write-back is unordered and not durable",
+					ev.via, scope.name)
 			} else {
-				flushes = append(flushes, call.Pos())
+				pass.Reportf(ev.pos,
+					"flush in %s is never followed by a fence before the function returns: the write-back is unordered and not durable",
+					scope.name)
 			}
-		case isDeviceCall(pass.Pkg, call, "Fence") || isBatchCall(pass.Pkg, call, "Fence"):
-			fences = append(fences, call.Pos())
-		}
-		return true
-	})
-	// A local batch handed to other code is flush-like for the fence
-	// rule: the fence after the join orders the escapees' flushes.
-	flushLike := append(append([]token.Pos{}, flushes...), foreignFlushes...)
-	flushLike = append(flushLike, batchEscapes(pass.Pkg, scope, local)...)
-	for _, fe := range fences {
-		preceded := false
-		for _, fl := range flushLike {
-			if fl < fe {
-				preceded = true
-				break
-			}
-		}
-		if !preceded {
-			pass.Reportf(fe,
-				"fence in %s has no preceding flush in this function: a wasted persist barrier (if the flushes happen in a caller, suppress with a reason)",
-				scope.name)
-		}
-	}
-	for _, fl := range flushes {
-		followed := false
-		for _, fe := range fences {
-			if fe > fl {
-				followed = true
-				break
-			}
-		}
-		if !followed {
-			pass.Reportf(fl,
-				"flush in %s is never followed by a fence before the function returns: the write-back is unordered and not durable",
-				scope.name)
 		}
 	}
 }

@@ -50,10 +50,13 @@ type Analyzer struct {
 	Run  func(pass *Pass)
 }
 
-// Pass carries one analyzer's run over one package.
+// Pass carries one analyzer's run over one package. Prog is the
+// whole-module call graph with per-function effect summaries, shared by
+// every pass of a run.
 type Pass struct {
 	Pkg      *Package
 	Analyzer *Analyzer
+	Prog     *Program
 	report   func(Diagnostic)
 	root     string
 }
@@ -82,6 +85,18 @@ var All = []*Analyzer{
 	analyzerUnlockPath,
 	analyzerCrashCover,
 	analyzerTraceStamp,
+	analyzerFenceBudget,
+	analyzerNoAlloc,
+}
+
+// Lookup returns the analyzer named name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
 }
 
 func analyzerNames() map[string]bool {
@@ -92,11 +107,17 @@ func analyzerNames() map[string]bool {
 	return m
 }
 
-// ignoreDirective is one parsed //dudelint:ignore comment.
+// ignoreDirective is one parsed //dudelint:ignore comment. used is set
+// when the directive suppresses at least one diagnostic; directives
+// that suppress nothing across a run covering their analyzers are
+// themselves reported as stale.
 type ignoreDirective struct {
+	file      string
 	line      int
+	col       int
 	analyzers map[string]bool // nil means malformed
 	reason    string
+	used      bool
 }
 
 const ignorePrefix = "//dudelint:ignore"
@@ -104,9 +125,9 @@ const ignorePrefix = "//dudelint:ignore"
 // ignoresForFile parses every suppression directive in f. Malformed
 // directives (missing analyzer or reason, unknown analyzer name) are
 // returned separately as diagnostics of the pseudo-analyzer "dudelint".
-func ignoresForFile(fset *token.FileSet, f *ast.File, root string) (map[int][]ignoreDirective, []Diagnostic) {
+func ignoresForFile(fset *token.FileSet, f *ast.File, root string) (map[int][]*ignoreDirective, []Diagnostic) {
 	known := analyzerNames()
-	byLine := make(map[int][]ignoreDirective)
+	byLine := make(map[int][]*ignoreDirective)
 	var bad []Diagnostic
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -147,8 +168,10 @@ func ignoresForFile(fset *token.FileSet, f *ast.File, root string) (map[int][]ig
 				malformed("ignore directive has no justification (want //dudelint:ignore <analyzer> <reason>)")
 				continue
 			}
-			byLine[pos.Line] = append(byLine[pos.Line], ignoreDirective{
+			byLine[pos.Line] = append(byLine[pos.Line], &ignoreDirective{
+				file:      file,
 				line:      pos.Line,
+				col:       pos.Column,
 				analyzers: names,
 				reason:    strings.Join(fields[1:], " "),
 			})
@@ -158,11 +181,12 @@ func ignoresForFile(fset *token.FileSet, f *ast.File, root string) (map[int][]ig
 }
 
 // suppressed reports whether d is covered by a directive on its own
-// line or the line directly above.
-func suppressed(d Diagnostic, ignores map[int][]ignoreDirective) bool {
+// line or the line directly above, marking the covering directive used.
+func suppressed(d Diagnostic, ignores map[int][]*ignoreDirective) bool {
 	for _, line := range []int{d.Line, d.Line - 1} {
 		for _, ig := range ignores[line] {
 			if ig.analyzers["*"] || ig.analyzers[d.Analyzer] {
+				ig.used = true
 				return true
 			}
 		}
@@ -179,7 +203,10 @@ type Result struct {
 
 // Run lints the packages in dirs (module directories) with the given
 // analyzers (nil means All), resolving imports against the module
-// rooted at root.
+// rooted at root. All packages are loaded first so the interprocedural
+// program — the call graph and effect summaries every pass consults —
+// covers the linted packages plus everything they transitively import
+// from the module.
 func Run(root string, dirs []string, analyzers []*Analyzer) (*Result, error) {
 	loader, err := NewLoader(root)
 	if err != nil {
@@ -188,15 +215,21 @@ func Run(root string, dirs []string, analyzers []*Analyzer) (*Result, error) {
 	if analyzers == nil {
 		analyzers = All
 	}
-	res := &Result{}
+	var linted []*Package
 	for _, dir := range dirs {
 		pkgs, err := loader.LoadDir(dir)
 		if err != nil {
 			return nil, err
 		}
-		for _, pkg := range pkgs {
-			res.lintPackage(pkg, analyzers, root)
-		}
+		linted = append(linted, pkgs...)
+	}
+	// LoadDir views first: on a function-key collision they win over the
+	// import views, so a package's analysis and its summaries come from
+	// the same type-check.
+	prog := buildProgram(append(append([]*Package{}, linted...), loader.LocalPackages()...), root)
+	res := &Result{}
+	for _, pkg := range linted {
+		res.lintPackage(pkg, prog, analyzers, root)
 	}
 	res.Warnings = loader.Warnings
 	sortDiags(res.Diags)
@@ -216,8 +249,8 @@ func RunModule(root string, analyzers []*Analyzer) (*Result, error) {
 	return Run(root, dirs, analyzers)
 }
 
-func (r *Result) lintPackage(pkg *Package, analyzers []*Analyzer, root string) {
-	ignores := make(map[int][]ignoreDirective)
+func (r *Result) lintPackage(pkg *Package, prog *Program, analyzers []*Analyzer, root string) {
+	ignores := make(map[int][]*ignoreDirective)
 	for _, f := range pkg.Files {
 		ig, bad := ignoresForFile(pkg.Fset, f.AST, root)
 		for line, ds := range ig {
@@ -229,6 +262,7 @@ func (r *Result) lintPackage(pkg *Package, analyzers []*Analyzer, root string) {
 		pass := &Pass{
 			Pkg:      pkg,
 			Analyzer: a,
+			Prog:     prog,
 			root:     root,
 			report: func(d Diagnostic) {
 				if suppressed(d, ignores) {
@@ -239,6 +273,53 @@ func (r *Result) lintPackage(pkg *Package, analyzers []*Analyzer, root string) {
 			},
 		}
 		a.Run(pass)
+	}
+	r.auditIgnores(ignores, analyzers)
+}
+
+// auditIgnores reports directives that suppressed nothing. A directive
+// is only audited when every analyzer it names actually ran (a "*"
+// directive needs the full suite), so partial runs cannot call a live
+// suppression stale.
+func (r *Result) auditIgnores(ignores map[int][]*ignoreDirective, analyzers []*Analyzer) {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	fullSuite := true
+	for _, a := range All {
+		if !ran[a.Name] {
+			fullSuite = false
+			break
+		}
+	}
+	for _, ds := range ignores {
+		for _, ig := range ds {
+			if ig.used {
+				continue
+			}
+			covered := true
+			for name := range ig.analyzers {
+				if name == "*" && !fullSuite || name != "*" && !ran[name] {
+					covered = false
+					break
+				}
+			}
+			if !covered {
+				continue
+			}
+			names := make([]string, 0, len(ig.analyzers))
+			for name := range ig.analyzers {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			r.Diags = append(r.Diags, Diagnostic{
+				File: ig.file, Line: ig.line, Col: ig.col,
+				Analyzer: "dudelint",
+				Message: fmt.Sprintf("stale suppression: this directive silences no %s diagnostic; remove it",
+					strings.Join(names, "/")),
+			})
+		}
 	}
 }
 

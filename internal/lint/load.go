@@ -50,7 +50,26 @@ type Loader struct {
 
 	src     types.Importer
 	imports map[string]*types.Package // import-view cache (no test files)
+	locals  map[string]*Package       // retained import-view Packages (ASTs + Info)
 	loading map[string]bool
+}
+
+// LocalPackages returns the module-local packages the loader pulled in
+// as imports (parsed without test files), in deterministic path order.
+// Together with the packages returned by LoadDir they give the summary
+// builder a whole-module view even when only a subset of directories is
+// being linted.
+func (l *Loader) LocalPackages() []*Package {
+	paths := make([]string, 0, len(l.locals))
+	for p := range l.locals {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkgs = append(pkgs, l.locals[p])
+	}
+	return pkgs
 }
 
 // NewLoader creates a loader for the module rooted at root.
@@ -70,6 +89,7 @@ func NewLoader(root string) (*Loader, error) {
 		Fset:    fset,
 		src:     importer.ForCompiler(fset, "source", nil),
 		imports: make(map[string]*types.Package),
+		locals:  make(map[string]*Package),
 		loading: make(map[string]bool),
 	}, nil
 }
@@ -283,6 +303,7 @@ func (l *Loader) importLocal(path string) (*types.Package, error) {
 		p.Types.MarkComplete()
 	}
 	l.imports[path] = p.Types
+	l.locals[path] = p
 	return p.Types, nil
 }
 

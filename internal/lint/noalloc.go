@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzerNoAlloc verifies the zero-allocation claim of annotated
+// steady-state paths. The flight recorder's Stamp and the observability
+// stamp paths are designed to be allocation-free — one heap allocation
+// per transaction would put the garbage collector on the commit path —
+// and the benchmarks assert it dynamically, but nothing stopped an
+// innocent-looking fmt.Sprintf or append from landing there. A path
+// declares the claim in its doc comment:
+//
+//	//dudelint:noalloc
+//
+// and the analyzer flags every statically detectable heap allocation
+// reachable from it through the call graph: make/new, composite
+// literals that escape via & or build slices/maps, append growth,
+// fmt calls, string concatenation and string<->[]byte conversions,
+// closures and go statements, variadic calls, and interface boxing of
+// concrete arguments. Allocations in the annotated body are reported
+// at the allocation; allocations in callees are reported at the call
+// that reaches them, with the chain in the message. Calls the analysis
+// cannot resolve (interface dispatch, func values) and the stdlib are
+// the stated boundary; the pmem substrate is exempt (its bookkeeping
+// simulates the device, it is not on the real hot path).
+var analyzerNoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "no statically detectable heap allocation may be reachable from a //dudelint:noalloc path",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	for _, iss := range prog.issues[pass.Pkg] {
+		if iss.analyzer == "noalloc" {
+			pass.Reportf(iss.pos, "%s", iss.msg)
+		}
+	}
+	w := &allocWalker{prog: prog, memo: make(map[*FuncInfo]*allocWitness)}
+	for _, fi := range prog.funcsOf(pass.Pkg) {
+		if !fi.NoAlloc {
+			continue
+		}
+		for _, site := range fi.Sum.Allocs {
+			pass.Reportf(site.Pos, "heap allocation on the //dudelint:noalloc path %s: %s",
+				fi.Decl.Name.Name, site.What)
+		}
+		reported := make(map[string]bool)
+		for _, call := range fi.Sum.Calls {
+			cfi := prog.funcs[call.Key]
+			if cfi == nil {
+				continue
+			}
+			wit := w.witness(cfi)
+			if wit == nil || reported[call.Key] {
+				continue
+			}
+			reported[call.Key] = true
+			pos := cfi.Pkg.Fset.Position(wit.site.Pos)
+			chain := strings.Join(wit.chain, " → ")
+			pass.Reportf(call.Pos,
+				"call on the //dudelint:noalloc path %s reaches a heap allocation: %s at %s:%d (%s)",
+				fi.Decl.Name.Name, wit.site.What, relPath(pass.root, pos.Filename), pos.Line, chain)
+		}
+	}
+}
+
+// allocWitness is the first allocation a function reaches, with the
+// call chain leading to it.
+type allocWitness struct {
+	site  AllocSite
+	chain []string
+}
+
+type allocWalker struct {
+	prog     *Program
+	memo     map[*FuncInfo]*allocWitness
+	visiting map[*FuncInfo]bool
+}
+
+// witness returns an allocation reachable from fi (inclusive), or nil.
+func (w *allocWalker) witness(fi *FuncInfo) *allocWitness {
+	if wit, ok := w.memo[fi]; ok {
+		return wit
+	}
+	if w.visiting == nil {
+		w.visiting = make(map[*FuncInfo]bool)
+	}
+	if w.visiting[fi] {
+		return nil // cycle: resolved by the caller that entered it
+	}
+	w.visiting[fi] = true
+	defer delete(w.visiting, fi)
+
+	var wit *allocWitness
+	if len(fi.Sum.Allocs) > 0 {
+		wit = &allocWitness{site: fi.Sum.Allocs[0], chain: []string{fi.Decl.Name.Name}}
+	} else {
+		for _, call := range fi.Sum.Calls {
+			cfi := w.prog.funcs[call.Key]
+			if cfi == nil {
+				continue
+			}
+			if sub := w.witness(cfi); sub != nil {
+				wit = &allocWitness{site: sub.site,
+					chain: append([]string{fi.Decl.Name.Name}, sub.chain...)}
+				break
+			}
+		}
+	}
+	w.memo[fi] = wit
+	return wit
+}
+
+func relPath(root, file string) string {
+	if rel, ok := strings.CutPrefix(file, root+"/"); ok {
+		return rel
+	}
+	return file
+}
+
+// allocSites finds the statically detectable heap allocations in body.
+// Nested function literals are themselves allocation sites (the closure
+// value); their bodies run on some other activation and are not
+// descended into.
+func allocSites(pkg *Package, body *ast.BlockStmt) []AllocSite {
+	var sites []AllocSite
+	add := func(n ast.Node, what string) {
+		sites = append(sites, AllocSite{n.Pos(), what})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			add(n, "function literal (closure value escapes to the heap)")
+			return false
+		case *ast.GoStmt:
+			add(n, "go statement (new goroutine)")
+			return true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					add(n, "&composite literal (escapes to the heap)")
+				}
+			}
+			return true
+		case *ast.CompositeLit:
+			if t := pkg.Info.Types[n].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					add(n, "slice literal (backing array on the heap)")
+				case *types.Map:
+					add(n, "map literal")
+				}
+			}
+			return true
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				tv, ok := pkg.Info.Types[n]
+				if ok && tv.Value == nil && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						add(n, "string concatenation")
+					}
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			classifyAllocCall(pkg, n, add)
+			return true
+		}
+		return true
+	})
+	return sites
+}
+
+func classifyAllocCall(pkg *Package, call *ast.CallExpr, add func(ast.Node, string)) {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "make":
+				add(call, "make")
+				return
+			case "new":
+				add(call, "new")
+				return
+			case "append":
+				add(call, "append (may grow its backing array)")
+				return
+			}
+			return
+		}
+	}
+
+	// Conversions: string <-> []byte/[]rune copy.
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := pkg.Info.Types[call.Args[0]].Type
+		if isStringish(to) && isByteOrRuneSlice(from) || isByteOrRuneSlice(to) && isStringish(from) {
+			add(call, "string/[]byte conversion copies")
+		}
+		return
+	}
+
+	// fmt is formatting: allocation by construction.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				add(call, "fmt."+sel.Sel.Name+" (formatting allocates)")
+				return
+			}
+		}
+	}
+
+	// Interface boxing and variadic packing at the call boundary.
+	sig := callSignature(pkg, fun)
+	if sig == nil || call.Ellipsis.IsValid() {
+		return
+	}
+	n := sig.Params().Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= n-1:
+			if i == n-1 {
+				add(call, "variadic call packs arguments into a slice")
+			}
+			if s, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+				param = s.Elem()
+			}
+		case i < n:
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil {
+			continue
+		}
+		if boxes(param, pkg.Info.Types[arg]) {
+			add(arg, "interface conversion boxes a concrete value")
+		}
+	}
+}
+
+// callSignature resolves the signature of a call's function expression.
+func callSignature(pkg *Package, fun ast.Expr) *types.Signature {
+	tv, ok := pkg.Info.Types[fun]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// boxes reports whether passing a value of arg's static type to an
+// interface-typed param heap-boxes it. Untyped nil and values that are
+// already interfaces do not box; any concrete value may.
+func boxes(param types.Type, arg types.TypeAndValue) bool {
+	if param == nil || arg.Type == nil {
+		return false
+	}
+	if _, ok := param.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	if b, ok := arg.Type.Underlying().(*types.Basic); ok {
+		if b.Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	if _, ok := arg.Type.Underlying().(*types.Interface); ok {
+		return false
+	}
+	return true
+}
+
+func isStringish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}

@@ -1,7 +1,6 @@
 package lint
 
 import (
-	"go/ast"
 	"go/token"
 	"strings"
 )
@@ -19,10 +18,15 @@ import (
 //     publishing a commit marker before the data is flushed is exactly
 //     the bug class that survives testing and only fails under Crash().
 //
-// The check is intraprocedural; functions that intentionally defer
-// durability to their caller (e.g. an undo-log Tx.Store whose flush
-// happens at commit) carry a //dudelint:ignore persistorder comment
-// with the justification. The pmem package itself — the substrate that
+// The event stream is interprocedural: every statically resolved call
+// expands into the persist effects its summary exports (see
+// summary.go), so a store whose flush lives in a helper is covered,
+// and a helper's trailing unflushed store or atomic publish surfaces
+// at the call site. Functions that intentionally defer durability to
+// their caller (e.g. an undo-log Tx.Store whose flush happens at
+// commit) carry a //dudelint:ignore persistorder comment with the
+// justification; the suppression also stops the obligation from
+// propagating to callers. The pmem package itself — the substrate that
 // defines Store and Flush — the blackbox flight recorder (a second
 // substrate: Stamp stores a slot that the batched Flush/Sync write back
 // later, by design) and test files are exempt.
@@ -53,59 +57,39 @@ func runPersistOrder(pass *Pass) {
 	}
 }
 
-type persistEvent struct {
-	pos  token.Pos
-	kind int // 0 store, 1 flush, 2 publish
-}
-
 func checkPersistOrderScope(pass *Pass, scope funcScope) {
-	var events []persistEvent
-	walkScope(scope.body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch {
-		case isDeviceCall(pass.Pkg, call, "Store", "Store8"):
-			events = append(events, persistEvent{call.Pos(), 0})
-		case isDeviceCall(pass.Pkg, call, "FlushRange", "Persist") ||
-			isBatchCall(pass.Pkg, call, "Flush"):
-			events = append(events, persistEvent{call.Pos(), 1})
-		case isAtomicPublish(pass.Pkg, call):
-			events = append(events, persistEvent{call.Pos(), 2})
-		}
-		return true
-	})
-	for _, st := range events {
-		if st.kind != 0 {
+	events := persistEvents(pass.Prog, pass.Pkg, scope)
+	for i, st := range events {
+		if st.kind != pevStore {
 			continue
 		}
 		var firstFlush, firstPublish token.Pos
-		for _, e := range events {
-			if e.pos <= st.pos {
-				continue
-			}
+		for _, e := range events[i+1:] {
 			switch e.kind {
-			case 1:
+			case pevFlush, pevCoveredFlush:
 				if firstFlush == token.NoPos {
 					firstFlush = e.pos
 				}
-			case 2:
+			case pevPublish:
 				if firstPublish == token.NoPos {
 					firstPublish = e.pos
 				}
 			}
 		}
+		what := "store to persistent memory in " + scope.name
+		if st.via != "" {
+			what = "store to persistent memory left unflushed by the call to " + st.via + " in " + scope.name
+		}
 		switch {
 		case firstFlush == token.NoPos:
 			pass.Reportf(st.pos,
-				"store to persistent memory in %s is never covered by a FlushRange/Persist/Batch.Flush before the function returns; it is lost on Crash()",
-				scope.name)
+				"%s is never covered by a FlushRange/Persist/Batch.Flush before the function returns; it is lost on Crash()",
+				what)
 		case firstPublish != token.NoPos && firstPublish < firstFlush:
 			pub := pass.Pkg.Fset.Position(firstPublish)
 			pass.Reportf(st.pos,
-				"store to persistent memory in %s is published by an atomic store (line %d) before being flushed; a crash between them breaks the durable-ID invariant",
-				scope.name, pub.Line)
+				"%s is published by an atomic store (line %d) before being flushed; a crash between them breaks the durable-ID invariant",
+				what, pub.Line)
 		}
 	}
 }

@@ -1,0 +1,52 @@
+package lint
+
+// ReportSchema is the version of the machine-readable report format
+// emitted by `dudelint -json`. The schema is:
+//
+//	{
+//	  "schema": 1,
+//	  "diagnostics": [ {"file","line","col","analyzer","message"}, ... ],
+//	  "suppressed": <total findings silenced by ignore directives>,
+//	  "counts": { "<analyzer>": <unsuppressed findings>, ... },
+//	  "warnings": [ "<loader problem>", ... ]
+//	}
+//
+// counts carries a key for every analyzer that ran (zeros included),
+// so a consumer can both detect regressions per analyzer and notice a
+// check silently disappearing. Consumers must reject any report whose
+// schema version they do not know.
+const ReportSchema = 1
+
+// Report is the versioned machine-readable form of a Result.
+type Report struct {
+	Schema      int            `json:"schema"`
+	Diagnostics []Diagnostic   `json:"diagnostics"`
+	Suppressed  int            `json:"suppressed"`
+	Counts      map[string]int `json:"counts"`
+	Warnings    []string       `json:"warnings,omitempty"`
+}
+
+// NewReport builds the versioned report for res as produced by a run of
+// analyzers (nil means All).
+func NewReport(res *Result, analyzers []*Analyzer) Report {
+	if analyzers == nil {
+		analyzers = All
+	}
+	rep := Report{
+		Schema:      ReportSchema,
+		Diagnostics: res.Diags,
+		Suppressed:  res.Suppressed,
+		Counts:      make(map[string]int, len(analyzers)+1),
+		Warnings:    res.Warnings,
+	}
+	if rep.Diagnostics == nil {
+		rep.Diagnostics = []Diagnostic{}
+	}
+	for _, a := range analyzers {
+		rep.Counts[a.Name] = 0
+	}
+	for _, d := range res.Diags {
+		rep.Counts[d.Analyzer]++
+	}
+	return rep
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// TestReportRoundTrip pins the versioned -json schema: a report
+// marshals with the documented keys and unmarshals back to an equal
+// value, so CI consumers can parse it by schema version.
+func TestReportRoundTrip(t *testing.T) {
+	res := &Result{
+		Diags: []Diagnostic{
+			{File: "a.go", Line: 3, Col: 7, Analyzer: "persistorder", Message: "m1"},
+			{File: "b.go", Line: 1, Col: 1, Analyzer: "persistorder", Message: "m2"},
+		},
+		Suppressed: 2,
+		Warnings:   []string{"w"},
+	}
+	rep := NewReport(res, nil)
+	if rep.Schema != ReportSchema {
+		t.Fatalf("Schema = %d, want %d", rep.Schema, ReportSchema)
+	}
+	if got := rep.Counts["persistorder"]; got != 2 {
+		t.Errorf("Counts[persistorder] = %d, want 2", got)
+	}
+	for _, a := range All {
+		if _, ok := rep.Counts[a.Name]; !ok {
+			t.Errorf("Counts missing analyzer %q (zero-filled keys are part of the schema)", a.Name)
+		}
+	}
+
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys map[string]any
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"schema", "diagnostics", "suppressed", "counts", "warnings"} {
+		if _, ok := keys[k]; !ok {
+			t.Errorf("marshaled report missing key %q", k)
+		}
+	}
+
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != rep.Schema || back.Suppressed != rep.Suppressed ||
+		len(back.Diagnostics) != len(rep.Diagnostics) || len(back.Counts) != len(rep.Counts) {
+		t.Errorf("round trip changed the report: got %+v, want %+v", back, rep)
+	}
+	for i := range rep.Diagnostics {
+		if back.Diagnostics[i] != rep.Diagnostics[i] {
+			t.Errorf("diagnostic %d changed in round trip: got %+v, want %+v",
+				i, back.Diagnostics[i], rep.Diagnostics[i])
+		}
+	}
+}
+
+// TestReportEmptyDiagnostics pins that a clean run emits
+// "diagnostics": [] rather than null, so consumers can index it
+// unconditionally.
+func TestReportEmptyDiagnostics(t *testing.T) {
+	raw, err := json.Marshal(NewReport(&Result{}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys map[string]any
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := keys["diagnostics"].([]any); !ok {
+		t.Errorf("diagnostics = %v, want an empty JSON array", keys["diagnostics"])
+	}
+}
+
+// TestLookup pins the -run flag's analyzer resolution.
+func TestLookup(t *testing.T) {
+	for _, a := range All {
+		if Lookup(a.Name) != a {
+			t.Errorf("Lookup(%q) did not return the analyzer", a.Name)
+		}
+	}
+	if got := Lookup("nope"); got != nil {
+		t.Errorf("Lookup(nope) = %v, want nil", got)
+	}
+}
+
+// TestLintSelfClean lints the linter: internal/lint itself must pass
+// its own suite with no suppressions.
+func TestLintSelfClean(t *testing.T) {
+	root := moduleRoot(t)
+	res, err := Run(root, []string{filepath.Join(root, "internal", "lint")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("%s", d)
+	}
+	if res.Suppressed != 0 {
+		t.Errorf("internal/lint needed %d suppressions, want 0", res.Suppressed)
+	}
+}

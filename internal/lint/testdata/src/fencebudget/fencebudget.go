@@ -1,0 +1,100 @@
+// Package fencebudget is dudelint analyzer testdata: fence-budget
+// positives and negatives. Never built by the go tool.
+package fencebudget
+
+import "dudetm/internal/pmem"
+
+// bad1 declares a zero-fence path and then fences.
+//
+//dudelint:fencebudget 0
+func bad1(dev *pmem.Device) { // want: exceeds its fence budget
+	dev.Fence(0)
+}
+
+// twoBarriers is an unannotated helper whose worst case is two persist
+// barriers (Persist is a self-contained flush+fence).
+func twoBarriers(dev *pmem.Device, a, b uint64) {
+	dev.Persist(a, 64)
+	dev.Persist(b, 64)
+}
+
+// bad2 exceeds its budget only through a transitive call: nothing in
+// its own body fences.
+//
+//dudelint:fencebudget 1
+func bad2(dev *pmem.Device, a, b uint64) { // want: worst-case 2 via the call
+	twoBarriers(dev, a, b)
+}
+
+// bad3: branches take the costliest path, so the else arm's two fences
+// bust a budget of one.
+//
+//dudelint:fencebudget 1
+func bad3(dev *pmem.Device, cold bool, a uint64) { // want: worst-case 2
+	if cold {
+		dev.Persist(a, 8)
+	} else {
+		dev.Fence(0)
+		dev.Fence(0)
+	}
+}
+
+// pingFence and pong are a recursive cycle that fences on every
+// iteration: no static worst case exists.
+func pingFence(dev *pmem.Device, n int) {
+	dev.Fence(0)
+	pong(dev, n)
+}
+
+func pong(dev *pmem.Device, n int) {
+	if n > 0 {
+		pingFence(dev, n-1)
+	}
+}
+
+// bad4 sits on the cycle, so its worst case is unbounded.
+//
+//dudelint:fencebudget 3
+func bad4(dev *pmem.Device, n int) { // want: unbounded
+	pingFence(dev, n)
+}
+
+// good1 is the batched-barrier shape the budget exists to protect: many
+// flushes in a loop, one fence per activation.
+//
+//dudelint:fencebudget 1
+func good1(dev *pmem.Device, addrs []uint64) {
+	b := dev.NewBatch()
+	for _, a := range addrs {
+		b.Flush(a, 8)
+	}
+	b.Fence()
+}
+
+// good2: a loop body counts once — the budget bounds the barriers per
+// activation of the body, the per-message cost.
+//
+//dudelint:fencebudget 1
+func good2(dev *pmem.Device, addrs []uint64) {
+	for _, a := range addrs {
+		dev.Persist(a, 8)
+	}
+}
+
+// good3 stays within budget through the same transitive reasoning that
+// condemns bad2.
+//
+//dudelint:fencebudget 2
+func good3(dev *pmem.Device, a, b uint64) {
+	twoBarriers(dev, a, b)
+}
+
+//dudelint:fencebudget two
+func badDirective(dev *pmem.Device) { // the directive is malformed, not the function
+	_ = dev
+}
+
+//dudelint:fencebudget 1
+
+// The blank line above detaches the directive from any declaration.
+var dangling = 0

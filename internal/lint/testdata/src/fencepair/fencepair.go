@@ -69,3 +69,48 @@ func bad3(dev *pmem.Device, addr uint64) {
 	b := dev.NewBatch()
 	b.Flush(addr, 8) // want: never followed by a fence
 }
+
+// --- Interprocedural cases ------------------------------------------
+
+// fenceOnlyHelper performs the closing barrier for its callers; in
+// isolation the fence orders nothing, so it is flagged here exactly as
+// its message suggests.
+func fenceOnlyHelper(dev *pmem.Device) {
+	dev.Fence(0) // want: no preceding flush
+}
+
+// good7: the helper's fence closes this function's flush.
+func good7(dev *pmem.Device, addr uint64) {
+	dev.FlushRange(addr, 64)
+	fenceOnlyHelper(dev)
+}
+
+// selfContainedHelper flushes and fences on its own.
+func selfContainedHelper(dev *pmem.Device, addr uint64) {
+	n := dev.FlushRange(addr, 64)
+	dev.Fence(n)
+}
+
+// good8: a self-contained callee neither wastes nor demands a barrier
+// at the call site.
+func good8(dev *pmem.Device, addr uint64) {
+	selfContainedHelper(dev, addr)
+}
+
+// unfencedFlushHelper leaves its flush unfenced: flagged here, and the
+// obligation propagates.
+func unfencedFlushHelper(dev *pmem.Device, addr uint64) {
+	dev.FlushRange(addr, 64) // want: never followed by a fence
+}
+
+// bad4: the helper's trailing flush becomes this function's obligation,
+// reported at the call.
+func bad4(dev *pmem.Device, addr uint64) {
+	unfencedFlushHelper(dev, addr) // want: call leaves an unfenced flush
+}
+
+// good9: the caller fences the helper's trailing flush.
+func good9(dev *pmem.Device, addr uint64) {
+	unfencedFlushHelper(dev, addr)
+	dev.Fence(0)
+}

@@ -1,0 +1,114 @@
+// Package noalloc is dudelint analyzer testdata: zero-allocation-path
+// positives and negatives. Never built by the go tool.
+package noalloc
+
+import "fmt"
+
+type record struct {
+	seq uint64
+	val uint64
+}
+
+// bad1 hits the builtin allocators.
+//
+//dudelint:noalloc
+func bad1(n int) []byte {
+	buf := make([]byte, n) // want: make
+	p := new(record)       // want: new
+	p.seq = 1
+	return append(buf, 0) // want: append
+}
+
+// bad2 hits literal and conversion allocations.
+//
+//dudelint:noalloc
+func bad2(s string) int {
+	r := &record{seq: 1}   // want: &composite literal
+	xs := []int{1, 2, 3}   // want: slice literal
+	m := map[int]int{1: 2} // want: map literal
+	b := []byte(s)         // want: conversion copies
+	return int(r.seq) + xs[0] + m[1] + len(b)
+}
+
+// bad3 hits formatting, concatenation, and closures.
+//
+//dudelint:noalloc
+func bad3(name string) string {
+	msg := fmt.Sprintf("hello %s", name) // want: fmt call
+	msg = msg + name                     // want: string concatenation
+	f := func() string { return msg }    // want: closure value
+	return f()
+}
+
+// variadicSum exists to be called variadically.
+func variadicSum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// box exists to force interface boxing at its call boundary.
+func box(v interface{}) bool { return v != nil }
+
+// bad4 hits call-boundary allocations: variadic packing, interface
+// boxing, and the goroutine spawn.
+//
+//dudelint:noalloc
+func bad4(a, b int) int {
+	s := variadicSum(a, b) // want: variadic packing
+	if box(a) {            // want: boxing of a
+		s++
+	}
+	go clean(s) // want: go statement
+	return s
+}
+
+// leafAlloc is two hops down from bad5; only its first allocation is
+// the witness.
+func leafAlloc(n int) []int {
+	return make([]int, n)
+}
+
+// midHop is allocation-free itself but reaches leafAlloc.
+func midHop(n int) int {
+	return len(leafAlloc(n))
+}
+
+// bad5 allocates nothing locally: the diagnostic lands on the call and
+// names the chain to the witness.
+//
+//dudelint:noalloc
+func bad5(n int) int {
+	return midHop(n) // want: reaches make via midHop → leafAlloc
+}
+
+// clean is a genuinely allocation-free helper: arithmetic, array (not
+// slice) storage, and fixed-size loops.
+func clean(x int) uint64 {
+	var buf [8]uint64
+	for i := range buf {
+		buf[i] = uint64(x + i)
+	}
+	h := uint64(0)
+	for _, v := range buf {
+		h = h*31 + v
+	}
+	return h
+}
+
+// good1 proves the negative: annotated, calls through a clean helper,
+// and emits no diagnostic.
+//
+//dudelint:noalloc
+func good1(x int) uint64 {
+	h := clean(x)
+	h ^= h >> 7
+	return h
+}
+
+//dudelint:noalloc because it is hot
+func badDirective(x int) int { // the directive is malformed, not the function
+	return x + 1
+}

@@ -80,3 +80,48 @@ func (r *region) bad3(t applyTask, done *atomic.Uint64, addrs []uint64) {
 		t.b.Flush(a, 8)
 	}
 }
+
+// --- Interprocedural cases ------------------------------------------
+
+// persistHelper performs the flush+fence for its caller.
+func persistHelper(dev *pmem.Device, addr uint64) {
+	dev.Persist(addr, 8)
+}
+
+// good5: the covering flush lives in a helper — the callee's summary
+// covers the store, no suppression needed.
+func (r *region) good5(addr, val uint64) {
+	r.dev.Store8(addr, val)
+	persistHelper(r.dev, addr)
+}
+
+// storeHelper leaves its store unflushed: flagged here, and the
+// obligation propagates to callers that do not flush.
+func storeHelper(dev *pmem.Device, addr, val uint64) {
+	dev.Store8(addr, val) // want: never covered by a flush
+}
+
+// bad4: the helper's unflushed store surfaces at the call site.
+func (r *region) bad4(addr, val uint64) {
+	storeHelper(r.dev, addr, val) // want: left unflushed by the call
+}
+
+// good6: the caller covers the helper's store, so the obligation
+// dissolves here.
+func (r *region) good6(addr, val uint64) {
+	storeHelper(r.dev, addr, val)
+	r.dev.Persist(addr, 8)
+}
+
+// publishHelper atomically advances the durable marker.
+func publishHelper(r *region, val uint64) {
+	r.durable.Store(val)
+}
+
+// bad5: the publish is hidden in a helper but still lands between the
+// store and its flush.
+func (r *region) bad5(addr, val uint64) {
+	r.dev.Store8(addr, val) // want: published before flushed
+	publishHelper(r, val)
+	r.dev.Persist(addr, 8)
+}

@@ -65,3 +65,30 @@ func (t *table) badRead(k uint64) uint64 {
 	t.rw.Unlock()
 	return v
 }
+
+// --- Pause-gate cases -----------------------------------------------
+
+// gate models the pause/resume pattern: pause leaks the lock that the
+// sibling releaser owns.
+type gate struct {
+	mu sync.Mutex
+}
+
+// goodPause holds the gate across the function boundary on purpose.
+// The existence of resume — a pure releaser of the same path in the
+// same directory — exempts the leak, with no suppression directive.
+func (g *gate) goodPause() {
+	g.mu.Lock()
+}
+
+// resume is the pure releaser that legitimizes goodPause.
+func (g *gate) resume() {
+	g.mu.Unlock()
+}
+
+// goodDeferRelease: a deferred call to the pure releaser counts as the
+// deferred unlock.
+func (g *gate) goodDeferRelease() {
+	g.mu.Lock()
+	defer g.resume()
+}

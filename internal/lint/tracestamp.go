@@ -67,28 +67,42 @@ func runTraceStamp(pass *Pass) {
 type stampEvent struct {
 	pos  token.Pos
 	kind int // 0 = flush, 1 = fence, 2 = stamp
+	seq  int // emission order among flush/fence events sharing a pos
 	name string
 }
 
 func checkTraceStampScope(pass *Pass, scope funcScope) {
+	// The flush/fence stream is the interprocedural one, so a
+	// self-contained callee (flush+fence) opens and closes its window
+	// atomically at the call and stamps after it stay legal, while a
+	// callee's trailing unfenced flush leaves the window open across
+	// the rest of the caller.
 	var events []stampEvent
+	for _, ev := range persistEvents(pass.Prog, pass.Pkg, scope) {
+		switch ev.kind {
+		case pevFlush, pevCoveredFlush:
+			events = append(events, stampEvent{pos: ev.pos, kind: 0, seq: len(events)})
+		case pevFence:
+			events = append(events, stampEvent{pos: ev.pos, kind: 1, seq: len(events)})
+		}
+	}
 	walkScope(scope.body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		switch {
-		case isDeviceCall(pass.Pkg, call, "FlushRange") || isBatchCall(pass.Pkg, call, "Flush"):
-			events = append(events, stampEvent{pos: call.Pos(), kind: 0})
-		case isDeviceCall(pass.Pkg, call, "Fence") || isBatchCall(pass.Pkg, call, "Fence"):
-			events = append(events, stampEvent{pos: call.Pos(), kind: 1})
-		case isObsStampCall(pass.Pkg, call):
+		if isObsStampCall(pass.Pkg, call) {
 			_, method := callee(call)
 			events = append(events, stampEvent{pos: call.Pos(), kind: 2, name: method})
 		}
 		return true
 	})
-	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].pos != events[j].pos {
+			return events[i].pos < events[j].pos
+		}
+		return events[i].seq < events[j].seq
+	})
 	open := false
 	for _, ev := range events {
 		switch ev.kind {

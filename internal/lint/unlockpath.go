@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
 // analyzerUnlockPath finds mutex acquisitions that some return path can
@@ -13,9 +14,22 @@ import (
 // matching Unlock in statement order.
 //
 // Lock expressions are matched textually with indices normalized, so
-// s.locks[i].Lock() pairs with s.locks[j].Unlock(). Intentional
-// cross-function holds (pause gates released by a Resume method)
-// suppress with a justification.
+// s.locks[i].Lock() pairs with s.locks[j].Unlock().
+//
+// The check consults callee summaries (see summary.go) in two ways.
+// First, a call to a pure releaser — a function whose summary releases
+// a lock it never acquired, like ResumePersist — counts as the
+// matching unlock at the call site (receiver paths are normalized, so
+// s.resume() releasing "@.mu" unlocks "s.mu" for the caller), and a
+// deferred releaser call counts as a deferred unlock. Second, the
+// pause-gate pattern needs no suppression at all: a lock deliberately
+// held across the function boundary is recognized by the existence of
+// a sibling pure releaser of the same receiver-typed path in the same
+// directory (PausePersist leaks the gates that ResumePersist
+// releases), and is exempt. The cost of the exemption is that a
+// genuine leak of a path that also has a dedicated releaser on the
+// same type goes unflagged — acceptable, because such a pair is the
+// gate pattern by construction.
 var analyzerUnlockPath = &Analyzer{
 	Name: "unlockpath",
 	Doc:  "a Lock without defer must be Unlocked on every return path",
@@ -23,11 +37,31 @@ var analyzerUnlockPath = &Analyzer{
 }
 
 func runUnlockPath(pass *Pass) {
+	releasers := siblingReleasers(pass)
 	for _, f := range pass.Pkg.Files {
 		for _, scope := range funcScopes(f.AST) {
-			checkUnlockScope(pass, scope)
+			checkUnlockScope(pass, scope, releasers)
 		}
 	}
+}
+
+// siblingReleasers collects the receiver-normalized lock paths some
+// function in the package's directory purely releases. Both the
+// primary and the external-test view of a directory share the set.
+func siblingReleasers(pass *Pass) map[lockKey]bool {
+	rel := make(map[lockKey]bool)
+	if pass.Prog == nil {
+		return rel
+	}
+	for _, fi := range pass.Prog.funcs {
+		if fi.Pkg.Dir != pass.Pkg.Dir {
+			continue
+		}
+		for _, k := range fi.Sum.Releases {
+			rel[k] = true
+		}
+	}
+	return rel
 }
 
 type lockEvent struct {
@@ -36,7 +70,7 @@ type lockEvent struct {
 	read bool // RLock/RUnlock
 }
 
-func checkUnlockScope(pass *Pass, scope funcScope) {
+func checkUnlockScope(pass *Pass, scope funcScope, releasers map[lockKey]bool) {
 	var locks, unlocks, deferred []lockEvent
 	var returns []token.Pos
 
@@ -58,19 +92,47 @@ func checkUnlockScope(pass *Pass, scope funcScope) {
 		return
 	}
 
+	// calleeReleases maps a call to a pure releaser (s.resume()
+	// releasing "@.mu") onto the unlock events it performs for the
+	// caller, with the receiver path substituted back in.
+	calleeReleases := func(call *ast.CallExpr) []lockEvent {
+		fi := pass.Prog.FuncOf(pass.Pkg, call)
+		if fi == nil || len(fi.Sum.Releases) == 0 {
+			return nil
+		}
+		recv, _ := callee(call)
+		recvPath := exprPath(recv)
+		var evs []lockEvent
+		for _, k := range fi.Sum.Releases {
+			path := k.path
+			if strings.HasPrefix(path, "@") {
+				if recvPath == "" {
+					continue
+				}
+				path = recvPath + path[1:]
+			}
+			evs = append(evs, lockEvent{call.Pos(), path, k.read})
+		}
+		return evs
+	}
+
 	walkScope(scope.body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.DeferStmt:
-			// defer x.Unlock() or defer func() { ...; x.Unlock() }()
+			// defer x.Unlock(), defer s.resume(), or
+			// defer func() { ...; x.Unlock() }()
 			if ev, _, isUnlock := classify(n.Call); isUnlock {
 				deferred = append(deferred, ev)
 				return true
 			}
+			deferred = append(deferred, calleeReleases(n.Call)...)
 			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
 				ast.Inspect(lit.Body, func(m ast.Node) bool {
 					if call, ok := m.(*ast.CallExpr); ok {
 						if ev, _, isUnlock := classify(call); isUnlock {
 							deferred = append(deferred, ev)
+						} else {
+							deferred = append(deferred, calleeReleases(call)...)
 						}
 					}
 					return true
@@ -82,6 +144,8 @@ func checkUnlockScope(pass *Pass, scope funcScope) {
 				locks = append(locks, ev)
 			} else if isUnlock {
 				unlocks = append(unlocks, ev)
+			} else {
+				unlocks = append(unlocks, calleeReleases(n)...)
 			}
 		case *ast.ReturnStmt:
 			returns = append(returns, n.Pos())
@@ -92,8 +156,17 @@ func checkUnlockScope(pass *Pass, scope funcScope) {
 	// The closing brace is the implicit return.
 	returns = append(returns, scope.body.Rbrace)
 
+	recv := ""
+	if scope.decl != nil {
+		recv = recvIdent(scope.decl)
+	}
 	for _, lk := range locks {
 		if hasMatch(deferred, lk, func(token.Pos) bool { return true }) {
+			continue
+		}
+		if releasers[lockKeyFor(lk.path, lk.read, recv, scope.decl)] {
+			// Pause-gate pattern: a sibling pure releaser owns the
+			// matching unlock, so the cross-function hold is deliberate.
 			continue
 		}
 		flagged := false

@@ -205,6 +205,9 @@ func (r *Recorder) slotAddr(seq uint64) uint64 {
 // Stamp appends one milestone record. The store is volatile until a
 // later Flush or Sync; a crash before then loses the stamp, exactly as
 // it loses any other unflushed line. Allocation-free.
+//
+//dudelint:fencebudget 0
+//dudelint:noalloc
 func (r *Recorder) Stamp(kind Kind, a, b, c uint64) {
 	at := time.Now().UnixNano()
 	r.mu.Lock()
@@ -225,6 +228,9 @@ func (r *Recorder) Stamp(kind Kind, a, b, c uint64) {
 // device a written-back line survives a crash, and the stamps only claim
 // that their milestone was reached, never that later data is durable, so
 // no ordering barrier is needed on the steady-state path. Allocation-free.
+//
+//dudelint:fencebudget 0
+//dudelint:noalloc
 func (r *Recorder) Flush() {
 	r.mu.Lock()
 	r.flushLocked()
@@ -250,6 +256,9 @@ func (r *Recorder) flushLocked() {
 
 // Sync flushes and fences the pending stamps — for rare milestones
 // (boot, stall) that must be on stable media before the caller proceeds.
+//
+//dudelint:fencebudget 1
+//dudelint:noalloc
 func (r *Recorder) Sync() {
 	r.mu.Lock()
 	r.flushLocked()

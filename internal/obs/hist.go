@@ -24,6 +24,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//dudelint:noalloc
 func (h *Histogram) Observe(v uint64) {
 	h.counts[bucketOf(v)].Add(1)
 	h.sum.Add(v)

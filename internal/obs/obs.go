@@ -90,6 +90,9 @@ func New(cfg Config) *Observer {
 
 // Now returns nanoseconds since the observer's epoch on the monotonic
 // clock — the timestamp base of every trace record.
+//
+//dudelint:fencebudget 0
+//dudelint:noalloc
 func (o *Observer) Now() int64 { return int64(time.Since(o.epoch)) }
 
 // SampleEvery returns the configured sampling period (0 = disabled).
@@ -112,7 +115,10 @@ func (o *Observer) rangeSampled(minTid, maxTid uint64) bool {
 // committing thread before the transaction is published to the Persist
 // step, so the commit stamp orders before every downstream stamp of
 // the same transaction. When the transaction is not sampled this is a
-// single comparison and no allocation.
+// single comparison and no allocation (the sampled slow path may grow
+// the pending slices, so the zero-alloc claim stops there).
+//
+//dudelint:fencebudget 0
 func (o *Observer) Commit(src int, tid uint64) {
 	if !o.Sampled(tid) {
 		return
@@ -133,6 +139,9 @@ func (o *Observer) Commit(src int, tid uint64) {
 // GroupSealed stamps a sealed persist group covering [minTid, maxTid]
 // with txns transactions and entries combined log entries, and returns
 // the seal timestamp (for the queue-dwell measurement at pickup).
+//
+//dudelint:fencebudget 0
+//dudelint:noalloc
 func (o *Observer) GroupSealed(src int, minTid, maxTid uint64, txns, entries int) int64 {
 	o.groupTxns.Observe(uint64(txns))
 	o.groupEntries.Observe(uint64(entries))
@@ -147,6 +156,9 @@ func (o *Observer) GroupSealed(src int, minTid, maxTid uint64, txns, entries int
 // barrier: startAt/endAt bound the append (fence duration), sealAt is
 // GroupSealed's return value (queue dwell = startAt-sealAt; pass 0
 // when the group was never queued, e.g. the synchronous commit path).
+//
+//dudelint:fencebudget 0
+//dudelint:noalloc
 func (o *Observer) GroupPersisted(src int, minTid, maxTid uint64, sealAt, startAt, endAt int64) {
 	if d := endAt - startAt; d > 0 {
 		o.fenceDur.Observe(uint64(d))
@@ -167,6 +179,9 @@ func (o *Observer) GroupPersisted(src int, minTid, maxTid uint64, sealAt, startA
 
 // GroupApplied stamps a group's Reproduce application to the
 // persistent data region.
+//
+//dudelint:fencebudget 0
+//dudelint:noalloc
 func (o *Observer) GroupApplied(src int, minTid, maxTid uint64) {
 	if o.rangeSampled(minTid, maxTid) {
 		o.rings[src].put(EvReproApply, minTid, maxTid, o.Now())
@@ -175,6 +190,8 @@ func (o *Observer) GroupApplied(src int, minTid, maxTid uint64) {
 
 // DurableAdvanced records commit→durable latency for every pending
 // sampled transaction the new durable frontier covers.
+//
+//dudelint:fencebudget 0
 func (o *Observer) DurableAdvanced(frontier uint64) {
 	if o.pendN.Load() == 0 {
 		return
@@ -184,6 +201,8 @@ func (o *Observer) DurableAdvanced(frontier uint64) {
 
 // ReproducedAdvanced records commit→reproduced latency for every
 // pending sampled transaction the new reproduced frontier covers.
+//
+//dudelint:fencebudget 0
 func (o *Observer) ReproducedAdvanced(frontier uint64) {
 	if o.pendN.Load() == 0 {
 		return

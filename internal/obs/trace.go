@@ -76,6 +76,8 @@ func newTraceRing(capacity int) *traceRing {
 }
 
 // put stamps one record. Single writer per ring.
+//
+//dudelint:noalloc
 func (r *traceRing) put(kind EventKind, minTid, maxTid uint64, at int64) {
 	p := r.pos.Load()
 	s := &r.slots[p&r.mask]

@@ -122,6 +122,8 @@ func (w *Writer) Tail() uint64 { return w.tail }
 // with a single fence. It sets g.Seq and g.EndPos, blocks until the
 // buffer has space (i.e., until Recycle catches up), and returns the
 // serialized record size in bytes.
+//
+//dudelint:fencebudget 1
 func (w *Writer) AppendGroup(g *Group) uint64 {
 	w.scratch = AppendEntries(w.scratch[:0], g.Entries)
 	payload := w.scratch
@@ -200,6 +202,8 @@ func (w *Writer) waitSpace(n uint64) {
 // only advance after the replayed data updates are themselves persistent
 // (§3.4) — the caller fences data writes before calling Recycle.
 // reproTid is the global Reproduce watermark being persisted alongside.
+//
+//dudelint:fencebudget 1
 func (w *Writer) Recycle(pos, seq, reproTid uint64) {
 	w.persistMeta(pos, seq, reproTid)
 	w.head.Store(pos)

@@ -16,6 +16,29 @@ go vet ./...
 echo "== dudelint"
 go run ./cmd/dudelint ./...
 
+echo "== dudelint -json (schema + per-analyzer counts)"
+# Hold the machine-readable report to its contract: it parses, carries
+# the schema version CI consumers pin against, and zero-fills a count
+# for every analyzer (so a check silently disappearing is loud).
+go run ./cmd/dudelint -json ./... >/tmp/dudelint.check.json
+python3 - <<'EOF'
+import json, sys
+rep = json.load(open("/tmp/dudelint.check.json"))
+if rep.get("schema") != 1:
+    sys.exit(f"dudelint -json schema {rep.get('schema')!r}, want 1")
+counts = rep.get("counts")
+if not isinstance(counts, dict) or not counts:
+    sys.exit("dudelint -json lacks per-analyzer counts")
+for name in ("persistorder", "fencepair", "fencebudget", "noalloc", "unlockpath"):
+    if name not in counts:
+        sys.exit(f"dudelint -json counts lack analyzer {name!r}")
+if not isinstance(rep.get("diagnostics"), list):
+    sys.exit("dudelint -json diagnostics is not a list")
+summary = ", ".join(f"{k} {v}" for k, v in sorted(counts.items()))
+print(f"dudelint report: schema {rep['schema']}, {rep['suppressed']} suppressed; {summary}")
+EOF
+rm -f /tmp/dudelint.check.json
+
 echo "== go test"
 go test ./...
 
