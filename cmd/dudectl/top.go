@@ -35,6 +35,15 @@ var requiredSeries = []string{
 	`dudetm_region_flushed_bytes_total{region="log"}`,
 	`dudetm_region_flushed_bytes_total{region="data"}`,
 	`dudetm_region_fences_total{region="log"}`,
+	"dudetm_repl_peers",
+	"dudetm_repl_quorum_state",
+	"dudetm_repl_acked_tid",
+	"dudetm_repl_frontier_lag",
+	"dudetm_repl_degraded_events_total",
+	"dudetm_repl_wire_bytes_total",
+	`dudetm_repl_ack_latency_seconds{quantile="0.5"}`,
+	`dudetm_repl_ack_latency_seconds{quantile="0.99"}`,
+	`dudetm_repl_ack_latency_seconds{quantile="0.999"}`,
 	"dudesrv_connections_total",
 	"dudesrv_requests_total",
 	"dudesrv_acked_writes_total",
@@ -187,6 +196,19 @@ func renderTop(url string, m, prev map[string]float64, elapsed time.Duration, sa
 			rate(m, prev, "dudesrv_acked_writes_total", elapsed),
 			rate(m, prev, "dudetm_durable_tid", elapsed),
 			rate(m, prev, `dudetm_region_flushed_bytes_total{region="log"}`, elapsed))
+	}
+	if m["dudetm_repl_peers"] > 0 {
+		state := "HEALTHY"
+		if m["dudetm_repl_quorum_state"] == 0 {
+			state = "DEGRADED"
+		}
+		fmt.Printf("  replication %s   peers %.0f/%.0f up   quorum %.0f   acked tid %.0f (lag %.0f)   ack p99 %s   wire %.0f B\n",
+			state,
+			m["dudetm_repl_peers_connected"], m["dudetm_repl_peers"],
+			m["dudetm_repl_quorum"],
+			m["dudetm_repl_acked_tid"], m["dudetm_repl_frontier_lag"],
+			secs(m[`dudetm_repl_ack_latency_seconds{quantile="0.99"}`]),
+			m["dudetm_repl_wire_bytes_total"])
 	}
 	if m["dudetm_recovery_runs_total"] > 0 {
 		fmt.Printf("  recovery    replay %s   %.0f groups   %.0f entries   %.0f bytes\n",

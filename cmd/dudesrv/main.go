@@ -19,9 +19,21 @@
 //
 //	go run ./cmd/dudesrv -addr 127.0.0.1:7070 -image /tmp/dude.img &
 //	go run ./examples/netbank -addr 127.0.0.1:7070
+//
+// Replication: a primary ships every sealed persist group to peer
+// dudesrv nodes running in replica mode and gates client durability
+// acks on a quorum of replica acknowledgments. A replica serves its
+// replication address plus read-only client traffic; to take over
+// after a primary failure, restart the replica with the same image
+// and no -replica flag. Three-node quick start (see README):
+//
+//	dudesrv -addr :7170 -replica :7180 -image r1.img &
+//	dudesrv -addr :7270 -replica :7280 -image r2.img &
+//	dudesrv -addr :7070 -image pri.img -peers 127.0.0.1:7180,127.0.0.1:7280 -repl-quorum 2
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -29,10 +41,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"dudetm"
+	"dudetm/internal/repl"
 	"dudetm/internal/server"
 )
 
@@ -49,8 +63,26 @@ func main() {
 		metrics   = flag.String("metrics", "", "HTTP observability listen address serving /metrics, /debug/trace and /debug/pprof/ (empty = disabled)")
 		traceN    = flag.Int("trace-sample", 64, "trace the lifecycle of every N-th transaction (0 = off)")
 		watchdog  = flag.Duration("watchdog", time.Second, "pipeline stall watchdog sampling interval (0 = off)")
+
+		replica  = flag.String("replica", "", "replication listen address: run as a replica ingesting a primary's persist log (client port becomes read-only)")
+		peers    = flag.String("peers", "", "comma-separated replica replication addresses to ship the persist log to")
+		quorum   = flag.Int("repl-quorum", 0, "replica acks required before client writes are acknowledged durable (0 = all peers)")
+		degraded = flag.String("repl-degraded", "fail", "when the ack quorum is lost: 'fail' (durability waits error) or 'local' (fall back to local-only acks)")
 	)
 	flag.Parse()
+
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+	if *replica != "" && len(peerList) > 0 {
+		log.Fatal("dudesrv: -replica and -peers are mutually exclusive (a node is a primary or a replica, not both)")
+	}
+	switch *degraded {
+	case "fail", "local":
+	default:
+		log.Fatalf("dudesrv: -repl-degraded %q: want 'fail' or 'local'", *degraded)
+	}
 
 	opts := dudetm.Options{
 		DataSize:         uint64(*dataMiB) << 20,
@@ -59,6 +91,9 @@ func main() {
 		Sync:             *sync,
 		TraceSampleEvery: *traceN,
 		Watchdog:         *watchdog,
+		ReplFactor:       len(peerList),
+		ReplQuorum:       *quorum,
+		ReplDegradeLocal: *degraded == "local",
 	}
 	var pool *dudetm.Pool
 	var err error
@@ -88,10 +123,47 @@ func main() {
 		log.Printf("dudesrv: fresh pool (%d MiB, group %d)", *dataMiB, *group)
 	}
 
-	srv, err := server.New(pool, server.Config{MaxConns: *maxConns})
+	srv, err := server.New(pool, server.Config{MaxConns: *maxConns, ReadOnly: *replica != ""})
 	if err != nil {
 		log.Fatalf("dudesrv: %v", err)
 	}
+
+	// Replica mode: ingest a primary's persist-log stream. The sender
+	// reconnects with backoff and the handshake re-acks the local
+	// frontier, so a replica restarted on its image catches up from
+	// where it left off.
+	var rcv *repl.Receiver
+	var rln net.Listener
+	if *replica != "" {
+		rln, err = net.Listen("tcp", *replica)
+		if err != nil {
+			log.Fatalf("dudesrv: replication listener: %v", err)
+		}
+		rcv = repl.NewReceiver(pool)
+		go func() {
+			if err := rcv.Serve(rln); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("dudesrv: replication: %v", err)
+			}
+		}()
+		log.Printf("dudesrv: replica mode: ingesting replication on %s (client port is read-only)", rln.Addr())
+	}
+
+	// Primary with peers: ship each sealed group, gate acks on the quorum.
+	var snd *repl.Sender
+	if len(peerList) > 0 {
+		snd = repl.NewSender(pool, repl.Config{Peers: peerList, Epoch: pool.Durable(), Compress: true})
+		if err := pool.EnableReplication(snd, snd.PeerNames()); err != nil {
+			log.Fatalf("dudesrv: enabling replication: %v", err)
+		}
+		snd.Start()
+		srv.SetReplication(snd)
+		q := *quorum
+		if q == 0 {
+			q = len(peerList)
+		}
+		log.Printf("dudesrv: replicating to %d peer(s), quorum %d, on quorum loss: %s", len(peerList), q, *degraded)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("dudesrv: %v", err)
@@ -129,6 +201,16 @@ func main() {
 
 	// Serve returned: the drain is complete. Quiesce the pool and write
 	// the image so the next start recovers every acknowledged write.
+	// Replication teardown first — ingest and shipping must never race
+	// the pool close.
+	if rcv != nil {
+		rln.Close()
+		rcv.Shutdown()
+		log.Printf("dudesrv: replication ingest stopped at durable id %d", pool.Durable())
+	}
+	if snd != nil {
+		snd.Close()
+	}
 	if msrv != nil {
 		msrv.Close()
 	}

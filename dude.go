@@ -36,6 +36,7 @@ import (
 	"dudetm/internal/memdb"
 	"dudetm/internal/obs"
 	"dudetm/internal/pmem"
+	"dudetm/internal/redolog"
 )
 
 // Tx is a durable transaction handle: transactional Load/Store of
@@ -62,6 +63,19 @@ type RecoveryStats = idudetm.RecoveryStats
 
 // Heap is the transactional allocator type usable inside transactions.
 type Heap = memdb.Heap
+
+// ReplSink receives every sealed persist group from the Persist
+// coordinator when replication is enabled (implemented by the
+// log-shipping sender in internal/repl).
+type ReplSink = idudetm.ReplSink
+
+// ReplQuorumStats is a snapshot of the replication quorum gate (see
+// Stats().Repl).
+type ReplQuorumStats = idudetm.ReplQuorumStats
+
+// Entry is one redo-log entry (an 8-byte store at a pool address), the
+// unit shipped groups are made of.
+type Entry = redolog.Entry
 
 // rootWords reserves the first page of the pool for application roots.
 const rootWords = 512
@@ -116,6 +130,18 @@ type Options struct {
 	// CrashReport. 0 selects the default (1024 slots); negative
 	// disables the recorder.
 	BlackboxEntries int
+	// ReplFactor is the number of peer replicas sealed persist groups
+	// are shipped to (0 = replication off). The pool only gates on
+	// acknowledgments; attach the transport with EnableReplication.
+	ReplFactor int
+	// ReplQuorum is how many replica acknowledgments a transaction
+	// needs, beyond local durability, before WaitDurable releases it
+	// (default: ReplFactor, i.e. wait for all replicas).
+	ReplQuorum int
+	// ReplDegradeLocal falls back to local-only durability (flagged in
+	// metrics, never silent) when fewer than ReplQuorum replicas are
+	// live, instead of failing waiters with ErrQuorumLost.
+	ReplDegradeLocal bool
 	// Timing enables the NVM delay model.
 	Timing bool
 	// Latency and Bandwidth parameterize the delay model (defaults:
@@ -136,6 +162,9 @@ func (o Options) config() idudetm.Config {
 		Watchdog:         o.Watchdog,
 		OnStall:          o.OnStall,
 		BlackboxEntries:  o.BlackboxEntries,
+		ReplFactor:       o.ReplFactor,
+		ReplQuorum:       o.ReplQuorum,
+		ReplDegradeLocal: o.ReplDegradeLocal,
 	}
 	if cfg.Threads == 0 {
 		cfg.Threads = 4
@@ -277,6 +306,14 @@ var (
 	// ErrClosed: the pool was closed while the waiter was subscribed
 	// for an ID the pipeline will never reach.
 	ErrClosed = idudetm.ErrClosed
+	// ErrQuorumLost: fewer than ReplQuorum replicas were live while the
+	// waited-for transaction was beyond the quorum-acked frontier (the
+	// transaction IS locally durable; the replication guarantee is what
+	// failed). Only returned when ReplDegradeLocal is false.
+	ErrQuorumLost = idudetm.ErrQuorumLost
+	// ErrReplGap: a group offered to IngestGroup does not extend the
+	// replica's dense transaction-ID stream.
+	ErrReplGap = idudetm.ErrReplGap
 )
 
 // WaitDurable blocks until the transaction with the given ID is durable
@@ -316,6 +353,43 @@ func (p *Pool) Crash() []byte { return p.sys.Crash() }
 
 // Durable returns the global durable transaction ID.
 func (p *Pool) Durable() uint64 { return p.sys.Durable() }
+
+// AckFrontier returns the durability frontier WaitDurable gates on:
+// the local durable frontier, additionally capped by the quorum-acked
+// replica frontier when replication is enabled. Servers acknowledge
+// clients from this, never from Durable.
+func (p *Pool) AckFrontier() uint64 { return p.sys.AckFrontier() }
+
+// EnableReplication attaches a replication sink (the log-shipping
+// sender) and the quorum gate to a fresh pool: every sealed persist
+// group is handed to sink in dense transaction-ID order, and
+// WaitDurable releases a transaction only once Options.ReplQuorum of
+// the named peers acked a frontier covering it.
+func (p *Pool) EnableReplication(sink ReplSink, peers []string) error {
+	return p.sys.EnableReplication(sink, peers)
+}
+
+// ReplicaAcked records a replica's durable frontier (monotonic per
+// peer — a reconnect re-acking an older frontier never moves the
+// quorum frontier backward).
+func (p *Pool) ReplicaAcked(peer string, frontier uint64) { p.sys.ReplicaAcked(peer, frontier) }
+
+// ReplicaLive records a replica connecting or dying; quorum loss is
+// surfaced through Stats().Repl and either ErrQuorumLost waiters or
+// the flagged local-only fallback.
+func (p *Pool) ReplicaLive(peer string, live bool) { p.sys.ReplicaLive(peer, live) }
+
+// ReplStats returns a snapshot of the replication quorum gate.
+func (p *Pool) ReplStats() ReplQuorumStats { return p.sys.ReplStats() }
+
+// IngestGroup fences one replicated group into this (replica) pool,
+// advancing its durable frontier and feeding Reproduce — the replica
+// half of log shipping. Groups must extend the dense tid stream;
+// catch-up duplicates are skipped idempotently. Ingest must stop
+// before the pool is closed or crashed.
+func (p *Pool) IngestGroup(minTid, maxTid uint64, entries []Entry) error {
+	return p.sys.IngestGroup(minTid, maxTid, entries)
+}
 
 // Reproduced returns the largest transaction ID already applied to
 // persistent data.

@@ -142,6 +142,21 @@ type Config struct {
 	// pass decodes the survivors into the CrashReport. 0 selects the
 	// default (1024 slots); a negative value disables the recorder.
 	BlackboxEntries int
+	// ReplFactor is the number of peer replicas the attached
+	// replication sender ships sealed groups to (R; 0 = replication
+	// off). The pool itself only gates on acks — the sender attached
+	// with EnableReplication does the shipping.
+	ReplFactor int
+	// ReplQuorum is the number of replica acknowledgments a transaction
+	// needs, beyond local log durability, before WaitDurable releases
+	// it (Q; default ReplFactor when ReplFactor > 0, i.e. wait for all
+	// replicas).
+	ReplQuorum int
+	// ReplDegradeLocal selects the degraded-mode behavior when fewer
+	// than ReplQuorum replicas are live: true falls back to local-only
+	// durability (flagged in metrics, never silent); false fails
+	// waiters with ErrQuorumLost until the quorum heals.
+	ReplDegradeLocal bool
 	// OrecCount overrides the STM ownership-record table size.
 	OrecCount uint64
 	// Pmem carries the NVM timing model (latency, bandwidth,
@@ -188,6 +203,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.DataSize == 0 {
 		c.DataSize = 64 << 20
+	}
+	if c.ReplFactor > 0 && c.ReplQuorum == 0 {
+		c.ReplQuorum = c.ReplFactor
 	}
 	c.DataSize = (c.DataSize + c.PageSize - 1) &^ (c.PageSize - 1)
 }

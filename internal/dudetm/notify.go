@@ -37,6 +37,10 @@ type durNotifier struct {
 	mu       sync.Mutex
 	frontier uint64
 	failed   error
+	// degraded is a soft, recoverable failure (replication quorum
+	// lost): waiters beyond the frontier are failed with it, but unlike
+	// failed it clears when the quorum heals and advances keep working.
+	degraded error
 	waiters  waiterHeap
 	subs     map[chan uint64]struct{}
 }
@@ -62,6 +66,8 @@ func (n *durNotifier) wait(tid uint64) <-chan error {
 		ch <- nil
 	case n.failed != nil:
 		ch <- n.failed
+	case n.degraded != nil:
+		ch <- n.degraded
 	default:
 		heap.Push(&n.waiters, durWaiter{tid: tid, ch: ch})
 	}
@@ -111,6 +117,31 @@ func (n *durNotifier) fail(err error) {
 		close(ch)
 	}
 	n.subs = nil
+}
+
+// setDegraded raises a soft failure: every parked waiter (all are
+// beyond the frontier by construction) receives err, and later wait
+// calls for IDs beyond the frontier fail immediately with it. Unlike
+// fail, the notifier keeps working — advances still release IDs the
+// frontier passes, subscribers stay subscribed, and clearDegraded
+// restores normal parking.
+func (n *durNotifier) setDegraded(err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed != nil || n.degraded != nil {
+		return
+	}
+	n.degraded = err
+	for n.waiters.Len() > 0 {
+		heap.Pop(&n.waiters).(durWaiter).ch <- err
+	}
+}
+
+// clearDegraded ends a soft failure raised by setDegraded.
+func (n *durNotifier) clearDegraded() {
+	n.mu.Lock()
+	n.degraded = nil
+	n.mu.Unlock()
 }
 
 // subscribe registers a broadcast subscriber. The returned channel has

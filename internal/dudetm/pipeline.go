@@ -82,6 +82,10 @@ func (s *System) persistLoop() {
 			comb.Reset()
 		}
 		g := &redolog.Group{MinTid: gMin, MaxTid: gMax, Entries: *ep}
+		// Replication ships from here — the single point where groups
+		// exist in dense tid order. The sink copies synchronously; the
+		// slice stays owned by the pipeline (pooled after Reproduce).
+		s.shipGroup(gMin, gMax, *ep)
 		// Sealed before the window reservation, so queue dwell includes
 		// time spent blocked on window back-pressure.
 		sealAt := s.obs.GroupSealed(s.srcCoord(), gMin, gMax, gCount, len(*ep))

@@ -184,4 +184,10 @@ type StageStats struct {
 	// queue when its append finishes but leaves the window only when
 	// the contiguous prefix passes it.
 	WindowDepth uint64
+	// ReplRawBytes and ReplWireBytes are the replication sender's
+	// cumulative shipped group payload before and after lz4 compression
+	// (both zero when replication is not attached); their quotient is
+	// the shipping compression ratio.
+	ReplRawBytes  uint64
+	ReplWireBytes uint64
 }

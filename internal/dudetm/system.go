@@ -79,6 +79,14 @@ type System struct {
 	dense denseTracker // ModeSync durable-frontier tracking
 	notif durNotifier  // durable-ID waiters and subscribers
 
+	// Replication (nil / durable-following when not attached): the
+	// quorum gate EnableReplication installs, the published
+	// acknowledgment frontier WaitDurable gates on, and the replica-side
+	// ingest serialization.
+	repl     atomic.Pointer[replState]
+	acked    atomic.Uint64
+	ingestMu sync.Mutex
+
 	stopping atomic.Bool
 	halted   atomic.Bool // Crash: pipeline stops where it is, no drain
 	closed   atomic.Bool
@@ -235,6 +243,7 @@ func build(cfg Config, dev *pmem.Device, lay layout, startTid uint64) (*System, 
 		RingEntries: cfg.TraceRingEntries,
 	})
 	s.durable.Store(startTid)
+	s.acked.Store(startTid)
 	s.reproduced.Store(startTid)
 	s.dense = denseTracker{next: startTid + 1, pend: make(map[uint64]struct{})}
 	if lay.bbEntries > 0 {
@@ -404,7 +413,7 @@ func (s *System) Clock() uint64 { return s.engine.Clock() }
 // frontier, it returns ErrCrashed or ErrClosed instead of hanging.
 func (s *System) WaitDurable(tid uint64) error {
 	for spin := 0; spin < 256; spin++ {
-		if s.durable.Load() >= tid {
+		if s.acked.Load() >= tid {
 			return nil
 		}
 		runtime.Gosched()
@@ -434,7 +443,9 @@ func (s *System) DurableUpdates() (<-chan uint64, func()) {
 }
 
 // setDurable publishes a new durable frontier and wakes waiters and
-// subscribers whose IDs it passed.
+// subscribers whose IDs the acknowledgment frontier passed. With
+// replication attached, the local advance routes through the quorum
+// gate and waiters wake only when enough replicas have acked too.
 func (s *System) setDurable(f uint64) {
 	for {
 		cur := s.durable.Load()
@@ -442,7 +453,7 @@ func (s *System) setDurable(f uint64) {
 			break
 		}
 	}
-	s.notif.advance(f)
+	s.publishDurable(f)
 	s.obs.DurableAdvanced(f)
 	// The durable-advance flight-recorder stamp is NOT issued here: it
 	// must happen-before waiters wake, or a caller that waits out the
@@ -669,6 +680,9 @@ type Stats struct {
 	// Regions breaks device flush/fence/byte traffic down by pool region
 	// (header, meta, blackbox, log, data).
 	Regions []pmem.RegionStats
+	// Repl is the replication quorum gate (Enabled false when the pool
+	// is not replicated).
+	Repl ReplQuorumStats
 }
 
 // Stats returns a snapshot of system activity.
@@ -698,6 +712,7 @@ func (s *System) Stats() Stats {
 		Stalls:      s.stalls.Load(),
 		Recovery:    s.recov,
 		Regions:     s.dev.RegionStats(),
+		Repl:        s.ReplStats(),
 	}
 }
 
@@ -726,6 +741,9 @@ func (s *System) PersistStats() StageStats {
 	st := s.pm.snapshot(n, n)
 	if s.cfg.Mode == ModeAsync {
 		st.WindowDepth = s.window.depth()
+	}
+	if rs := s.repl.Load(); rs != nil {
+		st.ReplRawBytes, st.ReplWireBytes = rs.sink.ShipStats()
 	}
 	return st
 }

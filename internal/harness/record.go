@@ -54,6 +54,16 @@ type Record struct {
 	RecoveryGroups    uint64 `json:"recovery_groups_replayed"`
 	RecoveryEntries   uint64 `json:"recovery_entries_replayed"`
 	RecoveryBytes     uint64 `json:"recovery_bytes_replayed"`
+	// Replicated-durability metrics (repl experiment only): the quorum
+	// shape, ship-to-replica-ack latency quantiles, and the shipped
+	// payload volume before/after wire compression.
+	ReplFactor    int    `json:"repl_factor"`
+	ReplQuorum    int    `json:"repl_quorum"`
+	ReplAckP50NS  uint64 `json:"repl_ack_p50_ns"`
+	ReplAckP99NS  uint64 `json:"repl_ack_p99_ns"`
+	ReplAckP999NS uint64 `json:"repl_ack_p999_ns"`
+	ReplRawBytes  uint64 `json:"repl_raw_bytes"`
+	ReplWireBytes uint64 `json:"repl_wire_bytes"`
 }
 
 // recorder collects the Result of every Measure call while recording is
@@ -125,6 +135,20 @@ func record(res Result) {
 			RecoveryEntries:   res.Stats.Recovery.EntriesReplayed,
 			RecoveryBytes:     res.Stats.Recovery.BytesReplayed,
 		})
+	}
+	recorder.mu.Unlock()
+}
+
+// recordRaw appends a fully-formed record if recording is active,
+// stamping the current experiment label. Experiments whose
+// measurements do not flow through Measure (repl: the workload spans
+// several processes' worth of pools and a TCP transport) build their
+// Record directly.
+func recordRaw(rec Record) {
+	recorder.mu.Lock()
+	if recorder.active {
+		rec.Experiment = recorder.experiment
+		recorder.records = append(recorder.records, rec)
 	}
 	recorder.mu.Unlock()
 }

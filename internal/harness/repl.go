@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"dudetm/internal/dudetm"
+	"dudetm/internal/repl"
+)
+
+// Repl measures the cost of replicated durability: the same write
+// workload at R=0 (local durability only), R=1 Q=1 and R=2 Q=2, each
+// over real TCP loopback streams to in-process replica pools. Reported
+// per row: committed throughput, the ship-to-replica-ack latency
+// quantiles, and the wire compression the lz4 path achieves on the
+// shipped log payload. The throughput cost of raising R is the price
+// of the quorum gate; it buys survival of a primary power failure.
+func Repl(cfg ExpConfig) error {
+	ops := uint64(20000)
+	if cfg.Quick {
+		ops /= 10
+	}
+	threads := cfg.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	fmt.Fprintf(cfg.Out, "Replicated durability (%d txns, %d threads, quorum = all replicas):\n", ops, threads)
+	fmt.Fprintf(cfg.Out, "  %-10s %12s %12s %12s %12s %10s\n",
+		"config", "txns/s", "ack p50", "ack p99", "ack p999", "wire ratio")
+	for r := 0; r <= 2; r++ {
+		if err := replRun(cfg, r, ops, threads); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replRun is one R-replica measurement: build the cluster, drive the
+// workload, wait out the (quorum-gated) durable frontier, record.
+func replRun(cfg ExpConfig, r int, ops uint64, threads int) error {
+	dcfg := dudetm.Config{
+		DataSize:    4 << 20,
+		Threads:     threads,
+		VLogEntries: 1 << 14,
+		LogBufBytes: 256 << 10,
+		ReplFactor:  r,
+		ReplQuorum:  r,
+	}
+
+	type node struct {
+		sys  *dudetm.System
+		rcv  *repl.Receiver
+		ln   net.Listener
+		done chan struct{}
+	}
+	nodes := make([]*node, r)
+	addrs := make([]string, r)
+	for i := range nodes {
+		sys, err := dudetm.Create(dcfg)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			sys.Close()
+			return err
+		}
+		n := &node{sys: sys, rcv: repl.NewReceiver(sys), ln: ln, done: make(chan struct{})}
+		go func() {
+			defer close(n.done)
+			n.rcv.Serve(ln)
+		}()
+		nodes[i] = n
+		addrs[i] = ln.Addr().String()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.ln.Close()
+			<-n.done
+			n.rcv.Shutdown()
+			n.sys.Close()
+		}
+	}()
+
+	pri, err := dudetm.Create(dcfg)
+	if err != nil {
+		return err
+	}
+	defer pri.Close()
+	var snd *repl.Sender
+	if r > 0 {
+		snd = repl.NewSender(pri, repl.Config{Peers: addrs, Epoch: pri.Durable(), Compress: true})
+		if err := pri.EnableReplication(snd, snd.PeerNames()); err != nil {
+			return err
+		}
+		snd.Start()
+		defer snd.Close()
+		if !snd.WaitConnected(r, 10*time.Second) {
+			return fmt.Errorf("repl bench: %d replicas never connected", r)
+		}
+	}
+
+	perThread := ops / uint64(threads)
+	lastTids := make([]uint64, threads)
+	errs := make(chan error, threads)
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		go func(t int) {
+			var last uint64
+			var err error
+			for i := uint64(0); i < perThread; i++ {
+				last, err = pri.Run(t, func(tx *dudetm.Tx) error {
+					// Two stores per txn, thread-disjoint addresses, a
+					// skewed value stream the lz4 pass can bite into.
+					base := (uint64(t)*perThread + i) % 8192 * 16
+					tx.Store(base, i)
+					tx.Store(base+8, i/7)
+					return nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			lastTids[t] = last
+			errs <- nil
+		}(t)
+	}
+	for t := 0; t < threads; t++ {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	var last uint64
+	for _, tid := range lastTids {
+		if tid > last {
+			last = tid
+		}
+	}
+	// The durability wait is part of the measured interval: at R>0 it
+	// completes only when the quorum has acked the final group.
+	if err := pri.WaitDurable(last); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	done := perThread * uint64(threads)
+	tps := float64(done) / elapsed.Seconds()
+
+	rec := Record{
+		System:     "DUDETM",
+		Bench:      fmt.Sprintf("ReplStore R=%d", r),
+		Threads:    threads,
+		Ops:        done,
+		ElapsedNS:  elapsed.Nanoseconds(),
+		TPS:        tps,
+		Commits:    done,
+		ReplFactor: r,
+		ReplQuorum: r,
+	}
+	ratio := "-"
+	if snd != nil {
+		st := snd.Stats()
+		rec.ReplAckP50NS = st.AckLatency.Quantile(0.5)
+		rec.ReplAckP99NS = st.AckLatency.Quantile(0.99)
+		rec.ReplAckP999NS = st.AckLatency.Quantile(0.999)
+		rec.ReplRawBytes = st.RawBytes
+		rec.ReplWireBytes = st.WireBytes
+		if st.WireBytes > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(st.RawBytes)/float64(st.WireBytes))
+		}
+	}
+	recordRaw(rec)
+	fmt.Fprintf(cfg.Out, "  R=%d Q=%-4d %12.0f %12s %12s %12s %10s\n",
+		r, r, tps,
+		replDur(rec.ReplAckP50NS), replDur(rec.ReplAckP99NS), replDur(rec.ReplAckP999NS), ratio)
+	return nil
+}
+
+// replDur renders a nanosecond quantile, dash when unmeasured (R=0).
+func replDur(ns uint64) string {
+	if ns == 0 {
+		return "-"
+	}
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

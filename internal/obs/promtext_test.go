@@ -85,6 +85,46 @@ func TestPromRoundTripFull(t *testing.T) {
 	}
 }
 
+// TestPromRoundTripEmptyHistogram pins the zero-snapshot shape the
+// replication series rely on: an unreplicated node still emits its
+// ack-latency family (count 0, sum 0, +Inf bucket 0) and zero-valued
+// quantile gauges, so the scrape contract — and `dudectl top -check` —
+// is stable across R=0 and R>0 deployments.
+func TestPromRoundTripEmptyHistogram(t *testing.T) {
+	var empty HistSnapshot
+	var buf bytes.Buffer
+	w := NewPromWriter(&buf)
+	w.Histogram("repl_ack_seconds", "empty at R=0", empty, 1e-9)
+	w.Header("repl_ack_latency_seconds", "gauge", "ack latency quantiles")
+	for _, q := range []string{"0.5", "0.99", "0.999"} {
+		w.Sample("repl_ack_latency_seconds", `quantile="`+q+`"`, float64(empty.Quantile(0.5))*1e-9)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parsing writer output: %v\n%s", err, buf.String())
+	}
+	for _, series := range []string{
+		"repl_ack_seconds_count",
+		"repl_ack_seconds_sum",
+		`repl_ack_seconds_bucket{le="+Inf"}`,
+		`repl_ack_latency_seconds{quantile="0.5"}`,
+		`repl_ack_latency_seconds{quantile="0.99"}`,
+		`repl_ack_latency_seconds{quantile="0.999"}`,
+	} {
+		v, ok := m[series]
+		if !ok {
+			t.Errorf("empty-histogram round trip lost %s\n%s", series, buf.String())
+			continue
+		}
+		if v != 0 {
+			t.Errorf("%s = %v, want 0 on an empty snapshot", series, v)
+		}
+	}
+}
+
 // TestParsePromRejectsMalformed: sample lines without a value are
 // errors, not silent drops.
 func TestParsePromRejectsMalformed(t *testing.T) {

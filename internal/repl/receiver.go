@@ -1,0 +1,188 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dudetm/internal/dudetm"
+	"dudetm/internal/lz4"
+	"dudetm/internal/redolog"
+	"dudetm/internal/wire"
+)
+
+// Replica is the pool surface the Receiver ingests into (implemented
+// by dudetm.System and the dude.Pool facade). The Receiver must be
+// stopped — listener and connections closed, handlers drained — before
+// the pool is closed or crashed.
+type Replica interface {
+	IngestGroup(minTid, maxTid uint64, entries []redolog.Entry) error
+	Durable() uint64
+}
+
+// Receiver accepts replication streams from a primary and fences each
+// shipped group into the replica pool, acknowledging the durable
+// frontier after every ingest.
+type Receiver struct {
+	rep Replica
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	groups atomic.Uint64 // groups fenced (duplicates excluded)
+	dupes  atomic.Uint64 // catch-up duplicates skipped and re-acked
+	gaps   atomic.Uint64 // streams reset because a group left a gap
+}
+
+// NewReceiver wraps a replica pool.
+func NewReceiver(rep Replica) *Receiver {
+	return &Receiver{rep: rep, conns: make(map[net.Conn]struct{})}
+}
+
+// ReceiverStats is a Receiver activity snapshot.
+type ReceiverStats struct {
+	// Groups counts shipped groups fenced into the local log.
+	Groups uint64
+	// Dupes counts catch-up duplicates (already durable, re-acked).
+	Dupes uint64
+	// Gaps counts connections reset because a group did not extend the
+	// dense tid stream (the sender reconnects and catches up).
+	Gaps uint64
+}
+
+// Stats returns an activity snapshot.
+func (r *Receiver) Stats() ReceiverStats {
+	return ReceiverStats{Groups: r.groups.Load(), Dupes: r.dupes.Load(), Gaps: r.gaps.Load()}
+}
+
+// Serve accepts replication connections until the listener closes,
+// serving each on its own goroutine. It returns the accept error
+// (net.ErrClosed after a clean shutdown).
+func (r *Receiver) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			r.ServeConn(conn)
+		}()
+	}
+}
+
+// CloseStreams severs every in-flight replication stream without
+// shutting the receiver down: new connections are still accepted, so
+// the sender's reconnect-and-catch-up path heals the break. This is
+// the transient-network-failure injection point for tests and drills.
+func (r *Receiver) CloseStreams() {
+	r.mu.Lock()
+	for c := range r.conns {
+		c.Close()
+	}
+	r.mu.Unlock()
+}
+
+// Shutdown force-closes every in-flight replication connection and
+// waits for their handlers to return; no new stream is accepted
+// afterwards. Callers must Shutdown (after closing the listener)
+// before closing, crashing, or promoting the replica pool — ingest
+// must never race the pool teardown.
+func (r *Receiver) Shutdown() {
+	r.mu.Lock()
+	r.closed = true
+	for c := range r.conns {
+		c.Close()
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// ServeConn handles one replication stream: handshake, then
+// group-ingest-ack until the connection breaks or a group fails to
+// ingest. A gap error closes the connection — the sender's reconnect
+// handshake learns the replica's frontier and resumes from there, so a
+// dropped frame heals instead of diverging.
+func (r *Receiver) ServeConn(conn net.Conn) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return errors.New("repl: receiver is shut down")
+	}
+	r.conns[conn] = struct{}{}
+	r.wg.Add(1)
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.conns, conn)
+		r.mu.Unlock()
+		r.wg.Done()
+	}()
+	pl, err := wire.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	m, err := wire.DecodeRepl(pl)
+	if err != nil {
+		return err
+	}
+	if m.Kind != wire.ReplHello {
+		return badHandshake("expected HELLO, got %s", m.Kind)
+	}
+	// The primary never ships its pre-epoch history. A replica missing
+	// any of it can never become dense from this stream: refuse, it
+	// needs a rebuild from a fresh image.
+	if d := r.rep.Durable(); d < m.Epoch {
+		return badHandshake("replica frontier %d predates primary epoch %d", d, m.Epoch)
+	}
+	if err := wire.WriteFrame(conn, wire.AppendReplHelloAck(nil, r.rep.Durable())); err != nil {
+		return err
+	}
+	for {
+		pl, err := wire.ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		m, err := wire.DecodeRepl(pl)
+		if err != nil {
+			return err
+		}
+		if m.Kind != wire.ReplGroup {
+			return fmt.Errorf("repl: unexpected %s in group stream", m.Kind)
+		}
+		raw := m.Payload
+		if m.Compressed {
+			if raw, err = lz4.Decompress(m.Payload, int(m.RawLen)); err != nil {
+				return fmt.Errorf("repl: group [%d,%d]: %w", m.MinTid, m.MaxTid, err)
+			}
+		}
+		// The frame CRC guarded the wire bytes; this one pins the
+		// decompression output before it can reach the log.
+		if wire.ReplPayloadCRC(raw) != m.PayloadCRC {
+			return fmt.Errorf("repl: group [%d,%d] payload checksum mismatch", m.MinTid, m.MaxTid)
+		}
+		entries, ok := redolog.DecodeEntries(raw)
+		if !ok {
+			return fmt.Errorf("repl: group [%d,%d] payload is not an entry array", m.MinTid, m.MaxTid)
+		}
+		before := r.rep.Durable()
+		if err := r.rep.IngestGroup(m.MinTid, m.MaxTid, entries); err != nil {
+			if errors.Is(err, dudetm.ErrReplGap) {
+				r.gaps.Add(1)
+			}
+			return err
+		}
+		if m.MaxTid <= before {
+			r.dupes.Add(1)
+		} else {
+			r.groups.Add(1)
+		}
+		if err := wire.WriteFrame(conn, wire.AppendReplAck(nil, r.rep.Durable())); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package repl_test
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"dudetm/internal/dudetm"
+	"dudetm/internal/pmem"
+	"dudetm/internal/repl"
+)
+
+func testConfig() dudetm.Config {
+	return dudetm.Config{
+		DataSize:    1 << 20,
+		Threads:     2,
+		VLogEntries: 1 << 12,
+		LogBufBytes: 64 << 10,
+		ReplFactor:  2,
+		ReplQuorum:  2,
+	}
+}
+
+// replicaNode is one in-process replica: a pool, its receiver, and the
+// listener it serves on.
+type replicaNode struct {
+	sys  *dudetm.System
+	rcv  *repl.Receiver
+	ln   net.Listener
+	done chan struct{}
+}
+
+func startReplica(t *testing.T, cfg dudetm.Config) *replicaNode {
+	t.Helper()
+	sys, err := dudetm.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sys.Close()
+		t.Fatal(err)
+	}
+	n := &replicaNode{sys: sys, rcv: repl.NewReceiver(sys), ln: ln, done: make(chan struct{})}
+	go func() {
+		defer close(n.done)
+		n.rcv.Serve(ln)
+	}()
+	return n
+}
+
+// stopIngest halts replication into the node (listener and streams)
+// without touching the pool — the first half of both failover and
+// shutdown.
+func (n *replicaNode) stopIngest() {
+	n.ln.Close()
+	<-n.done
+	n.rcv.Shutdown()
+}
+
+func (n *replicaNode) close() {
+	n.stopIngest()
+	n.sys.Close()
+}
+
+// startPrimary wires a pool to a sender shipping to the given nodes.
+func startPrimary(t *testing.T, cfg dudetm.Config, nodes ...*replicaNode) (*dudetm.System, *repl.Sender) {
+	t.Helper()
+	sys, err := dudetm.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.ln.Addr().String()
+	}
+	snd := repl.NewSender(sys, repl.Config{
+		Peers:    addrs,
+		Epoch:    sys.Durable(),
+		Compress: true,
+	})
+	if err := sys.EnableReplication(snd, snd.PeerNames()); err != nil {
+		sys.Close()
+		t.Fatal(err)
+	}
+	snd.Start()
+	return sys, snd
+}
+
+func TestReplicationEndToEnd(t *testing.T) {
+	// Primary plus two replicas at Q=2: every quorum-acked transaction
+	// must survive a primary power failure on a promoted replica's
+	// image, proven by the recovery audit.
+	cfg := testConfig()
+	r1 := startReplica(t, cfg)
+	r2 := startReplica(t, cfg)
+	pri, snd := startPrimary(t, cfg, r1, r2)
+	if !snd.WaitConnected(2, 10*time.Second) {
+		t.Fatal("replicas never connected")
+	}
+
+	var last uint64
+	for i := uint64(0); i < 200; i++ {
+		tid, err := pri.Run(int(i)%cfg.Threads, func(tx *dudetm.Tx) error {
+			tx.Store(i%128*8, i+1000)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = tid
+	}
+	// The quorum gate: WaitDurable returning nil means both replicas
+	// acked a frontier covering last.
+	if err := pri.WaitDurable(last); err != nil {
+		t.Fatal(err)
+	}
+	st := pri.ReplStats()
+	if st.Published < last {
+		t.Fatalf("published %d < last %d after WaitDurable", st.Published, last)
+	}
+	sst := snd.Stats()
+	if sst.GroupsShipped == 0 || sst.RawBytes == 0 || sst.WireBytes == 0 {
+		t.Fatalf("sender stats = %+v", sst)
+	}
+	if sst.AckLatency.Count == 0 {
+		t.Fatal("no ack latencies recorded")
+	}
+
+	// Power-fail the primary: the transport dies with it (sender first —
+	// pool teardown joins the coordinator, which a full peer queue could
+	// otherwise block forever).
+	snd.Close()
+	pri.Crash()
+
+	// Promote the replica with the larger durable frontier — the
+	// takeover rule — and prove every acked transaction survived on its
+	// image via crash-image recovery plus the durability audit.
+	promoted := r1
+	other := r2
+	if r2.sys.Durable() > r1.sys.Durable() {
+		promoted, other = r2, r1
+	}
+	other.close()
+	promoted.stopIngest()
+	if got := promoted.sys.Durable(); got < last {
+		t.Fatalf("promoted replica frontier %d < quorum-acked %d", got, last)
+	}
+	img := promoted.sys.Crash()
+	dev := pmem.New(pmem.Config{Size: uint64(len(img))})
+	dev.Restore(img)
+	recovered, err := dudetm.Recover(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if err := recovered.AuditRecovery(last); err != nil {
+		t.Fatalf("promoted replica failed the durability audit: %v", err)
+	}
+	recovered.Run(0, func(tx *dudetm.Tx) error {
+		for i := uint64(200 - 128); i < 200; i++ {
+			if v := tx.Load(i % 128 * 8); v != i+1000 {
+				t.Errorf("addr %d = %d, want %d", i%128*8, v, i+1000)
+			}
+		}
+		return nil
+	})
+}
+
+func TestReplicationReconnectCatchUp(t *testing.T) {
+	// A replica that disconnects mid-stream reconnects, re-acks from
+	// its durable frontier, and the sender resumes from there — the
+	// catch-up trim — without ever moving the quorum frontier backward.
+	cfg := testConfig()
+	cfg.ReplFactor = 1
+	cfg.ReplQuorum = 1
+	r1 := startReplica(t, cfg)
+	defer r1.close()
+	pri, snd := startPrimary(t, cfg, r1)
+	defer pri.Close()
+	defer snd.Close()
+	if !snd.WaitConnected(1, 10*time.Second) {
+		t.Fatal("replica never connected")
+	}
+
+	var last uint64
+	for i := uint64(0); i < 50; i++ {
+		tid, err := pri.Run(0, func(tx *dudetm.Tx) error { tx.Store(i*8, i+1); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = tid
+	}
+	if err := pri.WaitDurable(last); err != nil {
+		t.Fatal(err)
+	}
+	published := pri.ReplStats().Published
+
+	// Sever every stream into the replica (transient network failure);
+	// the receiver keeps accepting, the pool keeps its frontier, so the
+	// reconnect handshake re-acks an old value.
+	eventsBefore := pri.ReplStats().DegradedEvents
+	r1.rcv.CloseStreams()
+	// Wait for the sender to notice the dead connection — the degraded
+	// flag may flip back within microseconds once the reconnect
+	// handshake lands, so latch on the monotonic event counter.
+	deadline := time.Now().Add(10 * time.Second)
+	for pri.ReplStats().DegradedEvents == eventsBefore {
+		if time.Now().After(deadline) {
+			t.Fatal("disconnect never detected")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if pri.ReplStats().Published < published {
+		t.Fatalf("published regressed on disconnect")
+	}
+
+	// Wait for the reconnect handshake to heal the quorum (its re-ack
+	// marks the replica live again); until then new waiters fail fast.
+	deadline = time.Now().Add(10 * time.Second)
+	for pri.ReplStats().Degraded {
+		if time.Now().After(deadline) {
+			t.Fatal("quorum never healed after reconnect")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Traffic across the reconnect: the sender queues while down, the
+	// handshake trims what the replica already holds, and the stream
+	// resumes densely (any gap would reset the connection and show up
+	// as a WaitDurable hang here).
+	for i := uint64(0); i < 50; i++ {
+		tid, err := pri.Run(0, func(tx *dudetm.Tx) error { tx.Store(i*8, i+500); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = tid
+	}
+	if err := pri.WaitDurable(last); err != nil {
+		t.Fatal(err)
+	}
+	if got := pri.ReplStats().Published; got < published || got < last {
+		t.Fatalf("published = %d, want >= %d and >= %d", got, published, last)
+	}
+	if got := r1.sys.Durable(); got < last {
+		t.Fatalf("replica frontier %d < %d after catch-up", got, last)
+	}
+	if gaps := r1.rcv.Stats().Gaps; gaps > 0 {
+		// Gap resets heal via reconnect, but a clean single-disconnect
+		// catch-up should not need any.
+		t.Logf("note: %d gap resets during catch-up", gaps)
+	}
+}
+
+func TestReplicationQuorumLossFailsWaiters(t *testing.T) {
+	// Killing one of two replicas at Q=2 drops the quorum: in fail mode
+	// new waiters get ErrQuorumLost instead of hanging or silently
+	// acking.
+	cfg := testConfig()
+	r1 := startReplica(t, cfg)
+	defer r1.close()
+	r2 := startReplica(t, cfg)
+	pri, snd := startPrimary(t, cfg, r1, r2)
+	defer pri.Close()
+	defer snd.Close()
+	if !snd.WaitConnected(2, 10*time.Second) {
+		t.Fatal("replicas never connected")
+	}
+	tid, err := pri.Run(0, func(tx *dudetm.Tx) error { tx.Store(0, 1); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pri.WaitDurable(tid); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill r2 (streams and pool) and wait for the sender to notice.
+	r2.close()
+	deadline := time.Now().Add(10 * time.Second)
+	for !pri.ReplStats().Degraded {
+		if time.Now().After(deadline) {
+			t.Fatal("quorum loss never detected")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	tid2, err := pri.Run(0, func(tx *dudetm.Tx) error { tx.Store(8, 2); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := pri.WaitDurable(tid2)
+	if werr == nil {
+		// The waiter may race the degraded transition if r1's ack plus
+		// the pre-close r2 ack covered tid2 first; what must never
+		// happen is an ack beyond the quorum frontier.
+		if pri.ReplStats().Published < tid2 {
+			t.Fatal("WaitDurable returned nil beyond the published frontier")
+		}
+	} else if !errors.Is(werr, dudetm.ErrQuorumLost) {
+		t.Fatalf("degraded wait: got %v, want ErrQuorumLost", werr)
+	}
+	if ev := pri.ReplStats().DegradedEvents; ev == 0 {
+		t.Fatal("degraded events not counted")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"dudetm"
 	idudetm "dudetm/internal/dudetm"
 	"dudetm/internal/obs"
+	"dudetm/internal/repl"
 )
 
 // WriteMetrics renders the pool's pipeline state and the server's
@@ -113,6 +114,49 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	p.Gauge("dudetm_recovery_groups_replayed", "Redo-log groups replayed by recovery.", float64(rec.GroupsReplayed))
 	p.Gauge("dudetm_recovery_entries_replayed", "Redo-log entries replayed by recovery.", float64(rec.EntriesReplayed))
 	p.Gauge("dudetm_recovery_bytes_replayed", "Bytes written back to the data region by recovery replay.", float64(rec.BytesReplayed))
+
+	// Replication. Like the recovery gauges, every series exists (at
+	// zero or "healthy") on an unreplicated node so the scrape contract
+	// is stable across R=0 and R>0 deployments.
+	rs := s.pool.ReplStats()
+	var enabled, healthy float64
+	if rs.Enabled {
+		enabled = 1
+	}
+	if !rs.Degraded {
+		healthy = 1 // replication off counts as healthy: acks gate on local only
+	}
+	p.Gauge("dudetm_repl_peers", "Configured replication peers (0 = replication off).", float64(rs.Peers))
+	p.Gauge("dudetm_repl_quorum", "Replica acks required before the quorum frontier advances.", float64(rs.Quorum))
+	p.Gauge("dudetm_repl_enabled", "1 when this node ships its persist log to peers.", enabled)
+	p.Gauge("dudetm_repl_quorum_state", "1 while the ack quorum is intact (or replication is off), 0 while degraded.", healthy)
+	acked := s.pool.AckFrontier()
+	// acked is read after the Stats snapshot; without replication the
+	// two race, so clamp the lag at zero rather than report a negative.
+	lag := float64(st.Durable) - float64(acked)
+	if lag < 0 {
+		lag = 0
+	}
+	p.Gauge("dudetm_repl_acked_tid", "Quorum-acked frontier: client acks never pass it.", float64(acked))
+	p.Gauge("dudetm_repl_frontier_lag", "Local durable frontier minus the quorum-acked frontier, in transaction IDs.", lag)
+	p.Counter("dudetm_repl_degraded_events_total", "Times the ack quorum was lost.", float64(rs.DegradedEvents))
+	p.Counter("dudetm_repl_raw_bytes_total", "Shipped group payload bytes before compression.", float64(st.Persist.ReplRawBytes))
+	p.Counter("dudetm_repl_wire_bytes_total", "Shipped group payload bytes after compression (on the wire).", float64(st.Persist.ReplWireBytes))
+
+	// Transport detail comes from the attached sender; without one the
+	// zero snapshot keeps the series present.
+	var snd repl.SenderStats
+	if s.replSnd != nil {
+		snd = s.replSnd.Stats()
+	}
+	p.Counter("dudetm_repl_groups_shipped_total", "Sealed groups handed to the replication transport.", float64(snd.GroupsShipped))
+	p.Gauge("dudetm_repl_peers_connected", "Peers with a live replication stream.", float64(snd.Connected))
+	p.Counter("dudetm_repl_dead_peers_total", "Peers abandoned permanently (queue overflow or oversize group).", float64(snd.DeadPeers))
+	p.Histogram("dudetm_repl_ack_seconds", "Ship-to-replica-ack latency per shipped group.", snd.AckLatency, 1e-9)
+	p.Header("dudetm_repl_ack_latency_seconds", "gauge", "Ship-to-replica-ack latency quantiles.")
+	for _, q := range quantiles {
+		p.Sample("dudetm_repl_ack_latency_seconds", `quantile="`+q.label+`"`, float64(snd.AckLatency.Quantile(q.q))*1e-9)
+	}
 
 	// Per-region device traffic: which pool region (header, meta,
 	// blackbox, log, data) the flush/fence/byte volume lands in.

@@ -36,6 +36,15 @@ var requiredSeries = []string{
 	`dudetm_region_flushed_bytes_total{region="log"}`,
 	`dudetm_region_flushed_bytes_total{region="data"}`,
 	`dudetm_region_fences_total{region="log"}`,
+	"dudetm_repl_peers",
+	"dudetm_repl_quorum_state",
+	"dudetm_repl_acked_tid",
+	"dudetm_repl_frontier_lag",
+	"dudetm_repl_degraded_events_total",
+	"dudetm_repl_wire_bytes_total",
+	`dudetm_repl_ack_latency_seconds{quantile="0.5"}`,
+	`dudetm_repl_ack_latency_seconds{quantile="0.99"}`,
+	`dudetm_repl_ack_latency_seconds{quantile="0.999"}`,
 	"dudesrv_connections_total",
 	"dudesrv_requests_total",
 	"dudesrv_acked_writes_total",
@@ -101,6 +110,22 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if m["dudetm_recovery_runs_total"] != 0 {
 		t.Errorf("dudetm_recovery_runs_total = %v on a fresh pool", m["dudetm_recovery_runs_total"])
+	}
+	// Replication is off on this node, but the series contract holds:
+	// quorum state reads healthy, the acked frontier tracks the local
+	// durable frontier, and the lag gauge is non-negative.
+	if m["dudetm_repl_peers"] != 0 || m["dudetm_repl_enabled"] != 0 {
+		t.Errorf("repl peers/enabled = %v/%v on an unreplicated node",
+			m["dudetm_repl_peers"], m["dudetm_repl_enabled"])
+	}
+	if m["dudetm_repl_quorum_state"] != 1 {
+		t.Errorf("dudetm_repl_quorum_state = %v, want 1 (healthy) with replication off", m["dudetm_repl_quorum_state"])
+	}
+	if m["dudetm_repl_acked_tid"] < 50 {
+		t.Errorf("dudetm_repl_acked_tid = %v, want >= 50 (tracks local durable)", m["dudetm_repl_acked_tid"])
+	}
+	if m["dudetm_repl_frontier_lag"] < 0 {
+		t.Errorf("dudetm_repl_frontier_lag = %v, want >= 0", m["dudetm_repl_frontier_lag"])
 	}
 
 	// /debug/trace: the tail shows lifecycle stamps; a specific durable

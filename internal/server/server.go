@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dudetm"
+	"dudetm/internal/repl"
 	"dudetm/internal/wire"
 )
 
@@ -27,6 +28,11 @@ type Config struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds one response flush (default 10 seconds).
 	WriteTimeout time.Duration
+	// ReadOnly rejects write requests. Replica-mode servers set it:
+	// a replica's transaction ID stream is owned by the primary's
+	// replicated log, so a locally committed write would collide with
+	// the next ingested group.
+	ReadOnly bool
 }
 
 func (c Config) withDefaults() Config {
@@ -60,10 +66,11 @@ type ServerStats struct {
 
 // Server serves the wire protocol over a dudetm.Pool.
 type Server struct {
-	pool  *dudetm.Pool
-	store *store
-	cfg   Config
-	notif *notifier
+	pool    *dudetm.Pool
+	store   *store
+	cfg     Config
+	notif   *notifier
+	replSnd *repl.Sender // nil unless this node replicates outward
 
 	// slots holds the pool's Update/View slot tokens; an executing
 	// request borrows one for the duration of its transaction.
@@ -110,9 +117,17 @@ func New(pool *dudetm.Pool, cfg Config) (*Server, error) {
 		s.slots <- i
 	}
 	updates, _ := pool.DurableUpdates()
-	s.notif = newNotifier(updates, pool.Durable(), dudetm.ErrCrashed)
+	// Acks gate on the quorum-acked frontier, not the local durable
+	// frontier: with replication enabled they differ, and a client ack
+	// must mean "durable on a quorum".
+	s.notif = newNotifier(updates, pool.AckFrontier(), dudetm.ErrCrashed)
 	return s, nil
 }
+
+// SetReplication attaches the log-shipping sender so the metrics
+// endpoint can report transport activity (connections, shipped bytes,
+// ack latency) alongside the pool's quorum gate. Call before Serve.
+func (s *Server) SetReplication(snd *repl.Sender) { s.replSnd = snd }
 
 // Serve accepts connections on ln until Shutdown or Kill. It returns
 // nil on orderly shutdown.
@@ -177,6 +192,11 @@ func (s *Server) execute(q *wire.Request) (wire.Response, uint64) {
 		return resp, 0
 	}
 	s.requests.Add(1)
+	if s.cfg.ReadOnly && writes(q) {
+		resp.Status = wire.StatusErr
+		resp.Err = "replica is read-only"
+		return resp, 0
+	}
 	slot := <-s.slots
 	var results []wire.OpResult
 	var tid uint64

@@ -133,6 +133,15 @@ func (r *reader) u8() (byte, error) {
 	return v, nil
 }
 
+func (r *reader) u32() (uint32, error) {
+	if len(r.b) < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v, nil
+}
+
 func (r *reader) u64() (uint64, error) {
 	if len(r.b) < 8 {
 		return 0, ErrTruncated

@@ -42,15 +42,16 @@ rm -f /tmp/dudelint.check.json
 echo "== go test"
 go test ./...
 
-echo "== go test -race (stm, redolog, dudetm, server, obs; 4 stage threads)"
+echo "== go test -race (stm, redolog, dudetm, server, obs, repl; 4 stage threads)"
 # DUDETM_STAGE_THREADS=4 forces the parallel Persist/Reproduce paths in
 # every test that does not pin its own worker counts, and
 # DUDETM_TRACE_SAMPLE=4 turns the lifecycle tracer on underneath them,
 # so the race pass exercises the sharded pipeline with trace stamps and
 # stat scrapes racing it — not the single-worker, tracing-off
 # degenerate case. internal/obs rides along for the concurrent
-# histogram-merge and trace-ring reader tests.
-DUDETM_STAGE_THREADS=4 DUDETM_TRACE_SAMPLE=4 go test -race -count=1 ./internal/stm ./internal/redolog ./internal/dudetm ./internal/server ./internal/obs
+# histogram-merge and trace-ring reader tests; internal/repl because
+# its sender/receiver goroutines race real TCP reconnects.
+DUDETM_STAGE_THREADS=4 DUDETM_TRACE_SAMPLE=4 go test -race -count=1 ./internal/stm ./internal/redolog ./internal/dudetm ./internal/server ./internal/obs ./internal/repl
 
 echo "== dudebench smoke (stage utilization counters)"
 # Fails if the persist or reproduce utilization counters stay zero — a
@@ -110,5 +111,20 @@ print(f"forensics gate: frontier {rep['log_frontier']}, "
       f"{len(rep['events'])} recorder events, verified against recovery")
 EOF
 rm -f "$CRASH_IMG" /tmp/dude.check.report.json
+
+echo "== replicated failover gate (1 primary / 2 replicas, primary killed mid-load)"
+# The replicated netbank drill: client acks gate on a 2/2 replica
+# quorum, the primary is killed mid-load (pool, server and sender all
+# die), and the drill itself checks AuditRecovery plus conservation and
+# acknowledged-generation presence on the promoted replica's crash
+# image. The forensic decoder then independently verifies that image:
+# its reported frontier must match what recovery restores from it.
+REPL_IMG=/tmp/dude.check.repl.img
+rm -f "$REPL_IMG"
+go run ./examples/netbank -replicas 2 -crash-image "$REPL_IMG"
+test -s "$REPL_IMG" || { echo "replicated drill wrote no crash image"; exit 1; }
+/tmp/dudectl.check forensics -json -verify "$REPL_IMG" >/dev/null \
+    || { echo "promoted replica image failed forensic verification"; exit 1; }
+rm -f "$REPL_IMG"
 
 echo "ok: all tier-1 checks passed"
