@@ -313,36 +313,70 @@ func BenchmarkAblationLatencyModel(b *testing.B) {
 	}
 }
 
-// BenchmarkPipeline measures the parallel background pipeline: a
-// write-heavy async workload on 2 Perform threads with 2 persist
-// workers, sweeping the Reproduce applier count. Each iteration is a
-// fixed-size fully-drained run, so ns/op compares end-to-end pipeline
-// completion across applier counts; every run is also recorded to
+// BenchmarkPipeline measures the parallel background pipeline on the
+// hot-set zipfian KV-update workload (harness.PipelineBench /
+// harness.PipelineOptions — the same configuration dudebench's pipeline
+// experiment runs), sweeping the replay-epoch group cap (epoch=1 is
+// per-group replay, the pre-epoch behavior) plus one Compress=true row
+// exercising the lz4 group path. Each iteration is a fixed-size
+// fully-drained run, so ns/op compares end-to-end pipeline completion
+// across epoch settings; every run is also recorded to
 // BENCH_pipeline.json (same schema as dudebench -json) with the stage
-// busy/fence counters. On a single-core host the sweep still runs but
-// the scaling signal is best-effort.
+// busy/fence counters, the epoch coalescing counters and the per-stage
+// utilizations. The final iteration of each row asserts the epoch
+// economy itself: at the largest epoch the replay fences must drop
+// roughly by the epoch factor, Reproduce busy time must at least halve
+// against the epoch=1 baseline, and Reproduce utilization must fall
+// below Persist's. On a single-core host the busy comparison is
+// wall-clock noisy, but the deterministic write-back stalls of the
+// constrained-bandwidth timing model anchor it.
 func BenchmarkPipeline(b *testing.B) {
 	harness.StartRecording()
 	harness.SetExperiment("pipeline")
-	for _, repro := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("repro=%d", repro), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res, err := harness.Run(harness.DudeSTM, harness.NewHashBench(), harness.Options{
-					Threads:        2,
-					GroupSize:      64,
-					PersistThreads: 2,
-					ReproThreads:   repro,
-				}, harness.MeasureOpts{TotalOps: 30000, Seed: 1})
-				if err != nil {
-					b.Fatal(err)
+	var base harness.Result // epoch=1 row, the amortization baseline
+	run := func(b *testing.B, epoch int, compress bool) harness.Result {
+		var res harness.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = harness.Run(harness.DudeSTM, harness.PipelineBench(),
+				harness.PipelineOptions(2, epoch, compress),
+				harness.MeasureOpts{TotalOps: 30000, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.TPS, "tps")
+			if res.Stats.PersistBusyNS == 0 || res.Stats.ReproBusyNS == 0 {
+				b.Fatalf("stage utilization counters idle: %+v", res.Stats)
+			}
+			if epoch > 1 && res.Stats.ReproEpochs == 0 {
+				b.Fatalf("epoch=%d but no replay epochs formed: %+v", epoch, res.Stats)
+			}
+		}
+		return res
+	}
+	for _, epoch := range []int{1, 4, 64} {
+		b.Run(fmt.Sprintf("epoch=%d", epoch), func(b *testing.B) {
+			res := run(b, epoch, false)
+			switch epoch {
+			case 1:
+				base = res
+			case 64:
+				if base.Stats.ReproFences > 0 && res.Stats.ReproFences > base.Stats.ReproFences/16 {
+					b.Errorf("repro fences %d not amortized vs epoch=1 baseline %d",
+						res.Stats.ReproFences, base.Stats.ReproFences)
 				}
-				b.ReportMetric(res.TPS, "tps")
-				if res.Stats.PersistBusyNS == 0 || res.Stats.ReproBusyNS == 0 {
-					b.Fatalf("stage utilization counters idle: %+v", res.Stats)
+				if base.Stats.ReproBusyNS > 0 && res.Stats.ReproBusyNS > base.Stats.ReproBusyNS/2 {
+					b.Errorf("repro busy %v not halved vs epoch=1 baseline %v",
+						time.Duration(res.Stats.ReproBusyNS), time.Duration(base.Stats.ReproBusyNS))
+				}
+				if res.Stats.ReproUtil >= res.Stats.PersistUtil {
+					b.Errorf("repro utilization %.2f not below persist %.2f",
+						res.Stats.ReproUtil, res.Stats.PersistUtil)
 				}
 			}
 		})
 	}
+	b.Run("epoch=64/lz4", func(b *testing.B) { run(b, 64, true) })
 	f, err := os.Create("BENCH_pipeline.json")
 	if err != nil {
 		b.Fatal(err)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dudebench [-experiment all|fig2|table1|table2|table3|fig3|fig4|fig5|table4|recovery|repl|smoke]
+//	dudebench [-experiment all|fig2|table1|table2|table3|fig3|fig4|fig5|table4|recovery|repl|pipeline|smoke]
 //	          [-threads N] [-maxthreads N] [-quick] [-json]
 //
 // With -json, the human-readable tables are suppressed and every
@@ -60,6 +60,7 @@ func main() {
 		{"table4", func() error { return harness.Table4(cfg) }},
 		{"recovery", func() error { return harness.Recovery(cfg) }},
 		{"repl", func() error { return harness.Repl(cfg) }},
+		{"pipeline", func() error { return harness.Pipeline(cfg) }},
 		{"smoke", func() error { return harness.Smoke(cfg) }},
 	}
 	ran := false

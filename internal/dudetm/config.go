@@ -111,10 +111,23 @@ type Config struct {
 	PersistThreads int
 	// ReproThreads is the number of Reproduce-step appliers: each
 	// group's combined entries are split by address shard
-	// ((addr>>6) % N, so a cache line never spans shards) and applied
+	// (cache line % N, so a line never spans shards) and applied
 	// concurrently under one fence. Default min(2, GOMAXPROCS),
 	// overridable with DUDETM_STAGE_THREADS.
 	ReproThreads int
+	// ReplayEpochGroups caps how many consecutive groups the Reproduce
+	// step may coalesce into one replay epoch when it has fallen behind
+	// (a dense backlog is buffered). Within an epoch duplicate
+	// addresses collapse last-writer-wins and a single fence covers the
+	// whole epoch, amortizing replay ordering across the backlog (only
+	// per-address last-writer order matters — MOD). 1 disables
+	// coalescing; default 16. Epochs form only under backlog, so light
+	// load always takes the per-group fast path.
+	ReplayEpochGroups int
+	// ReplayEpochEntries bounds the combined (pre-coalesce) entry count
+	// of one replay epoch, so huge groups don't pile into unbounded
+	// epoch buffers (default 1<<16).
+	ReplayEpochEntries int
 	// TraceSampleEvery enables lifecycle tracing for every N-th
 	// transaction ID: sampled transactions are stamped at commit,
 	// group-seal, persist-fence and reproduce-apply (TraceOf
@@ -191,6 +204,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.ReproThreads == 0 {
 		c.ReproThreads = defaultStageThreads()
+	}
+	if c.ReplayEpochGroups == 0 {
+		c.ReplayEpochGroups = 16
+	}
+	if c.ReplayEpochEntries == 0 {
+		c.ReplayEpochEntries = 1 << 16
 	}
 	if c.TraceSampleEvery == 0 {
 		c.TraceSampleEvery = defaultTraceSample()

@@ -29,12 +29,15 @@ func TestCrashRecoveryFuzz(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	cfg := testConfig()
 	cfg.Threads = workers
-	// The random schedule also varies the stage worker counts across
-	// rounds; lay the pool out for the widest persist configuration so
-	// every remount fits the persistent geometry.
+	// The random schedule also varies the stage worker counts and the
+	// replay-epoch group cap across rounds (1 = per-group replay, the
+	// pre-epoch behavior); lay the pool out for the widest persist
+	// configuration so every remount fits the persistent geometry.
 	stageChoices := []int{1, 2, 4}
+	epochChoices := []int{1, 4, 64}
 	cfg.PersistThreads = 4
 	cfg.ReproThreads = 4
+	cfg.ReplayEpochGroups = epochChoices[rng.Intn(len(epochChoices))]
 	s, err := Create(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +110,9 @@ func TestCrashRecoveryFuzz(t *testing.T) {
 		dev.Restore(img)
 		cfg.PersistThreads = stageChoices[rng.Intn(len(stageChoices))]
 		cfg.ReproThreads = stageChoices[rng.Intn(len(stageChoices))]
-		t.Logf("round %d: freeze=%d persist=%d repro=%d", round, freeze, cfg.PersistThreads, cfg.ReproThreads)
+		cfg.ReplayEpochGroups = epochChoices[rng.Intn(len(epochChoices))]
+		t.Logf("round %d: freeze=%d persist=%d repro=%d epochs=%d",
+			round, freeze, cfg.PersistThreads, cfg.ReproThreads, cfg.ReplayEpochGroups)
 		s, err = Recover(dev, cfg)
 		if err != nil {
 			t.Fatalf("round %d: recover: %v", round, err)
@@ -157,6 +162,7 @@ func TestCrashRecoveryFuzzSyncMode(t *testing.T) {
 	cfg.Threads = 3
 	s, err := Create(cfg)
 	stageChoices := []int{1, 2, 4}
+	epochChoices := []int{1, 4, 64}
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,8 +203,9 @@ func TestCrashRecoveryFuzzSyncMode(t *testing.T) {
 		dev := pmem.New(pmem.Config{Size: s.Device().Size()})
 		dev.Restore(img)
 		// ModeSync persists inline on the Perform threads; only the
-		// Reproduce applier count varies.
+		// Reproduce applier count and the replay-epoch cap vary.
 		cfg.ReproThreads = stageChoices[round%len(stageChoices)]
+		cfg.ReplayEpochGroups = epochChoices[round%len(epochChoices)]
 		s, err = Recover(dev, cfg)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)

@@ -22,13 +22,14 @@ type persistMsg struct {
 	sealAt int64 // obs seal timestamp, for the queue-dwell measurement
 }
 
-// applyTask is one address shard of a group fanned out to a Reproduce
-// applier. Appliers share the group's flush batch; the ordering loop
+// applyTask is one pre-partitioned address shard of a replay run fanned
+// out to a Reproduce applier: the shard's entries, plus the distinct
+// cache lines (byte addresses) the partition pass assigned to it for
+// write-back. Appliers share the run's flush batch; the ordering loop
 // joins wg and issues the single fence.
 type applyTask struct {
 	entries []redolog.Entry
-	shard   uint64
-	nshards uint64
+	lines   []uint64
 	b       *pmem.Batch
 	wg      *sync.WaitGroup
 }
@@ -241,31 +242,34 @@ func (s *System) persistWorker(wi int) {
 	}
 }
 
-// reproApplier is one Reproduce-stage applier: it applies the address
-// shard (addr>>6 % nshards, so a cache line never spans shards) of each
-// fanned-out group and accumulates write-backs into the group's shared
-// batch. The fence stays with the ordering loop — one barrier per group,
-// issued only after every shard has joined.
+// reproApplier is one Reproduce-stage applier: it stores its
+// pre-partitioned entry bucket into the persistent data region, then
+// accumulates exactly the distinct cache lines the partition pass
+// assigned to this shard into the run's shared batch. No per-entry
+// shard filtering happens here anymore — the ordering loop's counting
+// partition hands every applier a contiguous bucket, so the old
+// O(entries × shards) rescans are gone. The fence stays with the
+// ordering loop — one barrier per replay run, issued only after every
+// shard has joined.
+//
+//dudelint:noalloc
+//dudelint:fencebudget 0
 func (s *System) reproApplier() {
 	defer s.wg.Done()
 	base := s.lay.dataOff
 	for t := range s.applyCh {
 		for _, e := range t.entries {
-			if (e.Addr>>6)%t.nshards == t.shard {
-				s.dev.Store8(base+e.Addr, e.Val)
-			}
+			s.dev.Store8(base+e.Addr, e.Val)
 		}
-		for _, e := range t.entries {
-			if (e.Addr>>6)%t.nshards == t.shard {
-				t.b.Flush(base+e.Addr, 8)
-			}
+		for _, a := range t.lines {
+			t.b.Flush(a, pmem.LineSize)
 		}
 		t.wg.Done()
 	}
 }
 
 // minShardEntries gates the Reproduce fan-out: below this, one thread
-// applies the group inline — the wakeup and join cost would exceed the
+// applies the run inline — the wakeup and join cost would exceed the
 // parallel win.
 const minShardEntries = 64
 
@@ -273,22 +277,211 @@ const minShardEntries = 64
 // once one is pending.
 const recycleInterval = 500 * time.Microsecond
 
+// reproState owns the Reproduce loop's pooled replay buffers: the
+// loop-lifetime flush batch (Fence resets it for reuse), the epoch
+// combiner, the counting-partition backing arrays, and the
+// epoch-stamped line-dedup map. Everything here is allocated once (or
+// grown to a high-water mark by ensure, outside the annotated replay
+// path), so steady-state replay — per-group or per-epoch — allocates
+// nothing.
+type reproState struct {
+	batch *pmem.Batch
+	wg    sync.WaitGroup
+	comb  *redolog.Combiner
+	epoch []repoMsg // dense run being coalesced, in ascending tid order
+
+	// Counting-partition state: flat holds every entry, bucketed
+	// contiguously per shard; lineBuf holds each shard's distinct
+	// write-back lines (worst case 2 per entry: the entry's line plus a
+	// straddled successor). buckets/lines are reslices of flat/lineBuf.
+	flat    []redolog.Entry
+	lineBuf []uint64
+	buckets [][]redolog.Entry
+	lines   [][]uint64
+	counts  []int
+	fill    []int
+	lfill   []int
+
+	// lineSeen dedups write-backs to cache-line granularity. Slots are
+	// stamp-stamped like combiner slots: bumping stamp invalidates the
+	// whole map in O(1) instead of clearing it.
+	lineSeen map[uint64]uint64
+	stamp    uint64
+	flushed  int // distinct lines flushed by the last replay run
+}
+
+// newReproState sizes the replay buffers for the configured fan-out.
+func newReproState(s *System) *reproState {
+	r := s.cfg.ReproThreads
+	return &reproState{
+		batch:    s.dev.NewBatch(),
+		comb:     redolog.NewCombiner(),
+		epoch:    make([]repoMsg, 0, s.cfg.ReplayEpochGroups),
+		buckets:  make([][]redolog.Entry, r),
+		lines:    make([][]uint64, r),
+		counts:   make([]int, r),
+		fill:     make([]int, r),
+		lfill:    make([]int, r),
+		lineSeen: make(map[uint64]uint64, 4096),
+	}
+}
+
+// ensure grows the partition backing arrays to hold n entries (and up
+// to 2n write-back lines). Growth happens here, outside the annotated
+// replay path, so replay itself stays allocation-free once the
+// high-water mark is reached.
+func (rs *reproState) ensure(n int) {
+	if len(rs.flat) < n {
+		grown := n + n/2
+		rs.flat = make([]redolog.Entry, grown)
+		rs.lineBuf = make([]uint64, 2*grown)
+	}
+}
+
+// partition buckets a combined entry run by cache-line shard
+// (line % ReproThreads, so a line never spans shards) with a two-pass
+// counting sort into rs.flat, and computes each shard's distinct
+// write-back lines into rs.lineBuf. Line dedup is per-shard-exact: an
+// entry's own line always belongs to the entry's shard, so deduping it
+// globally is safe; a straddled second line may belong to a different
+// shard, so it is appended to this shard's list undeduped — the flush
+// must be issued by the applier that performs the store (flush after
+// store, same goroutine), and a duplicate flush of a line another shard
+// also writes back is merely redundant, never unordered.
+//
+//dudelint:noalloc
+//dudelint:fencebudget 0
+func (s *System) partition(rs *reproState, entries []redolog.Entry) {
+	base := s.lay.dataOff
+	nsh := uint64(s.cfg.ReproThreads)
+	for i := range rs.counts {
+		rs.counts[i] = 0
+	}
+	for _, e := range entries {
+		rs.counts[((base+e.Addr)/pmem.LineSize)%nsh]++
+	}
+	off := 0
+	for i := range rs.counts {
+		rs.fill[i] = off
+		rs.lfill[i] = 2 * off
+		off += rs.counts[i]
+	}
+	rs.stamp++
+	rs.flushed = 0
+	for _, e := range entries {
+		a := base + e.Addr
+		l1 := a / pmem.LineSize
+		sh := l1 % nsh
+		rs.flat[rs.fill[sh]] = e
+		rs.fill[sh]++
+		if rs.lineSeen[l1] != rs.stamp {
+			rs.lineSeen[l1] = rs.stamp
+			rs.lineBuf[rs.lfill[sh]] = l1 * pmem.LineSize
+			rs.lfill[sh]++
+			rs.flushed++
+		}
+		if l2 := (a + 7) / pmem.LineSize; l2 != l1 {
+			rs.lineBuf[rs.lfill[sh]] = l2 * pmem.LineSize
+			rs.lfill[sh]++
+			rs.flushed++
+		}
+	}
+	start := 0
+	for i := range rs.counts {
+		rs.buckets[i] = rs.flat[start:rs.fill[i]]
+		rs.lines[i] = rs.lineBuf[2*start : rs.lfill[i]]
+		start += rs.counts[i]
+	}
+}
+
+// replayInline applies a combined entry run on the ordering loop
+// itself: store everything, then write back each dirty cache line
+// exactly once (stamp-bumped dedup), straddled lines included. This is
+// the non-sharded path — small runs below minShardEntries and
+// single-applier configs — and it gets the same line-granular flush
+// economy as the fan-out.
+//
+//dudelint:noalloc
+//dudelint:fencebudget 0
+func (s *System) replayInline(rs *reproState, entries []redolog.Entry) {
+	base := s.lay.dataOff
+	for _, e := range entries {
+		s.dev.Store8(base+e.Addr, e.Val)
+	}
+	rs.stamp++
+	rs.flushed = 0
+	for _, e := range entries {
+		a := base + e.Addr
+		l1 := a / pmem.LineSize
+		if rs.lineSeen[l1] != rs.stamp {
+			rs.lineSeen[l1] = rs.stamp
+			rs.batch.Flush(l1*pmem.LineSize, pmem.LineSize)
+			rs.flushed++
+		}
+		if l2 := (a + 7) / pmem.LineSize; l2 != l1 && rs.lineSeen[l2] != rs.stamp {
+			rs.lineSeen[l2] = rs.stamp
+			rs.batch.Flush(l2*pmem.LineSize, pmem.LineSize)
+			rs.flushed++
+		}
+	}
+}
+
+// replayEntries stores one combined, ID-ordered entry run into the
+// persistent data region and writes it back at cache-line granularity
+// under a single fence — the epoch apply path. Large runs are
+// partitioned once and fanned out to the appliers; small runs apply
+// inline. Either way the only persist ordering Reproduce needs is
+// data-before-recycle (§3.4), enforced by the one fence here before any
+// Recycle the caller issues.
+//
+// The budget pins the epoch fence economy: exactly one barrier per
+// replay run, whether the run is one group or a whole coalesced epoch.
+//
+//dudelint:noalloc
+//dudelint:fencebudget 1
+func (s *System) replayEntries(rs *reproState, entries []redolog.Entry) {
+	if r := s.cfg.ReproThreads; r > 1 && len(entries) >= minShardEntries {
+		s.partition(rs, entries)
+		rs.wg.Add(r)
+		for sh := 0; sh < r; sh++ {
+			s.applyCh <- applyTask{
+				entries: rs.buckets[sh],
+				lines:   rs.lines[sh],
+				b:       rs.batch,
+				wg:      &rs.wg,
+			}
+		}
+		rs.wg.Wait()
+	} else {
+		s.replayInline(rs, entries)
+	}
+	rs.batch.Fence()
+}
+
 // reproduceLoop is the Reproduce step: replay persisted groups in
 // transaction-ID order into the persistent data region, then recycle
 // their log space. Groups may arrive out of order (per-thread flushes in
 // ModeSync, out-of-order persist workers in ModeAsync), so a min-heap
-// buffers them until the next dense ID range is available. Large groups
-// are split by address shard across the appliers; shards share one
-// flush batch and the loop issues the group's single fence after the
-// join, so the §3.4 ordering (data before recycle) is unchanged. The
-// split is sound because combination made the group last-write-wins and
-// entries for one address always land in the same shard, applied in
-// entry order.
+// buffers them until the next dense ID range is available.
+//
+// When Reproduce has fallen behind — a dense backlog is buffered — up
+// to ReplayEpochGroups consecutive groups are coalesced into one replay
+// epoch: duplicate addresses collapse last-writer-wins (only
+// per-address last-writer order matters during replay — MOD), each
+// dirty cache line is written back once, and a single fence covers the
+// whole epoch. This is sound because replay is idempotent (re-storing a
+// prefix of an epoch after a crash is repaired by recovery replaying
+// the same groups from the log) and §3.4's data-before-recycle ordering
+// holds at epoch granularity: every Recycle below happens after the
+// epoch fence that made its groups' data durable. Under light load the
+// heap never holds a dense successor and the per-group fast path runs
+// unchanged.
 func (s *System) reproduceLoop() {
 	defer s.wg.Done()
 	defer close(s.applyCh)
 	var h msgHeap
 	next := s.startTid + 1
+	rs := newReproState(s)
 
 	type pending struct {
 		pos, seq uint64
@@ -310,38 +503,13 @@ func (s *System) reproduceLoop() {
 		s.bbFlush()
 	}
 
-	apply := func(m repoMsg) {
-		if n := len(m.g.Entries); n > 0 {
-			t0 := time.Now()
-			// Apply all updates, then one write-back + fence. The only
-			// persist ordering Reproduce needs is data-before-recycle
-			// (§3.4), enforced by fencing here before Recycle below.
-			b := s.dev.NewBatch()
-			if r := s.cfg.ReproThreads; r > 1 && n >= minShardEntries {
-				var wg sync.WaitGroup
-				wg.Add(r)
-				for shard := 0; shard < r; shard++ {
-					s.applyCh <- applyTask{
-						entries: m.g.Entries,
-						shard:   uint64(shard),
-						nshards: uint64(r),
-						b:       b,
-						wg:      &wg,
-					}
-				}
-				wg.Wait()
-			} else {
-				for _, e := range m.g.Entries {
-					s.dev.Store8(s.lay.dataOff+e.Addr, e.Val)
-				}
-				for _, e := range m.g.Entries {
-					b.Flush(s.lay.dataOff+e.Addr, 8)
-				}
-			}
-			b.Fence()
-			s.rm.fences.Add(1)
-			s.rm.busy.Add(uint64(time.Since(t0)))
-		}
+	// retire publishes one applied group's frontier and recycle
+	// bookkeeping. Epochs retire their groups one by one in ascending
+	// order, after the epoch fence, so the reproduced frontier, the
+	// GroupApplied/ReproducedAdvanced trace stamps and the blackbox
+	// recycle stamps advance exactly as they would group-by-group —
+	// monotonic, none skipped, none reordered.
+	retire := func(m repoMsg) {
 		s.reproduced.Store(m.g.MaxTid)
 		s.obs.GroupApplied(s.srcRepro(), m.g.MinTid, m.g.MaxTid)
 		s.obs.ReproducedAdvanced(m.g.MaxTid)
@@ -360,9 +528,73 @@ func (s *System) reproduceLoop() {
 		}
 	}
 
+	// apply is the single-group fast path — identical fence economy and
+	// stamp order to the pre-epoch pipeline, and allocation-free.
+	apply := func(m repoMsg) {
+		if n := len(m.g.Entries); n > 0 {
+			t0 := time.Now()
+			rs.ensure(n)
+			s.replayEntries(rs, m.g.Entries)
+			s.rm.fences.Add(1)
+			s.rm.lines.Add(uint64(rs.flushed))
+			s.rm.busy.Add(uint64(time.Since(t0)))
+		}
+		retire(m)
+	}
+
+	// applyEpoch replays rs.epoch — a dense run of groups — as one
+	// coalesced run under one fence, then retires each group in order.
+	applyEpoch := func() {
+		t0 := time.Now()
+		rs.comb.Reset()
+		for _, m := range rs.epoch {
+			rs.comb.AddAll(m.g.Entries)
+		}
+		in, out := rs.comb.RawCount(), rs.comb.Len()
+		if out > 0 {
+			rs.ensure(out)
+			s.replayEntries(rs, rs.comb.Entries())
+			s.rm.fences.Add(1)
+			s.rm.lines.Add(uint64(rs.flushed))
+		}
+		s.rm.busy.Add(uint64(time.Since(t0)))
+		s.rm.epochs.Add(1)
+		s.rm.coalesceIn.Add(uint64(in))
+		s.rm.coalesceOut.Add(uint64(out))
+		s.obs.EpochCoalesced(len(rs.epoch), out)
+		for i := range rs.epoch {
+			retire(rs.epoch[i])
+			rs.epoch[i] = repoMsg{} // drop the group/slice references
+		}
+		rs.epoch = rs.epoch[:0]
+	}
+
 	drainReady := func() {
 		for h.Len() > 0 && h[0].g.MinTid == next {
 			m := heap.Pop(&h).(repoMsg)
+			// Backlog-adaptive epoch formation: coalesce only while the
+			// heap already holds the dense successor, up to the group
+			// cap and the combined entry budget.
+			if s.cfg.ReplayEpochGroups > 1 && h.Len() > 0 && h[0].g.MinTid == m.g.MaxTid+1 {
+				rs.epoch = append(rs.epoch[:0], m)
+				budget := len(m.g.Entries)
+				for len(rs.epoch) < s.cfg.ReplayEpochGroups && h.Len() > 0 &&
+					h[0].g.MinTid == rs.epoch[len(rs.epoch)-1].g.MaxTid+1 &&
+					budget+len(h[0].g.Entries) <= s.cfg.ReplayEpochEntries {
+					mm := heap.Pop(&h).(repoMsg)
+					budget += len(mm.g.Entries)
+					rs.epoch = append(rs.epoch, mm)
+				}
+				if len(rs.epoch) > 1 {
+					next = rs.epoch[len(rs.epoch)-1].g.MaxTid + 1
+					applyEpoch()
+					continue
+				}
+				// The entry budget excluded the successor: fall back to
+				// the single-group path.
+				m = rs.epoch[0]
+				rs.epoch = rs.epoch[:0]
+			}
 			apply(m)
 			next = m.g.MaxTid + 1
 		}
@@ -396,18 +628,43 @@ func (s *System) reproduceLoop() {
 		case m, ok := <-s.reproCh:
 			// The gate is held around every device mutation so
 			// PauseReproduce blocks until the step is quiescent (the
-			// sharded appliers only run inside apply, under this gate).
+			// sharded appliers only run inside replayEntries, under this
+			// gate).
 			s.reproduceGate.Lock()
-			if !ok {
-				if s.halted.Load() {
-					// Crash: stop where we are. Durable-but-unreproduced
-					// groups stay in the persistent log; recovery
-					// replays them (gaps are possible when per-thread
-					// flushes or persist workers raced the crash).
-					s.reproduceGate.Unlock()
-					return
+			open := ok
+			if ok {
+				s.rm.dequeue()
+				heap.Push(&h, m)
+				// An in-order backlog accumulates in the channel, not
+				// the heap (drainReady pops every dense group as soon as
+				// it is pushed), so slurp whatever Persist has already
+				// queued before replaying — that backlog is what epoch
+				// formation coalesces.
+			slurp:
+				for {
+					select {
+					case m2, ok2 := <-s.reproCh:
+						if !ok2 {
+							open = false
+							break slurp
+						}
+						s.rm.dequeue()
+						heap.Push(&h, m2)
+					default:
+						break slurp
+					}
 				}
-				drainReady()
+			}
+			if !open && s.halted.Load() {
+				// Crash: stop where we are. Durable-but-unreproduced
+				// groups stay in the persistent log; recovery replays
+				// them (gaps are possible when per-thread flushes or
+				// persist workers raced the crash).
+				s.reproduceGate.Unlock()
+				return
+			}
+			drainReady()
+			if !open {
 				if h.Len() > 0 {
 					panic("dudetm: gap in transaction IDs at shutdown")
 				}
@@ -415,9 +672,6 @@ func (s *System) reproduceLoop() {
 				s.reproduceGate.Unlock()
 				return
 			}
-			s.rm.dequeue()
-			heap.Push(&h, m)
-			drainReady()
 			rearm()
 			s.reproduceGate.Unlock()
 		case <-timerC:

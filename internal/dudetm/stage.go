@@ -112,6 +112,14 @@ type stageMetrics struct {
 	maxQueue atomic.Int64  // high-water mark of queue
 	wakes    atomic.Uint64 // recycle-timer wakeups (Reproduce only)
 	start    atomic.Int64  // stage start, ns since an arbitrary epoch
+
+	// Replay-epoch instrumentation (Reproduce only): coalesced epochs,
+	// entries entering / surviving last-writer-wins coalescing, and
+	// cache lines written back by replay.
+	epochs      atomic.Uint64
+	coalesceIn  atomic.Uint64
+	coalesceOut atomic.Uint64
+	lines       atomic.Uint64
 }
 
 func (m *stageMetrics) markStart() { m.start.Store(time.Now().UnixNano()) }
@@ -141,6 +149,10 @@ func (m *stageMetrics) snapshot(workers, busyDiv int) StageStats {
 		QueueDepth:    max(m.queue.Load(), 0),
 		MaxQueueDepth: m.maxQueue.Load(),
 		TimerWakes:    m.wakes.Load(),
+		Epochs:        m.epochs.Load(),
+		CoalesceIn:    m.coalesceIn.Load(),
+		CoalesceOut:   m.coalesceOut.Load(),
+		LinesFlushed:  m.lines.Load(),
 	}
 	if s := m.start.Load(); s != 0 {
 		st.WallNanos = uint64(time.Now().UnixNano() - s)
@@ -184,6 +196,20 @@ type StageStats struct {
 	// queue when its append finishes but leaves the window only when
 	// the contiguous prefix passes it.
 	WindowDepth uint64
+	// Epochs counts coalesced replay epochs (Reproduce only): dense
+	// backlog runs of 2..ReplayEpochGroups groups replayed under one
+	// fence. It stays 0 under light load, when every group takes the
+	// per-group fast path.
+	Epochs uint64
+	// CoalesceIn and CoalesceOut are the entries entering and surviving
+	// last-writer-wins coalescing across epoch groups (Reproduce only);
+	// In/Out is the replay-work reduction factor from coalescing.
+	CoalesceIn  uint64
+	CoalesceOut uint64
+	// LinesFlushed counts the distinct cache lines replay wrote back
+	// (Reproduce only) — the line-granular flush economy: without dedup
+	// this would be one flush per 8-byte entry.
+	LinesFlushed uint64
 	// ReplRawBytes and ReplWireBytes are the replication sender's
 	// cumulative shipped group payload before and after lz4 compression
 	// (both zero when replication is not attached); their quotient is

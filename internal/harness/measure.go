@@ -160,7 +160,15 @@ func Measure(sys System, bench Bench, threads int, m MeasureOpts) (Result, error
 			ReproBusyNS:   after.ReproBusyNS - before.ReproBusyNS,
 			PersistFences: after.PersistFences - before.PersistFences,
 			ReproFences:   after.ReproFences - before.ReproFences,
-			Obs:           after.Obs.Sub(before.Obs),
+			// Utilization is absolute (since pool start); every measured
+			// run builds a fresh pool, so it describes the run.
+			PersistUtil:      after.PersistUtil,
+			ReproUtil:        after.ReproUtil,
+			ReproEpochs:      after.ReproEpochs - before.ReproEpochs,
+			ReproCoalesceIn:  after.ReproCoalesceIn - before.ReproCoalesceIn,
+			ReproCoalesceOut: after.ReproCoalesceOut - before.ReproCoalesceOut,
+			ReproLines:       after.ReproLines - before.ReproLines,
+			Obs:              after.Obs.Sub(before.Obs),
 			// Recovery happened (if at all) at mount, before the run;
 			// carry it absolute rather than as an interval delta.
 			Recovery: after.Recovery,

@@ -64,6 +64,17 @@ type Record struct {
 	ReplAckP999NS uint64 `json:"repl_ack_p999_ns"`
 	ReplRawBytes  uint64 `json:"repl_raw_bytes"`
 	ReplWireBytes uint64 `json:"repl_wire_bytes"`
+	// Replay-epoch coalescing and per-stage utilization (DudeTM only):
+	// coalesced Reproduce epochs, the entries-in/entries-out reduction
+	// of last-writer-wins coalescing, the distinct cache lines replay
+	// wrote back, and the per-worker stage utilizations over the run.
+	ReproEpochs        uint64  `json:"repro_epochs"`
+	ReproCoalesceIn    uint64  `json:"repro_coalesce_in"`
+	ReproCoalesceOut   uint64  `json:"repro_coalesce_out"`
+	ReproCoalesceRatio float64 `json:"repro_coalesce_ratio"`
+	ReproLinesFlushed  uint64  `json:"repro_lines_flushed"`
+	PersistUtil        float64 `json:"persist_util"`
+	ReproUtil          float64 `json:"repro_util"`
 }
 
 // recorder collects the Result of every Measure call while recording is
@@ -134,9 +145,26 @@ func record(res Result) {
 			RecoveryGroups:    res.Stats.Recovery.GroupsReplayed,
 			RecoveryEntries:   res.Stats.Recovery.EntriesReplayed,
 			RecoveryBytes:     res.Stats.Recovery.BytesReplayed,
+
+			ReproEpochs:        res.Stats.ReproEpochs,
+			ReproCoalesceIn:    res.Stats.ReproCoalesceIn,
+			ReproCoalesceOut:   res.Stats.ReproCoalesceOut,
+			ReproCoalesceRatio: coalesceRatio(res.Stats.ReproCoalesceIn, res.Stats.ReproCoalesceOut),
+			ReproLinesFlushed:  res.Stats.ReproLines,
+			PersistUtil:        res.Stats.PersistUtil,
+			ReproUtil:          res.Stats.ReproUtil,
 		})
 	}
 	recorder.mu.Unlock()
+}
+
+// coalesceRatio is entries-in over entries-out of epoch coalescing
+// (1 when no epochs formed — no duplication observed).
+func coalesceRatio(in, out uint64) float64 {
+	if out == 0 {
+		return 1
+	}
+	return float64(in) / float64(out)
 }
 
 // recordRaw appends a fully-formed record if recording is active,

@@ -93,6 +93,12 @@ type Options struct {
 	// BlackboxEntries sizes the persistent flight-recorder ring (DudeTM
 	// only; 0 = dudetm default, negative disables the recorder).
 	BlackboxEntries int
+	// ReplayEpochGroups caps Reproduce epoch coalescing (DudeTM only;
+	// 0 = dudetm default, 1 disables coalescing).
+	ReplayEpochGroups int
+	// ReplayEpochEntries bounds the combined entry count of one replay
+	// epoch (DudeTM only; 0 = dudetm default).
+	ReplayEpochEntries int
 }
 
 func (o *Options) applyDefaults() {
@@ -127,6 +133,19 @@ type SysStats struct {
 	ReproBusyNS   uint64
 	PersistFences uint64
 	ReproFences   uint64
+	// PersistUtil and ReproUtil are absolute per-worker utilizations
+	// since pool start (DudeTM only) — not interval deltas, but the
+	// harness builds a fresh pool per measured run, so they describe
+	// the run.
+	PersistUtil float64
+	ReproUtil   float64
+	// Replay-epoch coalescing counters (DudeTM only): coalesced
+	// epochs, entries entering / surviving last-writer-wins
+	// coalescing, and cache lines written back by replay.
+	ReproEpochs      uint64
+	ReproCoalesceIn  uint64
+	ReproCoalesceOut uint64
+	ReproLines       uint64
 	// Obs carries the lifecycle-latency histograms (DudeTM only;
 	// mergeable snapshots, interval activity via Obs.Sub).
 	Obs obs.Snapshot
@@ -213,11 +232,13 @@ func dudeConfig(kind SysKind, o Options, pc pmem.Config) dudetm.Config {
 		VLogEntries:      o.VLogEntries,
 		Shadow:           o.Shadow,
 		ShadowBytes:      o.ShadowBytes,
-		PersistThreads:   o.PersistThreads,
-		ReproThreads:     o.ReproThreads,
-		TraceSampleEvery: o.TraceSampleEvery,
-		BlackboxEntries:  o.BlackboxEntries,
-		Pmem:             pc,
+		PersistThreads:     o.PersistThreads,
+		ReproThreads:       o.ReproThreads,
+		ReplayEpochGroups:  o.ReplayEpochGroups,
+		ReplayEpochEntries: o.ReplayEpochEntries,
+		TraceSampleEvery:   o.TraceSampleEvery,
+		BlackboxEntries:    o.BlackboxEntries,
+		Pmem:               pc,
 	}
 	switch kind {
 	case DudeInf:
@@ -316,12 +337,18 @@ func (d *dudeSys) Stats() SysStats {
 		LogBytes:      st.LogBytes,
 		RawEntries:    st.RawEntries,
 		CombEntries:   st.CombEntries,
-		PersistBusyNS: st.Persist.BusyNanos,
-		ReproBusyNS:   st.Reproduce.BusyNanos,
-		PersistFences: st.Persist.Fences,
-		ReproFences:   st.Reproduce.Fences,
-		Obs:           st.Obs,
-		Recovery:      st.Recovery,
+		PersistBusyNS:    st.Persist.BusyNanos,
+		ReproBusyNS:      st.Reproduce.BusyNanos,
+		PersistFences:    st.Persist.Fences,
+		ReproFences:      st.Reproduce.Fences,
+		PersistUtil:      st.Persist.Utilization,
+		ReproUtil:        st.Reproduce.Utilization,
+		ReproEpochs:      st.Reproduce.Epochs,
+		ReproCoalesceIn:  st.Reproduce.CoalesceIn,
+		ReproCoalesceOut: st.Reproduce.CoalesceOut,
+		ReproLines:       st.Reproduce.LinesFlushed,
+		Obs:              st.Obs,
+		Recovery:         st.Recovery,
 	}
 }
 

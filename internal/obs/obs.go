@@ -51,6 +51,8 @@ type Observer struct {
 	queueDwell    Histogram // group seal → persist-worker pickup, per group
 	groupTxns     Histogram // transactions per sealed group
 	groupEntries  Histogram // combined log entries per sealed group
+	epochGroups   Histogram // groups per coalesced replay epoch
+	epochEntries  Histogram // entries surviving coalescing per replay epoch
 
 	sampledCommits atomic.Uint64
 
@@ -188,6 +190,19 @@ func (o *Observer) GroupApplied(src int, minTid, maxTid uint64) {
 	}
 }
 
+// EpochCoalesced records one coalesced replay epoch: the groups merged
+// and the entries that survived last-writer-wins coalescing (the raw
+// entering count lives in the stage counters, where the ratio is
+// computed). The Reproduce loop calls it once per epoch, after the
+// epoch fence.
+//
+//dudelint:fencebudget 0
+//dudelint:noalloc
+func (o *Observer) EpochCoalesced(groups, combEntries int) {
+	o.epochGroups.Observe(uint64(groups))
+	o.epochEntries.Observe(uint64(combEntries))
+}
+
 // DurableAdvanced records commit→durable latency for every pending
 // sampled transaction the new durable frontier covers.
 //
@@ -286,6 +301,11 @@ type Snapshot struct {
 	GroupTxns HistSnapshot
 	// GroupEntries is the combined-entries-per-sealed-group histogram.
 	GroupEntries HistSnapshot
+	// EpochGroups is the groups-per-coalesced-replay-epoch histogram
+	// (empty while Reproduce keeps up and never forms epochs).
+	EpochGroups HistSnapshot
+	// EpochEntries is the coalesced-entries-per-replay-epoch histogram.
+	EpochEntries HistSnapshot
 }
 
 // Snapshot captures the current histograms and counters.
@@ -299,6 +319,8 @@ func (o *Observer) Snapshot() Snapshot {
 		QueueDwell:       o.queueDwell.Snapshot(),
 		GroupTxns:        o.groupTxns.Snapshot(),
 		GroupEntries:     o.groupEntries.Snapshot(),
+		EpochGroups:      o.epochGroups.Snapshot(),
+		EpochEntries:     o.epochEntries.Snapshot(),
 	}
 }
 
@@ -313,6 +335,8 @@ func (s Snapshot) Sub(b Snapshot) Snapshot {
 		QueueDwell:       s.QueueDwell.Sub(b.QueueDwell),
 		GroupTxns:        s.GroupTxns.Sub(b.GroupTxns),
 		GroupEntries:     s.GroupEntries.Sub(b.GroupEntries),
+		EpochGroups:      s.EpochGroups.Sub(b.EpochGroups),
+		EpochEntries:     s.EpochEntries.Sub(b.EpochEntries),
 	}
 }
 
@@ -328,5 +352,7 @@ func (s Snapshot) Merge(b Snapshot) Snapshot {
 		QueueDwell:       s.QueueDwell.Merge(b.QueueDwell),
 		GroupTxns:        s.GroupTxns.Merge(b.GroupTxns),
 		GroupEntries:     s.GroupEntries.Merge(b.GroupEntries),
+		EpochGroups:      s.EpochGroups.Merge(b.EpochGroups),
+		EpochEntries:     s.EpochEntries.Merge(b.EpochEntries),
 	}
 }

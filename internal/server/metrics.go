@@ -71,6 +71,20 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	}
 	p.Gauge("dudetm_persist_window_depth", "Reserved-but-unretired persist dispatch sequences.", float64(st.Persist.WindowDepth))
 
+	// Replay-epoch coalescing (Reproduce stage). The counters exist (at
+	// zero) while Reproduce keeps up — epochs only form under backlog —
+	// so the scrape contract is stable across load levels.
+	rp := st.Reproduce
+	p.Counter("dudetm_repro_epochs_total", "Coalesced replay epochs (dense backlog runs replayed under one fence).", float64(rp.Epochs))
+	p.Counter("dudetm_repro_epoch_entries_in_total", "Log entries entering last-writer-wins epoch coalescing.", float64(rp.CoalesceIn))
+	p.Counter("dudetm_repro_epoch_entries_out_total", "Log entries surviving last-writer-wins epoch coalescing.", float64(rp.CoalesceOut))
+	p.Counter("dudetm_repro_lines_flushed_total", "Distinct cache lines written back by Reproduce replay.", float64(rp.LinesFlushed))
+	ratio := 1.0
+	if rp.CoalesceOut > 0 {
+		ratio = float64(rp.CoalesceIn) / float64(rp.CoalesceOut)
+	}
+	p.Gauge("dudetm_repro_epoch_coalesce_ratio", "Entries in over entries out of epoch coalescing (1 = no duplication).", ratio)
+
 	// Lifecycle latency histograms (nanosecond observations rendered in
 	// seconds) and their headline quantiles as ready-made gauges, so a
 	// scraper without histogram_quantile still sees p50/p99/p999.
@@ -83,6 +97,8 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	p.Histogram("dudetm_queue_dwell_seconds", "Per-group seal-to-pickup queue dwell.", ob.QueueDwell, 1e-9)
 	p.Histogram("dudetm_group_txns", "Transactions per sealed persist group.", ob.GroupTxns, 1)
 	p.Histogram("dudetm_group_entries", "Combined log entries per sealed persist group.", ob.GroupEntries, 1)
+	p.Histogram("dudetm_repro_epoch_groups", "Groups merged per coalesced replay epoch.", ob.EpochGroups, 1)
+	p.Histogram("dudetm_repro_epoch_entries", "Coalesced entries per replay epoch.", ob.EpochEntries, 1)
 
 	quantiles := []struct {
 		label string

@@ -29,6 +29,12 @@ var requiredSeries = []string{
 	`dudetm_commit_durable_latency_seconds{quantile="0.5"}`,
 	`dudetm_commit_durable_latency_seconds{quantile="0.99"}`,
 	`dudetm_commit_durable_latency_seconds{quantile="0.999"}`,
+	"dudetm_repro_epochs_total",
+	"dudetm_repro_epoch_entries_in_total",
+	"dudetm_repro_epoch_entries_out_total",
+	"dudetm_repro_epoch_coalesce_ratio",
+	"dudetm_repro_epoch_groups_count",
+	"dudetm_repro_lines_flushed_total",
 	"dudetm_watchdog_stalls_total",
 	"dudetm_recovery_runs_total",
 	"dudetm_recovery_replay_seconds",
