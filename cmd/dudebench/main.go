@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	dudebench [-experiment all|fig2|table1|table2|table3|fig3|fig4|fig5|table4|recovery|repl|pipeline|smoke]
+//	dudebench [-experiment all|fig2|table1|table2|table3|fig3|fig4|fig5|table4|recovery|repl|pipeline|loadcurve|smoke]
 //	          [-threads N] [-maxthreads N] [-quick] [-json]
+//	          [-loadcurve-out FILE] [-loadcurve-points N]
 //
 // With -json, the human-readable tables are suppressed and every
 // measured run is emitted to stdout as one JSON document with stable
@@ -33,6 +34,8 @@ func main() {
 	maxThreads := flag.Int("maxthreads", 4, "largest thread count in the Figure 5 sweep")
 	quick := flag.Bool("quick", false, "divide per-run transaction counts by 10")
 	jsonOut := flag.Bool("json", false, "emit machine-readable results on stdout instead of tables")
+	lcOut := flag.String("loadcurve-out", "", "write the loadcurve experiment's report JSON to this path")
+	lcPoints := flag.Int("loadcurve-points", 0, "offered-load points in the loadcurve sweep (default 5, min 2)")
 	flag.Parse()
 
 	progress := io.Writer(os.Stdout)
@@ -61,6 +64,9 @@ func main() {
 		{"recovery", func() error { return harness.Recovery(cfg) }},
 		{"repl", func() error { return harness.Repl(cfg) }},
 		{"pipeline", func() error { return harness.Pipeline(cfg) }},
+		{"loadcurve", func() error {
+			return harness.LoadCurve(cfg, harness.LoadCurveOpts{OutPath: *lcOut, Points: *lcPoints})
+		}},
 		{"smoke", func() error { return harness.Smoke(cfg) }},
 	}
 	ran := false

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"dudetm/internal/harness"
+)
+
+// runLoadCurve renders a BENCH_loadcurve.json report (written by
+// `dudebench -experiment loadcurve -loadcurve-out`) as the
+// latency-vs-offered-load table with the knee and SLO verdict; with
+// -check it validates the artifact instead: at least two points, every
+// series present and finite, the knee consistent, and exits non-zero
+// otherwise — the CI gate against a silently empty or truncated curve.
+func runLoadCurve(args []string) {
+	fs := flag.NewFlagSet("loadcurve", flag.ExitOnError)
+	check := fs.Bool("check", false, "validate the report instead of rendering it")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dudectl loadcurve [-check] <BENCH_loadcurve.json>")
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var rep harness.LoadCurveReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+
+	if *check {
+		if problems := checkLoadCurve(rep); len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "dudectl loadcurve: %s: %s\n", path, p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("dudectl loadcurve: %s healthy (%d points, knee at index %d, slo_pass=%v)\n",
+			path, len(rep.Points), rep.KneeIndex, rep.SLOPass)
+		return
+	}
+
+	fmt.Printf("load curve — %s (capacity %.0f/s)\n", path, rep.CapacityTPS)
+	tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "offered/s\tserved/s\tshortfall\tp50\tp99\tp999\tskew p99\tutil P/R\tqueue P/R\tlag D/R\tstalls\t")
+	for _, p := range rep.Points {
+		mark := ""
+		if p.AtKnee {
+			mark = "  <- knee"
+		}
+		fmt.Fprintf(tw, "%.0f\t%.0f\t%.1f%%\t%v\t%v\t%v\t%v\t%.2f/%.2f\t%.0f/%.0f\t%.0f/%.0f\t%d%s\t\n",
+			p.OfferedTPS, p.ServedTPS, 100*p.Shortfall,
+			time.Duration(p.P50NS).Round(time.Microsecond),
+			time.Duration(p.P99NS).Round(time.Microsecond),
+			time.Duration(p.P999NS).Round(time.Microsecond),
+			time.Duration(p.SkewP99NS).Round(time.Microsecond),
+			p.PersistUtil, p.ReproUtil, p.PersistQueue, p.ReproQueue,
+			p.DurableLag, p.ReproducedLag, p.Stalls, mark)
+	}
+	tw.Flush()
+	if rep.KneeIndex >= 0 && rep.KneeIndex < len(rep.Points) {
+		fmt.Printf("knee: %.0f/s offered (%.0f%% of capacity)\n",
+			rep.KneeOfferedTPS, 100*rep.KneeOfferedTPS/rep.CapacityTPS)
+	} else {
+		fmt.Println("knee: none — every point is past saturation")
+	}
+	verdict := "PASS"
+	if !rep.SLOPass {
+		verdict = "FAIL"
+	}
+	fmt.Printf("slo: %s — p99 <= %v at %.0f/s offered, shortfall <= %.0f%% below the knee\n",
+		verdict, time.Duration(rep.SLOMaxP99NS), rep.SLOAtOffered, 100*rep.SLOShortfall)
+	for _, v := range rep.Violations {
+		fmt.Printf("  violation: %s\n", v)
+	}
+	if !rep.SLOPass {
+		os.Exit(1)
+	}
+}
+
+// checkLoadCurve validates the report's shape: enough points to show a
+// curve, every series present (a missing JSON key decodes to zero, which
+// the invariants below reject) and finite, and knee metadata consistent
+// with the points.
+func checkLoadCurve(rep harness.LoadCurveReport) []string {
+	var problems []string
+	bad := func(format string, args ...interface{}) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	if rep.Experiment != "loadcurve" {
+		bad("experiment = %q, want \"loadcurve\"", rep.Experiment)
+	}
+	if len(rep.Points) < 2 {
+		bad("%d points, want >= 2 (a curve needs both sides of the knee)", len(rep.Points))
+	}
+	if !finitePos(rep.CapacityTPS) {
+		bad("capacity_tps = %v, want finite > 0", rep.CapacityTPS)
+	}
+	if rep.SLOMaxP99NS <= 0 || !finitePos(rep.SLOAtOffered) || !finitePos(rep.SLOShortfall) {
+		bad("slo fields missing or non-finite (max_p99_ns=%d at_offered=%v max_shortfall=%v)",
+			rep.SLOMaxP99NS, rep.SLOAtOffered, rep.SLOShortfall)
+	}
+	if rep.KneeIndex < -1 || rep.KneeIndex >= len(rep.Points) {
+		bad("knee_index %d out of range for %d points", rep.KneeIndex, len(rep.Points))
+	}
+	if rep.KneeIndex >= 0 && rep.KneeIndex < len(rep.Points) {
+		if !rep.Points[rep.KneeIndex].AtKnee {
+			bad("knee_index %d not marked at_knee in points", rep.KneeIndex)
+		}
+		if !finitePos(rep.KneeOfferedTPS) {
+			bad("knee_offered_tps = %v, want finite > 0", rep.KneeOfferedTPS)
+		}
+	}
+	if rep.SLOPass != (len(rep.Violations) == 0) {
+		bad("slo_pass=%v inconsistent with %d violations", rep.SLOPass, len(rep.Violations))
+	}
+	prevOffered := 0.0
+	for i, p := range rep.Points {
+		at := func(format string, args ...interface{}) {
+			bad("point %d: %s", i, fmt.Sprintf(format, args...))
+		}
+		if p.Process == "" {
+			at("process missing")
+		}
+		if !finitePos(p.OfferedTPS) {
+			at("offered_tps = %v, want finite > 0", p.OfferedTPS)
+		}
+		if p.OfferedTPS <= prevOffered {
+			at("offered_tps %v not increasing past %v", p.OfferedTPS, prevOffered)
+		}
+		prevOffered = p.OfferedTPS
+		if !finite(p.ServedTPS) || p.ServedTPS < 0 {
+			at("served_tps = %v, want finite >= 0", p.ServedTPS)
+		}
+		if !finite(p.Shortfall) || p.Shortfall < 0 || p.Shortfall > 1 {
+			at("shortfall = %v, want in [0,1]", p.Shortfall)
+		}
+		if p.P50NS <= 0 || p.P99NS < p.P50NS || p.P999NS < p.P99NS {
+			at("latency quantiles missing or unordered (p50=%d p99=%d p999=%d)", p.P50NS, p.P99NS, p.P999NS)
+		}
+		if p.SkewP50NS < 0 || p.SkewP99NS < p.SkewP50NS {
+			at("skew quantiles unordered (p50=%d p99=%d)", p.SkewP50NS, p.SkewP99NS)
+		}
+		for _, g := range []struct {
+			name string
+			v    float64
+		}{
+			{"persist_util", p.PersistUtil}, {"repro_util", p.ReproUtil},
+			{"persist_queue", p.PersistQueue}, {"repro_queue", p.ReproQueue},
+			{"durable_lag", p.DurableLag}, {"reproduced_lag", p.ReproducedLag},
+		} {
+			if !finite(g.v) || g.v < 0 {
+				at("%s = %v, want finite >= 0", g.name, g.v)
+			}
+		}
+	}
+	// The curve must span the knee: at least one point on each side, or
+	// the sweep never demonstrated saturation.
+	if rep.KneeIndex >= 0 && rep.KneeIndex == len(rep.Points)-1 && len(rep.Points) >= 2 {
+		bad("knee at the last point — the sweep never pushed past saturation")
+	}
+	return problems
+}
+
+func finite(v float64) bool    { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+func finitePos(v float64) bool { return finite(v) && v > 0 }

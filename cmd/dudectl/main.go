@@ -9,6 +9,7 @@
 //	dudectl forensics <image>   decode the flight recorder into a crash report (-json, -verify)
 //	dudectl lint [dirs]         run the dudelint analyzers (default: whole module)
 //	dudectl top [flags]         live pipeline view from a dudesrv -metrics endpoint
+//	dudectl loadcurve [flags] <report.json>   render or -check a BENCH_loadcurve.json
 package main
 
 import (
@@ -30,12 +31,16 @@ func main() {
 		runTop(os.Args[2:])
 		return
 	}
+	if len(os.Args) >= 2 && os.Args[1] == "loadcurve" {
+		runLoadCurve(os.Args[2:])
+		return
+	}
 	if len(os.Args) >= 2 && os.Args[1] == "forensics" {
 		runForensics(os.Args[2:])
 		return
 	}
 	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: dudectl inspect|recover|forensics <image> | dudectl lint [dirs] | dudectl top [flags]")
+		fmt.Fprintln(os.Stderr, "usage: dudectl inspect|recover|forensics <image> | dudectl lint [dirs] | dudectl top [flags] | dudectl loadcurve [-check] <report.json>")
 		os.Exit(2)
 	}
 	cmd, path := os.Args[1], os.Args[2]

@@ -53,6 +53,8 @@ var requiredSeries = []string{
 	"dudesrv_connections_total",
 	"dudesrv_requests_total",
 	"dudesrv_acked_writes_total",
+	"dudesrv_offered_requests_total",
+	"dudesrv_served_responses_total",
 }
 
 // rateSeries are the monotone counters whose scrape-to-scrape rates the
@@ -63,6 +65,8 @@ var requiredSeries = []string{
 var rateSeries = []string{
 	"dudesrv_requests_total",
 	"dudesrv_acked_writes_total",
+	"dudesrv_offered_requests_total",
+	"dudesrv_served_responses_total",
 	"dudetm_durable_tid",
 	`dudetm_region_flushed_bytes_total{region="log"}`,
 }
@@ -202,6 +206,11 @@ func renderTop(url string, m, prev map[string]float64, elapsed time.Duration, sa
 			rate(m, prev, "dudesrv_acked_writes_total", elapsed),
 			rate(m, prev, "dudetm_durable_tid", elapsed),
 			rate(m, prev, `dudetm_region_flushed_bytes_total{region="log"}`, elapsed))
+		// Offered vs served: demand decoded off the wire vs responses
+		// written back — the gap is the in-server backlog growing.
+		fmt.Printf("  load        %.0f offered/s   %.0f served/s\n",
+			rate(m, prev, "dudesrv_offered_requests_total", elapsed),
+			rate(m, prev, "dudesrv_served_responses_total", elapsed))
 	}
 	if m["dudetm_repl_peers"] > 0 {
 		state := "HEALTHY"

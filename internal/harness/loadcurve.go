@@ -1,0 +1,450 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"dudetm"
+	"dudetm/internal/loadgen"
+	"dudetm/internal/obs"
+	"dudetm/internal/pmem"
+	"dudetm/internal/server"
+)
+
+// kneeTolerance is the served/offered shortfall up to which a point
+// counts as "the server kept up". The saturation knee is the largest
+// offered load still within it.
+const kneeTolerance = 0.05
+
+// SLO is the declarative gate a load curve must pass. The zero value
+// disables nothing — fill every field (LoadCurve fills defaults
+// relative to the calibrated capacity).
+type SLO struct {
+	// MaxP99 bounds the open-loop p99 durable latency at every point
+	// whose offered load is at or below AtOffered.
+	MaxP99 time.Duration `json:"max_p99_ns"`
+	// AtOffered is the stated offered load (writes/s) up to which
+	// MaxP99 must hold.
+	AtOffered float64 `json:"at_offered_tps"`
+	// MaxShortfall bounds the served/offered shortfall at every point
+	// at or below the detected knee.
+	MaxShortfall float64 `json:"max_shortfall"`
+}
+
+// LoadCurvePoint is one offered-load step of the sweep: the open-loop
+// generator's client-side measurements plus the pipeline state scraped
+// from the live /metrics endpoint over the run.
+type LoadCurvePoint struct {
+	Process    string  `json:"process"`
+	OfferedTPS float64 `json:"offered_tps"`
+	ServedTPS  float64 `json:"served_tps"`
+	Shortfall  float64 `json:"shortfall"`
+	// Coordinated-omission-safe durable latency (intended arrival to
+	// durable ack), nanoseconds.
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+	// Intended-vs-actual send skew of the generator itself.
+	SkewP50NS int64 `json:"skew_p50_ns"`
+	SkewP99NS int64 `json:"skew_p99_ns"`
+	// Stage state over the point, from /metrics deltas: busy-time
+	// utilization per worker, mid-run queue depths and frontier lags.
+	PersistUtil   float64 `json:"persist_util"`
+	ReproUtil     float64 `json:"repro_util"`
+	PersistQueue  float64 `json:"persist_queue"`
+	ReproQueue    float64 `json:"repro_queue"`
+	DurableLag    float64 `json:"durable_lag"`
+	ReproducedLag float64 `json:"reproduced_lag"`
+	// Stalls is the watchdog stall-episode delta over the point.
+	Stalls uint64 `json:"stalls"`
+	// AtKnee marks the detected saturation knee.
+	AtKnee bool `json:"at_knee"`
+}
+
+// LoadCurveReport is the BENCH_loadcurve.json document.
+type LoadCurveReport struct {
+	Experiment     string           `json:"experiment"`
+	CapacityTPS    float64          `json:"capacity_tps"`
+	KneeOfferedTPS float64          `json:"knee_offered_tps"`
+	KneeIndex      int              `json:"knee_index"`
+	SLOPass        bool             `json:"slo_pass"`
+	SLOMaxP99NS    int64            `json:"slo_max_p99_ns"`
+	SLOAtOffered   float64          `json:"slo_at_offered_tps"`
+	SLOShortfall   float64          `json:"slo_max_shortfall"`
+	Violations     []string         `json:"violations"`
+	Points         []LoadCurvePoint `json:"points"`
+}
+
+// DetectKnee returns the index of the saturation knee: the largest
+// offered load whose shortfall stays within kneeTolerance (-1 if every
+// point is past saturation). Points must be sorted by OfferedTPS.
+func DetectKnee(points []LoadCurvePoint) int {
+	knee := -1
+	for i, p := range points {
+		if p.Shortfall <= kneeTolerance {
+			knee = i
+		}
+	}
+	return knee
+}
+
+// EvaluateSLO holds a measured curve to the gate and returns the
+// violations (empty = pass). Pure: tests feed synthetic curves to prove
+// an over-saturated configuration fails.
+func EvaluateSLO(points []LoadCurvePoint, knee int, slo SLO) []string {
+	var v []string
+	if len(points) == 0 {
+		return []string{"no load-curve points measured"}
+	}
+	if knee < 0 {
+		v = append(v, fmt.Sprintf("no point kept served/offered shortfall within %.0f%% — every offered load is past saturation", 100*kneeTolerance))
+	}
+	for i, p := range points {
+		if slo.MaxP99 > 0 && slo.AtOffered > 0 && p.OfferedTPS <= slo.AtOffered && time.Duration(p.P99NS) > slo.MaxP99 {
+			v = append(v, fmt.Sprintf("point %d (offered %.0f/s): p99 %v exceeds SLO %v at stated load %.0f/s",
+				i, p.OfferedTPS, time.Duration(p.P99NS), slo.MaxP99, slo.AtOffered))
+		}
+		if knee >= 0 && i <= knee {
+			if slo.MaxShortfall > 0 && p.Shortfall > slo.MaxShortfall {
+				v = append(v, fmt.Sprintf("point %d (offered %.0f/s): shortfall %.1f%% exceeds SLO %.1f%% below the knee",
+					i, p.OfferedTPS, 100*p.Shortfall, 100*slo.MaxShortfall))
+			}
+			if p.Stalls > 0 {
+				v = append(v, fmt.Sprintf("point %d (offered %.0f/s): %d watchdog stall episodes below the knee",
+					i, p.OfferedTPS, p.Stalls))
+			}
+		}
+	}
+	return v
+}
+
+// LoadCurveOpts tunes the sweep shape; the zero value is the full
+// 5-point curve with host-calibrated SLO defaults.
+type LoadCurveOpts struct {
+	// Points is the number of offered-load steps, spread from 0.3x to
+	// 1.3x the calibrated closed-loop capacity (default 5, min 2) —
+	// always spanning both sides of the expected knee.
+	Points int
+	// PointDuration is the scheduled length of each open-loop run
+	// (default 2s; 1s under -quick).
+	PointDuration time.Duration
+	// Keys is the uniform keyspace (default 4Mi keys, so the B+-tree
+	// and blob heap leave cache residency).
+	Keys uint64
+	// OutPath, when set, receives the LoadCurveReport as indented JSON
+	// (the BENCH_loadcurve.json artifact).
+	OutPath string
+	// SLO overrides the gate; zero fields get capacity-relative
+	// defaults (p99 <= 500ms at 0.55x capacity, shortfall <= 10%).
+	SLO SLO
+}
+
+// loadCurveOptions is the system under test: the parallel pipeline with
+// the NVM delay model on and constrained write bandwidth, so saturation
+// comes from the modeled device rather than host scheduling noise, plus
+// the watchdog and sampled lifecycle tracing the scrape reports on.
+func loadCurveOptions() dudetm.Options {
+	return dudetm.Options{
+		DataSize:         256 << 20,
+		Threads:          4,
+		GroupSize:        64,
+		PersistThreads:   2,
+		ReproThreads:     2,
+		Timing:           true,
+		Bandwidth:        pmem.GB / 32,
+		TraceSampleEvery: 64,
+		Watchdog:         time.Second,
+	}
+}
+
+// LoadCurve runs the open-loop latency-vs-offered-load sweep: calibrate
+// capacity with a short closed-loop burst, then step a Poisson arrival
+// process from well below to past the knee, scraping the live /metrics
+// endpoint around each point for stage utilization, queue depths,
+// frontier lags and watchdog stalls. The detected knee and the SLO
+// verdict ship in BENCH_loadcurve.json; a failed SLO is the returned
+// error, so dudebench (and check.sh) exit non-zero on regression.
+func LoadCurve(c ExpConfig, o LoadCurveOpts) error {
+	c.applyDefaults()
+	if o.Points == 0 {
+		o.Points = 5
+	}
+	if o.Points < 2 {
+		o.Points = 2
+	}
+	if o.PointDuration == 0 {
+		o.PointDuration = 2 * time.Second
+		if c.Quick {
+			o.PointDuration = time.Second
+		}
+	}
+	if o.Keys == 0 {
+		o.Keys = 4 << 20
+	}
+
+	pool, err := dudetm.Create(loadCurveOptions())
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	srv, err := server.New(pool, server.Config{MaxConns: 128})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(10 * time.Second)
+
+	// A real HTTP /metrics endpoint, scraped over the wire like an
+	// operator would — the experiment exercises the same surface
+	// `dudectl top` reads.
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ms := &http.Server{Handler: srv.DebugHandler()}
+	go ms.Serve(mln)
+	defer ms.Close()
+	metricsURL := "http://" + mln.Addr().String() + "/metrics"
+
+	// Calibrate in two steps. A closed-loop burst gives a floor — but
+	// each of its connections waits out a full durability ack, so it
+	// understates what the pipelined server can absorb. Open-loop
+	// overload probes then push the offered rate up until the served
+	// rate stops following: that served rate is the service capacity,
+	// and the sweep brackets it from 0.3x to 1.3x so the knee lands
+	// inside the curve.
+	calWrites := 400
+	if c.Quick {
+		calWrites = 150
+	}
+	cal, err := NetLoad(NetLoadOpts{
+		Addr: ln.Addr().String(), Conns: 8, WritesPerConn: calWrites, Keys: o.Keys,
+	})
+	if err != nil {
+		return fmt.Errorf("loadcurve calibration: %w", err)
+	}
+	if cal.TPS <= 0 {
+		return fmt.Errorf("loadcurve calibration measured no throughput")
+	}
+	capacity := cal.TPS
+	probeRate := 3 * cal.TPS
+	for iter := 0; iter < 4; iter++ {
+		probe, err := loadgen.Run(loadgen.Opts{
+			Addr:     ln.Addr().String(),
+			Proc:     loadgen.Constant{Rate: probeRate},
+			Duration: o.PointDuration,
+			Conns:    8,
+			Keys:     o.Keys,
+			Seed:     int64(31 + iter),
+		})
+		if err != nil {
+			return fmt.Errorf("loadcurve capacity probe at %.0f/s: %w", probeRate, err)
+		}
+		if probe.Served > capacity {
+			capacity = probe.Served
+		}
+		if probe.Shortfall() > 2*kneeTolerance {
+			break // saturated: the served rate is the capacity
+		}
+		probeRate *= 2
+	}
+	fmt.Fprintf(c.Out, "calibrated capacity: %s served under overload (closed-loop floor %s)\n",
+		fmtTPS(capacity), fmtTPS(cal.TPS))
+
+	slo := o.SLO
+	if slo.MaxP99 == 0 {
+		slo.MaxP99 = 500 * time.Millisecond
+	}
+	if slo.AtOffered == 0 {
+		slo.AtOffered = 0.55 * capacity
+	}
+	if slo.MaxShortfall == 0 {
+		slo.MaxShortfall = 0.10
+	}
+
+	var points []LoadCurvePoint
+	for i := 0; i < o.Points; i++ {
+		frac := 0.3 + (1.3-0.3)*float64(i)/float64(o.Points-1)
+		rate := frac * capacity
+		m0, err := scrapeProm(metricsURL)
+		if err != nil {
+			return fmt.Errorf("loadcurve scrape: %w", err)
+		}
+		// Mid-run scrape: queue depths and frontier lags only mean
+		// something while the load is on the wire.
+		midCh := make(chan map[string]float64, 1)
+		go func() {
+			time.Sleep(o.PointDuration / 2)
+			mid, _ := scrapeProm(metricsURL)
+			midCh <- mid
+		}()
+		res, err := loadgen.Run(loadgen.Opts{
+			Addr:     ln.Addr().String(),
+			Proc:     loadgen.Poisson{Rate: rate},
+			Duration: o.PointDuration,
+			Conns:    8,
+			Keys:     o.Keys,
+			Seed:     int64(1000 + i),
+		})
+		if err != nil {
+			return fmt.Errorf("loadcurve point %d (offered %.0f/s): %w", i, rate, err)
+		}
+		mid := <-midCh
+		m1, err := scrapeProm(metricsURL)
+		if err != nil {
+			return fmt.Errorf("loadcurve scrape: %w", err)
+		}
+		points = append(points, pointFrom(res, m0, mid, m1))
+	}
+
+	knee := DetectKnee(points)
+	if knee >= 0 {
+		points[knee].AtKnee = true
+	}
+	violations := EvaluateSLO(points, knee, slo)
+
+	tw := tabwriter.NewWriter(c.Out, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "offered\tserved\tshortfall\tp50\tp99\tp999\tutil P/R\tqueue P/R\tstalls\t")
+	for i, p := range points {
+		mark := ""
+		if i == knee {
+			mark = "  <- knee"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.1f%%\t%v\t%v\t%v\t%.2f/%.2f\t%.0f/%.0f\t%d%s\t\n",
+			fmtTPS(p.OfferedTPS), fmtTPS(p.ServedTPS), 100*p.Shortfall,
+			time.Duration(p.P50NS).Round(time.Microsecond),
+			time.Duration(p.P99NS).Round(time.Microsecond),
+			time.Duration(p.P999NS).Round(time.Microsecond),
+			p.PersistUtil, p.ReproUtil, p.PersistQueue, p.ReproQueue, p.Stalls, mark)
+	}
+	tw.Flush()
+
+	// Feed the dudebench -json stream: one Record per point, so the
+	// curve diffs across commits with the same tooling as every other
+	// experiment.
+	for _, p := range points {
+		recordRaw(Record{
+			System: "DUDETM", Bench: "open-loop/" + p.Process, Threads: 8,
+			TPS: p.ServedTPS, P50NS: p.P50NS, P99NS: p.P99NS, P999NS: p.P999NS,
+			PersistUtil: p.PersistUtil, ReproUtil: p.ReproUtil,
+			Process: p.Process, OfferedTPS: p.OfferedTPS, ServedTPS: p.ServedTPS,
+			SkewP50NS: p.SkewP50NS, SkewP99NS: p.SkewP99NS,
+			Shortfall: p.Shortfall, Stalls: p.Stalls, AtKnee: p.AtKnee,
+		})
+	}
+
+	rep := LoadCurveReport{
+		Experiment:   "loadcurve",
+		CapacityTPS:  capacity,
+		KneeIndex:    knee,
+		SLOPass:      len(violations) == 0,
+		SLOMaxP99NS:  slo.MaxP99.Nanoseconds(),
+		SLOAtOffered: slo.AtOffered,
+		SLOShortfall: slo.MaxShortfall,
+		Violations:   violations,
+		Points:       points,
+	}
+	if rep.Violations == nil {
+		rep.Violations = []string{}
+	}
+	if knee >= 0 {
+		rep.KneeOfferedTPS = points[knee].OfferedTPS
+	}
+	if o.OutPath != "" {
+		f, err := os.Create(o.OutPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.Out, "load curve written to %s\n", o.OutPath)
+	}
+
+	if knee >= 0 {
+		fmt.Fprintf(c.Out, "saturation knee: %s offered (%.0f%% of calibrated capacity)\n",
+			fmtTPS(points[knee].OfferedTPS), 100*points[knee].OfferedTPS/capacity)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(c.Out, "SLO violation: %s\n", v)
+		}
+		return fmt.Errorf("loadcurve: %d SLO violations", len(violations))
+	}
+	fmt.Fprintf(c.Out, "SLO gate passed: p99 <= %v at %s offered, shortfall <= %.0f%% and no stalls below the knee\n",
+		slo.MaxP99, fmtTPS(slo.AtOffered), 100*slo.MaxShortfall)
+	return nil
+}
+
+// pointFrom folds the generator's client-side result and the bracketing
+// /metrics scrapes into one curve point.
+func pointFrom(res loadgen.Result, m0, mid, m1 map[string]float64) LoadCurvePoint {
+	p := LoadCurvePoint{
+		Process:    res.Process,
+		OfferedTPS: res.Offered,
+		ServedTPS:  res.Served,
+		Shortfall:  res.Shortfall(),
+		P50NS:      res.P50.Nanoseconds(),
+		P99NS:      res.P99.Nanoseconds(),
+		P999NS:     res.P999.Nanoseconds(),
+		SkewP50NS:  res.SkewP50.Nanoseconds(),
+		SkewP99NS:  res.SkewP99.Nanoseconds(),
+	}
+	elapsed := res.Elapsed.Seconds()
+	for _, st := range []struct {
+		util  *float64
+		stage string
+	}{
+		{&p.PersistUtil, "persist"},
+		{&p.ReproUtil, "reproduce"},
+	} {
+		l := fmt.Sprintf("{stage=%q}", st.stage)
+		workers := m1["dudetm_stage_workers"+l]
+		busy := m1["dudetm_stage_busy_seconds_total"+l] - m0["dudetm_stage_busy_seconds_total"+l]
+		if workers > 0 && elapsed > 0 {
+			u := busy / (elapsed * workers)
+			if !math.IsNaN(u) && !math.IsInf(u, 0) {
+				*st.util = u
+			}
+		}
+	}
+	if mid != nil {
+		p.PersistQueue = mid[`dudetm_stage_queue_depth{stage="persist"}`]
+		p.ReproQueue = mid[`dudetm_stage_queue_depth{stage="reproduce"}`]
+		p.DurableLag = mid["dudetm_clock_tid"] - mid["dudetm_durable_tid"]
+		p.ReproducedLag = mid["dudetm_durable_tid"] - mid["dudetm_reproduced_tid"]
+	}
+	if d := m1["dudetm_watchdog_stalls_total"] - m0["dudetm_watchdog_stalls_total"]; d > 0 {
+		p.Stalls = uint64(d)
+	}
+	return p
+}
+
+// scrapeProm fetches and parses one Prometheus text-format scrape.
+func scrapeProm(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return obs.ParseProm(resp.Body)
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// curve builds a synthetic sweep: offered loads with the shortfalls and
+// p99s a server with the given capacity would show.
+func curve(points ...LoadCurvePoint) []LoadCurvePoint { return points }
+
+func pt(offered, shortfall float64, p99 time.Duration, stalls uint64) LoadCurvePoint {
+	return LoadCurvePoint{
+		Process:    "poisson",
+		OfferedTPS: offered,
+		ServedTPS:  offered * (1 - shortfall),
+		Shortfall:  shortfall,
+		P99NS:      p99.Nanoseconds(),
+		Stalls:     stalls,
+	}
+}
+
+func TestDetectKnee(t *testing.T) {
+	pts := curve(
+		pt(1000, 0.001, time.Millisecond, 0),
+		pt(2000, 0.002, 2*time.Millisecond, 0),
+		pt(3000, 0.04, 10*time.Millisecond, 0), // still within 5% tolerance
+		pt(4000, 0.25, 300*time.Millisecond, 0),
+		pt(5000, 0.40, 800*time.Millisecond, 0),
+	)
+	if got := DetectKnee(pts); got != 2 {
+		t.Errorf("DetectKnee = %d, want 2 (largest offered load within tolerance)", got)
+	}
+	// Every point saturated: no knee.
+	if got := DetectKnee(curve(pt(1000, 0.5, time.Second, 0))); got != -1 {
+		t.Errorf("DetectKnee(all saturated) = %d, want -1", got)
+	}
+	if got := DetectKnee(nil); got != -1 {
+		t.Errorf("DetectKnee(nil) = %d, want -1", got)
+	}
+}
+
+func TestEvaluateSLOPasses(t *testing.T) {
+	pts := curve(
+		pt(1000, 0.001, time.Millisecond, 0),
+		pt(2000, 0.002, 3*time.Millisecond, 0),
+		pt(3000, 0.30, 400*time.Millisecond, 2), // past the knee: stalls allowed
+	)
+	slo := SLO{MaxP99: 100 * time.Millisecond, AtOffered: 2500, MaxShortfall: 0.10}
+	if v := EvaluateSLO(pts, DetectKnee(pts), slo); len(v) != 0 {
+		t.Errorf("healthy curve violated SLO: %v", v)
+	}
+}
+
+// TestEvaluateSLOOverSaturated is the acceptance drill: an SLO written
+// for more load than the server can absorb must fail the gate, not pass
+// vacuously.
+func TestEvaluateSLOOverSaturated(t *testing.T) {
+	// The server keeps up to 2 KTPS; the operator claims p99 <= 5ms all
+	// the way to 4 KTPS. The 4 KTPS point is past saturation and its
+	// queueing p99 blows the bound.
+	pts := curve(
+		pt(1000, 0.001, time.Millisecond, 0),
+		pt(2000, 0.01, 4*time.Millisecond, 0),
+		pt(4000, 0.35, 900*time.Millisecond, 0),
+	)
+	slo := SLO{MaxP99: 5 * time.Millisecond, AtOffered: 4000, MaxShortfall: 0.10}
+	v := EvaluateSLO(pts, DetectKnee(pts), slo)
+	if len(v) == 0 {
+		t.Fatal("over-saturated SLO config passed the gate")
+	}
+	if !strings.Contains(strings.Join(v, "\n"), "p99") {
+		t.Errorf("violations do not name the p99 breach: %v", v)
+	}
+}
+
+func TestEvaluateSLOFullySaturated(t *testing.T) {
+	// No point keeps up at all: the gate must call out that every
+	// offered load is past saturation.
+	pts := curve(pt(1000, 0.5, time.Second, 0), pt(2000, 0.7, 2*time.Second, 0))
+	v := EvaluateSLO(pts, DetectKnee(pts), SLO{MaxP99: time.Second, AtOffered: 500, MaxShortfall: 0.10})
+	if len(v) == 0 {
+		t.Fatal("fully saturated curve passed the gate")
+	}
+	if !strings.Contains(strings.Join(v, "\n"), "past saturation") {
+		t.Errorf("violations do not flag total saturation: %v", v)
+	}
+}
+
+func TestEvaluateSLOBelowKneeChecks(t *testing.T) {
+	// Shortfall and stall violations only bind at or below the knee.
+	pts := curve(
+		pt(1000, 0.03, time.Millisecond, 1), // below knee, 1 stall: violation
+		pt(2000, 0.04, 2*time.Millisecond, 0),
+		pt(3000, 0.30, 500*time.Millisecond, 5), // past knee: stalls ignored
+	)
+	slo := SLO{MaxP99: time.Second, AtOffered: 100, MaxShortfall: 0.02}
+	v := strings.Join(EvaluateSLO(pts, DetectKnee(pts), slo), "\n")
+	if !strings.Contains(v, "stall") {
+		t.Errorf("below-knee stall not reported: %q", v)
+	}
+	if !strings.Contains(v, "shortfall") {
+		t.Errorf("below-knee shortfall breach (3%% and 4%% > 2%%) not reported: %q", v)
+	}
+	if strings.Contains(v, "point 2") {
+		t.Errorf("past-knee point reported below-knee violations: %q", v)
+	}
+	if len(EvaluateSLO(nil, -1, slo)) == 0 {
+		t.Error("empty curve passed the gate")
+	}
+}

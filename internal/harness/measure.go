@@ -3,9 +3,10 @@ package harness
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
+
+	"dudetm/internal/obs"
 )
 
 // MeasureOpts controls one measured run.
@@ -34,8 +35,11 @@ type Result struct {
 	// Derived.
 	TPS float64
 
-	// Durable-ack latency percentiles (valid when sampled).
-	P50, P90, P99 time.Duration
+	// Durable-ack latency quantiles (valid when sampled), from the
+	// same mergeable power-of-two-bucket histogram all drivers share.
+	P50, P90, P99, P999 time.Duration
+	// Latency is the full histogram behind the quantiles.
+	Latency obs.HistSnapshot
 
 	// System counters over the measured interval.
 	Stats SysStats
@@ -76,7 +80,7 @@ func Measure(sys System, bench Bench, threads int, m MeasureOpts) (Result, error
 
 	before := sys.Stats()
 	perThread := m.TotalOps / threads
-	lats := make([][]time.Duration, threads)
+	var latHist obs.Histogram
 	errs := make([]error, threads)
 	asyncLat := m.SampleLat && sys.AsyncDurability()
 	var wg sync.WaitGroup
@@ -111,20 +115,20 @@ func Measure(sys System, bench Bench, threads int, m MeasureOpts) (Result, error
 				}
 				if !asyncLat {
 					// Durable at Run return.
-					lats[w] = append(lats[w], time.Since(t0))
+					latHist.ObserveSince(0, int64(time.Since(t0)))
 					continue
 				}
 				// Acknowledge the previous transaction now that this
 				// one's Perform step is done (the paper's pattern).
 				if havePrev {
 					sys.WaitDurable(prevTid)
-					lats[w] = append(lats[w], time.Since(prevT0))
+					latHist.ObserveSince(0, int64(time.Since(prevT0)))
 				}
 				prevTid, prevT0, havePrev = tid, t0, true
 			}
 			if asyncLat && havePrev {
 				sys.WaitDurable(prevTid)
-				lats[w] = append(lats[w], time.Since(prevT0))
+				latHist.ObserveSince(0, int64(time.Since(prevT0)))
 			}
 		}(w)
 	}
@@ -175,15 +179,12 @@ func Measure(sys System, bench Bench, threads int, m MeasureOpts) (Result, error
 		},
 	}
 	if m.SampleLat {
-		var all []time.Duration
-		for _, l := range lats {
-			all = append(all, l...)
-		}
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		if len(all) > 0 {
-			res.P50 = all[len(all)*50/100]
-			res.P90 = all[len(all)*90/100]
-			res.P99 = all[len(all)*99/100]
+		res.Latency = latHist.Snapshot()
+		if res.Latency.Count > 0 {
+			res.P50 = time.Duration(res.Latency.Quantile(0.50))
+			res.P90 = time.Duration(res.Latency.Quantile(0.90))
+			res.P99 = time.Duration(res.Latency.Quantile(0.99))
+			res.P999 = time.Duration(res.Latency.Quantile(0.999))
 		}
 	}
 	record(res)

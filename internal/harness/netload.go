@@ -3,10 +3,10 @@ package harness
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
 
+	"dudetm/internal/obs"
 	"dudetm/internal/server"
 )
 
@@ -32,6 +32,14 @@ type NetLoadOpts struct {
 	ReadEvery int
 	// Seed makes the value stream reproducible.
 	Seed int64
+	// TargetRate, when > 0, paces each connection to an evenly spaced
+	// per-connection schedule summing to TargetRate writes/s overall.
+	// Latency is then measured from each write's *intended* send time,
+	// not its actual send time — the coordinated-omission fix: when an
+	// ack stalls, the writes queued behind it are charged their full
+	// schedule delay instead of silently shifting the schedule. At 0
+	// the loop self-clocks (classic closed loop) and intended == actual.
+	TargetRate float64
 	// OnAck, when set, is called after every durably acknowledged
 	// write with its key and the monotonically increasing generation
 	// encoded in the value — crash drills use it to record exactly
@@ -47,9 +55,18 @@ type NetLoadResult struct {
 	Elapsed time.Duration
 	// TPS is acknowledged durable writes per second.
 	TPS float64
-	// P50, P90, P99 are durable-acknowledgment latency percentiles
-	// (request send to durable response).
-	P50, P90, P99 time.Duration
+	// Latency is the full durable-ack latency histogram (ns), measured
+	// from the intended send time when TargetRate paces the run.
+	Latency obs.HistSnapshot
+	// SendSkew is the intended-vs-actual send lag histogram (ns). All
+	// zeros when TargetRate == 0 (a self-clocked loop has no schedule
+	// to fall behind). A fat skew tail means the report under-states
+	// the offered-load the configuration claims.
+	SendSkew obs.HistSnapshot
+	// P50, P90, P99, P999 are durable-acknowledgment latency quantiles.
+	P50, P90, P99, P999 time.Duration
+	// SkewP50, SkewP99 are send-skew quantiles.
+	SkewP50, SkewP99 time.Duration
 }
 
 func (o NetLoadOpts) withDefaults() NetLoadOpts {
@@ -78,9 +95,18 @@ func (o NetLoadOpts) withDefaults() NetLoadOpts {
 // the statistics gathered before the plug was pulled.
 func NetLoad(o NetLoadOpts) (NetLoadResult, error) {
 	o = o.withDefaults()
-	lats := make([][]time.Duration, o.Conns)
+	var (
+		latHist  obs.Histogram
+		skewHist obs.Histogram
+	)
 	errs := make([]error, o.Conns)
 	ackCounts := make([]uint64, o.Conns)
+	// Per-connection pacing interval: o.Conns connections together
+	// offer TargetRate, so each one fires every Conns/TargetRate.
+	var interval time.Duration
+	if o.TargetRate > 0 {
+		interval = time.Duration(float64(o.Conns) / o.TargetRate * float64(time.Second))
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < o.Conns; w++ {
@@ -104,12 +130,23 @@ func NetLoad(o NetLoadOpts) (NetLoadResult, error) {
 						val[b] = byte(gen >> (8 * b))
 					}
 				}
-				t0 := time.Now()
+				// Intended send time: the schedule slot when paced,
+				// the actual send when self-clocked. Latency always
+				// counts from the intended time, so a stalled ack
+				// charges the writes queued behind it too.
+				intended := time.Now()
+				if interval > 0 {
+					intended = start.Add(time.Duration(i) * interval)
+					if d := time.Until(intended); d > 0 {
+						time.Sleep(d)
+					}
+					skewHist.ObserveSince(0, int64(time.Since(intended)))
+				}
 				if err := c.Put(key, val); err != nil {
 					errs[w] = err
 					return
 				}
-				lats[w] = append(lats[w], time.Since(t0))
+				latHist.ObserveSince(0, int64(time.Since(intended)))
 				ackCounts[w]++
 				if o.OnAck != nil {
 					o.OnAck(w, key, gen)
@@ -128,18 +165,18 @@ func NetLoad(o NetLoadOpts) (NetLoadResult, error) {
 
 	var res NetLoadResult
 	res.Elapsed = elapsed
-	var all []time.Duration
 	for w := 0; w < o.Conns; w++ {
 		res.Writes += ackCounts[w]
-		all = append(all, lats[w]...)
 	}
 	res.TPS = float64(res.Writes) / elapsed.Seconds()
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	if len(all) > 0 {
-		res.P50 = all[len(all)*50/100]
-		res.P90 = all[len(all)*90/100]
-		res.P99 = all[len(all)*99/100]
-	}
+	res.Latency = latHist.Snapshot()
+	res.SendSkew = skewHist.Snapshot()
+	res.P50 = time.Duration(res.Latency.Quantile(0.50))
+	res.P90 = time.Duration(res.Latency.Quantile(0.90))
+	res.P99 = time.Duration(res.Latency.Quantile(0.99))
+	res.P999 = time.Duration(res.Latency.Quantile(0.999))
+	res.SkewP50 = time.Duration(res.SendSkew.Quantile(0.50))
+	res.SkewP99 = time.Duration(res.SendSkew.Quantile(0.99))
 	var firstErr error
 	for _, err := range errs {
 		if err != nil {

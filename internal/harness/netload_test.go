@@ -47,12 +47,44 @@ func TestNetLoadClosedLoop(t *testing.T) {
 	if res.Writes != 200 || acks != 200 {
 		t.Fatalf("writes=%d acks=%d, want 200", res.Writes, acks)
 	}
-	if res.TPS <= 0 || res.P50 <= 0 || res.P99 < res.P50 {
+	if res.TPS <= 0 || res.P50 <= 0 || res.P99 < res.P50 || res.P999 < res.P99 {
 		t.Fatalf("implausible latency stats: %+v", res)
+	}
+	if res.Latency.Count != res.Writes {
+		t.Fatalf("latency histogram count %d != writes %d", res.Latency.Count, res.Writes)
+	}
+	// Self-clocked run: no schedule, so no skew samples.
+	if res.SendSkew.Count != 0 {
+		t.Fatalf("unpaced run recorded %d skew samples", res.SendSkew.Count)
 	}
 	// Every connection really waited for durability: the server's
 	// acknowledged-write count matches.
 	if st := srv.Stats(); st.AckedWrites < 200 {
 		t.Fatalf("server acked %d writes, want >= 200", st.AckedWrites)
+	}
+
+	// Paced run: intended-time stamping records one skew sample per
+	// write, and the latency quantiles stay ordered with p999 present.
+	res, err = NetLoad(NetLoadOpts{
+		Addr:          ln.Addr().String(),
+		Conns:         4,
+		WritesPerConn: 50,
+		ValueBytes:    32,
+		TargetRate:    2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes != 200 {
+		t.Fatalf("paced writes=%d, want 200", res.Writes)
+	}
+	if res.SendSkew.Count != res.Writes {
+		t.Fatalf("paced run recorded %d skew samples for %d writes", res.SendSkew.Count, res.Writes)
+	}
+	if res.SkewP99 < res.SkewP50 {
+		t.Fatalf("skew quantiles out of order: p50=%v p99=%v", res.SkewP50, res.SkewP99)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.P999 < res.P99 {
+		t.Fatalf("paced latency quantiles out of order: %+v", res)
 	}
 }

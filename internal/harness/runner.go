@@ -225,13 +225,13 @@ func NewSystem(kind SysKind, o Options) (System, error) {
 // DudeTM variant.
 func dudeConfig(kind SysKind, o Options, pc pmem.Config) dudetm.Config {
 	cfg := dudetm.Config{
-		DataSize:         o.DataSize,
-		Threads:          o.Threads,
-		GroupSize:        o.GroupSize,
-		Compress:         o.Compress,
-		VLogEntries:      o.VLogEntries,
-		Shadow:           o.Shadow,
-		ShadowBytes:      o.ShadowBytes,
+		DataSize:           o.DataSize,
+		Threads:            o.Threads,
+		GroupSize:          o.GroupSize,
+		Compress:           o.Compress,
+		VLogEntries:        o.VLogEntries,
+		Shadow:             o.Shadow,
+		ShadowBytes:        o.ShadowBytes,
 		PersistThreads:     o.PersistThreads,
 		ReproThreads:       o.ReproThreads,
 		ReplayEpochGroups:  o.ReplayEpochGroups,
@@ -330,13 +330,13 @@ func (d *dudeSys) Close() { d.s.Close() }
 func (d *dudeSys) Stats() SysStats {
 	st := d.s.Stats()
 	return SysStats{
-		Commits:       st.TM.Commits,
-		Aborts:        st.TM.Aborts,
-		Writes:        st.Writes,
-		NVMBytes:      st.Device.BytesFlushed,
-		LogBytes:      st.LogBytes,
-		RawEntries:    st.RawEntries,
-		CombEntries:   st.CombEntries,
+		Commits:          st.TM.Commits,
+		Aborts:           st.TM.Aborts,
+		Writes:           st.Writes,
+		NVMBytes:         st.Device.BytesFlushed,
+		LogBytes:         st.LogBytes,
+		RawEntries:       st.RawEntries,
+		CombEntries:      st.CombEntries,
 		PersistBusyNS:    st.Persist.BusyNanos,
 		ReproBusyNS:      st.Reproduce.BusyNanos,
 		PersistFences:    st.Persist.Fences,

@@ -1,0 +1,252 @@
+// Package loadgen is an open-loop, trace-driven load generator for a
+// running dudesrv. Unlike the closed-loop drivers in internal/harness
+// (each connection keeps one durable write outstanding, so an
+// overloaded server silently throttles its own clients), loadgen
+// schedules request *arrivals* from a configured inter-arrival process
+// and fires them whether or not earlier requests have completed — the
+// only driver shape that exposes queueing collapse past the saturation
+// knee.
+//
+// Latency is coordinated-omission-safe: each request is measured from
+// its *intended* arrival time (the schedule) to the durable
+// acknowledgment, so a stalled server is charged for the whole queueing
+// delay it caused, not just the service time of the requests it got
+// around to reading. The intended-vs-actual send skew is recorded
+// separately; a generator that cannot keep its own schedule reports
+// that too instead of silently thinning the offered load.
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Process generates one run's arrival schedule: sorted offsets from the
+// run start, all within [0, d). Implementations must be deterministic
+// for a given rng seed, so a recorded run can be replayed exactly.
+type Process interface {
+	// Name labels the process in results and BENCH records.
+	Name() string
+	// Arrivals returns the sorted arrival offsets for a run of length d.
+	Arrivals(d time.Duration, rng *rand.Rand) []time.Duration
+}
+
+// Constant is a fixed-rate arrival process: one arrival every 1/Rate
+// seconds. The degenerate but useful baseline — any latency spread it
+// produces is the server's, not the arrival process's.
+type Constant struct {
+	Rate float64 // arrivals per second
+}
+
+// Name implements Process.
+func (c Constant) Name() string { return "constant" }
+
+// Arrivals implements Process.
+func (c Constant) Arrivals(d time.Duration, _ *rand.Rand) []time.Duration {
+	if c.Rate <= 0 || d <= 0 {
+		return nil
+	}
+	n := int(c.Rate * d.Seconds())
+	out := make([]time.Duration, 0, n)
+	period := float64(time.Second) / c.Rate
+	for i := 0; i < n; i++ {
+		out = append(out, time.Duration(float64(i)*period))
+	}
+	return out
+}
+
+// Poisson is a memoryless arrival process: exponentially distributed
+// inter-arrival times with mean 1/Rate. The standard open-system model
+// for many independent users.
+type Poisson struct {
+	Rate float64 // mean arrivals per second
+}
+
+// Name implements Process.
+func (p Poisson) Name() string { return "poisson" }
+
+// Arrivals implements Process.
+func (p Poisson) Arrivals(d time.Duration, rng *rand.Rand) []time.Duration {
+	if p.Rate <= 0 || d <= 0 {
+		return nil
+	}
+	out := make([]time.Duration, 0, int(p.Rate*d.Seconds())+16)
+	t := time.Duration(0)
+	for {
+		t += time.Duration(rng.ExpFloat64() / p.Rate * float64(time.Second))
+		if t >= d {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// Bursty is an MMPP-style on/off modulated Poisson process: the run
+// alternates between an On phase arriving at BurstRate and an Off phase
+// arriving at BaseRate. The mean offered load is the phase-weighted
+// average; the tail behaviour is dominated by whether the pipeline can
+// absorb an On phase before the next one begins.
+type Bursty struct {
+	BaseRate  float64       // arrivals per second during Off phases
+	BurstRate float64       // arrivals per second during On phases
+	On        time.Duration // On-phase length (default 100ms)
+	Off       time.Duration // Off-phase length (default 400ms)
+}
+
+// Name implements Process.
+func (b Bursty) Name() string { return "bursty" }
+
+// MeanRate returns the phase-weighted average arrival rate.
+func (b Bursty) MeanRate() float64 {
+	on, off := b.On, b.Off
+	if on <= 0 {
+		on = 100 * time.Millisecond
+	}
+	if off <= 0 {
+		off = 400 * time.Millisecond
+	}
+	return (b.BurstRate*on.Seconds() + b.BaseRate*off.Seconds()) / (on + off).Seconds()
+}
+
+// Arrivals implements Process. The run starts in an On phase, so even a
+// run shorter than one full cycle carries a burst.
+func (b Bursty) Arrivals(d time.Duration, rng *rand.Rand) []time.Duration {
+	if d <= 0 || (b.BaseRate <= 0 && b.BurstRate <= 0) {
+		return nil
+	}
+	on, off := b.On, b.Off
+	if on <= 0 {
+		on = 100 * time.Millisecond
+	}
+	if off <= 0 {
+		off = 400 * time.Millisecond
+	}
+	var out []time.Duration
+	phaseStart := time.Duration(0)
+	burst := true
+	for phaseStart < d {
+		rate, plen := b.BurstRate, on
+		if !burst {
+			rate, plen = b.BaseRate, off
+		}
+		end := phaseStart + plen
+		if end > d {
+			end = d
+		}
+		if rate > 0 {
+			t := phaseStart
+			for {
+				t += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+				if t >= end {
+					break
+				}
+				out = append(out, t)
+			}
+		}
+		phaseStart += plen
+		burst = !burst
+	}
+	return out
+}
+
+// Trace replays a recorded arrival schedule: offsets from the run
+// start, typically loaded from a CSV of timestamps. Offsets at or past
+// the run length are dropped (the replay window truncates the trace).
+type Trace struct {
+	Label string
+	At    []time.Duration
+}
+
+// Name implements Process.
+func (t *Trace) Name() string {
+	if t.Label != "" {
+		return "trace:" + t.Label
+	}
+	return "trace"
+}
+
+// Arrivals implements Process: the recorded offsets, sorted, truncated
+// to the run window. The rng is unused — a trace is already determined.
+func (t *Trace) Arrivals(d time.Duration, _ *rand.Rand) []time.Duration {
+	out := make([]time.Duration, 0, len(t.At))
+	for _, at := range t.At {
+		if at >= 0 && at < d {
+			out = append(out, at)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ParseTraceCSV reads a recorded arrival trace: one arrival timestamp
+// per line (first comma-separated field), in seconds from the start of
+// the recording. Blank lines and '#' comments are skipped; a first line
+// whose leading field is not a number is treated as a header. Negative
+// and non-finite timestamps are rejected — a torn trace must fail
+// loudly, not thin the offered load.
+func ParseTraceCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	tr := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		field := text
+		if i := strings.IndexByte(field, ','); i >= 0 {
+			field = field[:i]
+		}
+		field = strings.TrimSpace(field)
+		sec, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			if len(tr.At) == 0 && line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("loadgen: trace line %d: %q is not a timestamp", line, field)
+		}
+		if sec < 0 || math.IsNaN(sec) || math.IsInf(sec, 0) {
+			return nil, fmt.Errorf("loadgen: trace line %d: timestamp %v out of range", line, sec)
+		}
+		// Round, don't truncate: 1.2 (not exactly representable in
+		// float64) must land on 1.2s, not 1.199999999s.
+		tr.At = append(tr.At, time.Duration(math.Round(sec*float64(time.Second))))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: reading trace: %w", err)
+	}
+	if len(tr.At) == 0 {
+		return nil, fmt.Errorf("loadgen: trace holds no arrivals")
+	}
+	sort.Slice(tr.At, func(i, j int) bool { return tr.At[i] < tr.At[j] })
+	return tr, nil
+}
+
+// LoadTraceCSV reads a trace file with ParseTraceCSV, labeling the
+// trace with the file's base name.
+func LoadTraceCSV(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := ParseTraceCSV(f)
+	if err != nil {
+		return nil, err
+	}
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	tr.Label = base
+	return tr, nil
+}

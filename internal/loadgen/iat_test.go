@@ -1,0 +1,225 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sorted(at []time.Duration) bool {
+	return sort.SliceIsSorted(at, func(i, j int) bool { return at[i] < at[j] })
+}
+
+func inWindow(t *testing.T, at []time.Duration, d time.Duration) {
+	t.Helper()
+	for i, a := range at {
+		if a < 0 || a >= d {
+			t.Fatalf("arrival %d at %v outside [0, %v)", i, a, d)
+		}
+	}
+}
+
+func TestConstantSpacing(t *testing.T) {
+	p := Constant{Rate: 1000}
+	at := p.Arrivals(time.Second, rand.New(rand.NewSource(1)))
+	if len(at) != 1000 {
+		t.Fatalf("got %d arrivals, want 1000", len(at))
+	}
+	inWindow(t, at, time.Second)
+	for i := 1; i < len(at); i++ {
+		gap := at[i] - at[i-1]
+		if gap < 999*time.Microsecond || gap > 1001*time.Microsecond {
+			t.Fatalf("gap %d = %v, want ~1ms", i, gap)
+		}
+	}
+}
+
+// TestDeterministicPerSeed: the same seed must reproduce the same
+// schedule exactly (replayable runs), and different seeds must not.
+func TestDeterministicPerSeed(t *testing.T) {
+	procs := []Process{
+		Poisson{Rate: 5000},
+		Bursty{BaseRate: 500, BurstRate: 5000},
+	}
+	for _, p := range procs {
+		a := p.Arrivals(time.Second, rand.New(rand.NewSource(7)))
+		b := p.Arrivals(time.Second, rand.New(rand.NewSource(7)))
+		if len(a) != len(b) {
+			t.Fatalf("%s: same seed, different lengths %d vs %d", p.Name(), len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverges at %d: %v vs %v", p.Name(), i, a[i], b[i])
+			}
+		}
+		c := p.Arrivals(time.Second, rand.New(rand.NewSource(8)))
+		same := len(a) == len(c)
+		if same {
+			for i := range a {
+				if a[i] != c[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical schedules", p.Name())
+		}
+		if !sorted(a) {
+			t.Fatalf("%s: arrivals not sorted", p.Name())
+		}
+		inWindow(t, a, time.Second)
+	}
+}
+
+// TestPoissonMean: over a long window the arrival count concentrates
+// around Rate*d (stddev sqrt(n)), and the mean inter-arrival time
+// around 1/Rate. 5% tolerance is ~5 sigma at n=10000 — loose enough to
+// never flake, tight enough to catch a rate-off-by-2.
+func TestPoissonMean(t *testing.T) {
+	const rate = 5000.0
+	d := 2 * time.Second
+	at := Poisson{Rate: rate}.Arrivals(d, rand.New(rand.NewSource(42)))
+	n := float64(len(at))
+	want := rate * d.Seconds()
+	if math.Abs(n-want) > 0.05*want {
+		t.Fatalf("got %v arrivals, want %v ±5%%", n, want)
+	}
+	var sum time.Duration
+	for i := 1; i < len(at); i++ {
+		sum += at[i] - at[i-1]
+	}
+	meanIAT := float64(sum) / (n - 1)
+	wantIAT := float64(time.Second) / rate
+	if math.Abs(meanIAT-wantIAT) > 0.05*wantIAT {
+		t.Fatalf("mean IAT %v, want %v ±5%%", time.Duration(meanIAT), time.Duration(wantIAT))
+	}
+}
+
+// TestBurstyRate: the total count matches the phase-weighted MeanRate,
+// and the On phases really are denser than the Off phases.
+func TestBurstyRate(t *testing.T) {
+	b := Bursty{BaseRate: 500, BurstRate: 8000, On: 100 * time.Millisecond, Off: 400 * time.Millisecond}
+	d := 5 * time.Second // 10 full cycles
+	at := b.Arrivals(d, rand.New(rand.NewSource(42)))
+	if !sorted(at) {
+		t.Fatal("arrivals not sorted")
+	}
+	inWindow(t, at, d)
+	n := float64(len(at))
+	want := b.MeanRate() * d.Seconds()
+	if math.Abs(n-want) > 0.10*want {
+		t.Fatalf("got %v arrivals, want %v ±10%%", n, want)
+	}
+	// Count arrivals inside On windows (cycle starts On).
+	cycle := b.On + b.Off
+	var on, off int
+	for _, a := range at {
+		if a%cycle < b.On {
+			on++
+		} else {
+			off++
+		}
+	}
+	onRate := float64(on) / (10 * b.On.Seconds())
+	offRate := float64(off) / (10 * b.Off.Seconds())
+	if onRate < 4*offRate {
+		t.Fatalf("on-phase rate %.0f/s not clearly above off-phase %.0f/s", onRate, offRate)
+	}
+}
+
+func TestTraceTruncatesAndSorts(t *testing.T) {
+	tr := &Trace{Label: "x", At: []time.Duration{
+		3 * time.Second, time.Second, 2 * time.Second, 500 * time.Millisecond,
+	}}
+	at := tr.Arrivals(2500*time.Millisecond, nil)
+	want := []time.Duration{500 * time.Millisecond, time.Second, 2 * time.Second}
+	if len(at) != len(want) {
+		t.Fatalf("got %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("got %v, want %v", at, want)
+		}
+	}
+	if tr.Name() != "trace:x" {
+		t.Fatalf("Name() = %q", tr.Name())
+	}
+}
+
+// TestTraceGoldenCSV: replay fidelity against the checked-in golden
+// trace — every recorded timestamp must come back, in order, exactly.
+func TestTraceGoldenCSV(t *testing.T) {
+	tr, err := LoadTraceCSV(filepath.Join("testdata", "trace_golden.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Label != "trace_golden.csv" {
+		t.Fatalf("label = %q", tr.Label)
+	}
+	want := []time.Duration{
+		0,
+		2500 * time.Microsecond,
+		10 * time.Millisecond,
+		10500 * time.Microsecond,
+		250 * time.Millisecond,
+		1200 * time.Millisecond,
+		1900 * time.Millisecond,
+	}
+	if len(tr.At) != len(want) {
+		t.Fatalf("got %d arrivals %v, want %d", len(tr.At), tr.At, len(want))
+	}
+	for i := range want {
+		if tr.At[i] != want[i] {
+			t.Fatalf("arrival %d = %v, want %v", i, tr.At[i], want[i])
+		}
+	}
+	// The replay window truncates but never reorders or thins.
+	got := tr.Arrivals(1200*time.Millisecond, nil)
+	if len(got) != 5 {
+		t.Fatalf("window [0,1.2s) kept %d arrivals, want 5", len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("windowed arrival %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseTraceCSVRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"negative":  "0.5\n-1.0\n",
+		"nan":       "0.5\nNaN\n",
+		"inf":       "0.5\n+Inf\n",
+		"mid-file":  "0.5\nbogus\n1.0\n",
+		"empty":     "",
+		"only-hdr":  "t_seconds,op\n",
+		"only-cmnt": "# nothing here\n\n",
+	}
+	for name, body := range cases {
+		if _, err := ParseTraceCSV(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: ParseTraceCSV accepted %q", name, body)
+		}
+	}
+}
+
+func TestParseTraceCSVHeaderCommentsUnsorted(t *testing.T) {
+	body := "t_seconds,op\n# recorded 2026-08-08\n1.5,put\n0.5,put\n\n1.0,get\n"
+	tr, err := ParseTraceCSV(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{500 * time.Millisecond, time.Second, 1500 * time.Millisecond}
+	if len(tr.At) != len(want) {
+		t.Fatalf("got %v", tr.At)
+	}
+	for i := range want {
+		if tr.At[i] != want[i] {
+			t.Fatalf("got %v, want %v", tr.At, want)
+		}
+	}
+}

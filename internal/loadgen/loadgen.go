@@ -1,0 +1,291 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dudetm/internal/obs"
+	"dudetm/internal/server"
+	"dudetm/internal/wire"
+)
+
+// Opts configures one open-loop run.
+type Opts struct {
+	// Addr is the dudesrv TCP address.
+	Addr string
+	// Proc generates the arrival schedule (required).
+	Proc Process
+	// Duration is the scheduled length of the run (default 1s). The run
+	// may take longer: outstanding acknowledgments are drained for up to
+	// DrainTimeout after the last scheduled arrival.
+	Duration time.Duration
+	// Conns is the number of pipelined connections the arrivals are
+	// dealt across, round-robin (default 4). Connections are transport,
+	// not load: each one pipelines every request assigned to it without
+	// waiting for completions.
+	Conns int
+	// ValueBytes sizes each written value (default 64).
+	ValueBytes int
+	// Keys bounds the keyspace: writes land on uniform-random keys in
+	// [0, Keys) (default 1<<20). Size it past cache residency to
+	// exercise the B+-tree and blob heap at realistic working-set sizes.
+	Keys uint64
+	// Seed makes the schedule and key stream reproducible (default 42).
+	Seed int64
+	// UniqueKeys makes every write hit a distinct key (worker<<32|seq)
+	// with its generation equal to the per-worker sequence number, so a
+	// crash audit can demand exact presence of every acknowledged write.
+	// Keys is ignored.
+	UniqueKeys bool
+	// DrainTimeout bounds the wait for outstanding acknowledgments
+	// after the schedule ends (default 2s). Requests still unanswered at
+	// the deadline count as errors, and the drain time is charged to the
+	// served rate — an overloaded server cannot hide behind the drain.
+	DrainTimeout time.Duration
+	// OnAck, when set, is called on every durably acknowledged write
+	// with the worker, key, value generation and transaction ID — from
+	// the connections' read goroutines, so it must be fast and
+	// thread-safe. Crash drills record exactly what a recovered image
+	// must contain.
+	OnAck func(conn int, key, gen, tid uint64)
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.Duration == 0 {
+		o.Duration = time.Second
+	}
+	if o.Conns == 0 {
+		o.Conns = 4
+	}
+	if o.ValueBytes == 0 {
+		o.ValueBytes = 64
+	}
+	if o.Keys == 0 {
+		o.Keys = 1 << 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = 2 * time.Second
+	}
+	return o
+}
+
+// Result summarizes one open-loop run. Latency quantiles are
+// coordinated-omission-safe: measured from each request's intended
+// arrival time in the schedule to its durable acknowledgment.
+type Result struct {
+	// Process names the arrival process that generated the schedule.
+	Process string
+	// Scheduled is the number of arrivals in the schedule; Sent is how
+	// many were actually written to a connection (lower only if a
+	// connection died); Acked is how many were acknowledged durable
+	// before the drain deadline; Errors counts send failures, error
+	// responses and drain-deadline abandonments.
+	Scheduled, Sent, Acked, Errors uint64
+	// Offered is Scheduled over the scheduled duration; Served is Acked
+	// over the full wall time including drain. Their ratio is the
+	// served/offered shortfall — 1.0 means the server kept up.
+	Offered, Served float64
+	// Elapsed is the full wall time (schedule plus drain used).
+	Elapsed time.Duration
+	// Drain is how much of DrainTimeout was spent waiting for
+	// stragglers after the last scheduled arrival.
+	Drain time.Duration
+	// Latency is the intended-arrival-to-durable-ack histogram (ns).
+	Latency obs.HistSnapshot
+	// SendSkew is the intended-vs-actual send lag histogram (ns): how
+	// far behind its own schedule the generator fired each request.
+	SendSkew obs.HistSnapshot
+	// Headline quantiles of Latency and SendSkew.
+	P50, P99, P999   time.Duration
+	SkewP50, SkewP99 time.Duration
+	// MaxTid is the largest acknowledged transaction ID (0 if none) —
+	// the frontier a recovered image must cover.
+	MaxTid uint64
+}
+
+// Shortfall returns 1 - served/offered, clamped at 0.
+func (r Result) Shortfall() float64 {
+	if r.Offered <= 0 {
+		return 0
+	}
+	s := 1 - r.Served/r.Offered
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Run executes one open-loop run against a dudesrv. The schedule is
+// generated up front from Opts.Proc, dealt round-robin across Conns
+// pipelined connections, and each worker fires its arrivals at their
+// intended absolute times — never waiting for completions. Run returns
+// the first connection error (e.g. a server crash mid-run) alongside
+// the partial result, so crash drills keep the statistics gathered
+// before the plug was pulled.
+func Run(o Opts) (Result, error) {
+	o = o.withDefaults()
+	if o.Proc == nil {
+		return Result{}, fmt.Errorf("loadgen: Opts.Proc is required")
+	}
+	schedule := o.Proc.Arrivals(o.Duration, rand.New(rand.NewSource(o.Seed)))
+	res := Result{
+		Process:   o.Proc.Name(),
+		Scheduled: uint64(len(schedule)),
+		Offered:   float64(len(schedule)) / o.Duration.Seconds(),
+	}
+	if len(schedule) == 0 {
+		return res, fmt.Errorf("loadgen: %s schedule is empty over %v", o.Proc.Name(), o.Duration)
+	}
+
+	var (
+		latHist   obs.Histogram
+		skewHist  obs.Histogram
+		sent      atomic.Uint64
+		acked     atomic.Uint64
+		errs      atomic.Uint64
+		maxTid    atomic.Uint64
+		inflight  sync.WaitGroup
+		abandoned atomic.Bool
+		errMu     sync.Mutex
+		firstErr  error
+	)
+	recordErr := func(err error) {
+		errs.Add(1)
+		if err == nil {
+			return
+		}
+		// Stragglers we abandon at the drain deadline are an expected
+		// overload outcome, counted in Errors but not a run failure —
+		// otherwise every past-the-knee sweep point would error out.
+		if abandoned.Load() && errors.Is(err, server.ErrClientClosed) {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	clients := make([]*server.Client, o.Conns)
+	for w := range clients {
+		c, err := server.Dial(o.Addr)
+		if err != nil {
+			for _, prev := range clients[:w] {
+				prev.Close()
+			}
+			return res, fmt.Errorf("loadgen: %w", err)
+		}
+		clients[w] = c
+	}
+
+	start := time.Now()
+	var workers sync.WaitGroup
+	for w := 0; w < o.Conns; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			c := clients[w]
+			rng := rand.New(rand.NewSource(o.Seed + int64(w)*7919))
+			val := make([]byte, o.ValueBytes)
+			var seq uint64
+			// Worker w owns schedule indices w, w+Conns, w+2*Conns, ...
+			for i := w; i < len(schedule); i += o.Conns {
+				intended := start.Add(schedule[i])
+				if d := time.Until(intended); d > 0 {
+					time.Sleep(d)
+				}
+				// Late sends are fired immediately (open loop never
+				// thins the schedule); the lag is recorded as skew.
+				skewHist.ObserveSince(0, int64(time.Since(intended)))
+
+				seq++
+				gen := seq
+				var key uint64
+				if o.UniqueKeys {
+					key = uint64(w)<<32 | seq
+				} else {
+					key = rng.Uint64() % o.Keys
+				}
+				rng.Read(val)
+				if o.ValueBytes >= 8 {
+					for b := 0; b < 8; b++ {
+						val[b] = byte(gen >> (8 * b))
+					}
+				}
+				inflight.Add(1)
+				err := c.GoFn([]wire.Op{{Kind: wire.OpPut, Key: key, Val: val}}, false,
+					func(resp *wire.Response, err error) {
+						defer inflight.Done()
+						if err != nil {
+							recordErr(err)
+							return
+						}
+						latHist.ObserveSince(0, int64(time.Since(intended)))
+						acked.Add(1)
+						for {
+							cur := maxTid.Load()
+							if resp.Tid <= cur || maxTid.CompareAndSwap(cur, resp.Tid) {
+								break
+							}
+						}
+						if o.OnAck != nil {
+							o.OnAck(w, key, gen, resp.Tid)
+						}
+					})
+				if err != nil {
+					inflight.Done()
+					recordErr(err)
+					return // connection is dead; its remaining arrivals are lost
+				}
+				sent.Add(1)
+			}
+		}(w)
+	}
+	workers.Wait()
+	scheduleEnd := time.Now()
+
+	// Drain: wait for outstanding acks, but only up to the deadline —
+	// an overloaded server's stragglers count against it, not forever.
+	done := make(chan struct{})
+	go func() { inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(o.DrainTimeout):
+		abandoned.Store(true)
+	}
+	res.Drain = time.Since(scheduleEnd)
+	for _, c := range clients {
+		c.Close() // fails any straggler callbacks, releasing inflight
+	}
+	<-done
+
+	res.Elapsed = time.Since(start)
+	res.Sent = sent.Load()
+	res.Acked = acked.Load()
+	res.Errors = errs.Load()
+	res.MaxTid = maxTid.Load()
+	res.Served = float64(res.Acked) / res.Elapsed.Seconds()
+	res.Latency = latHist.Snapshot()
+	res.SendSkew = skewHist.Snapshot()
+	res.P50 = time.Duration(res.Latency.Quantile(0.5))
+	res.P99 = time.Duration(res.Latency.Quantile(0.99))
+	res.P999 = time.Duration(res.Latency.Quantile(0.999))
+	res.SkewP50 = time.Duration(res.SendSkew.Quantile(0.5))
+	res.SkewP99 = time.Duration(res.SendSkew.Quantile(0.99))
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return res, fmt.Errorf("loadgen: %w", err)
+	}
+	return res, nil
+}

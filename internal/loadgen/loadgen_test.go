@@ -1,0 +1,187 @@
+package loadgen
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dudetm"
+	"dudetm/internal/server"
+)
+
+func startServer(t *testing.T, opts dudetm.Options) (*server.Server, *dudetm.Pool, string) {
+	t.Helper()
+	if opts.DataSize == 0 {
+		opts.DataSize = 16 << 20
+	}
+	pool, err := dudetm.Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(pool, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return srv, pool, ln.Addr().String()
+}
+
+// TestOpenLoopRun drives a moderate constant-rate schedule at an
+// in-process server and checks the accounting invariants: every
+// scheduled arrival is sent and acked, the histograms hold exactly the
+// acked population, and quantiles come out finite and ordered.
+func TestOpenLoopRun(t *testing.T) {
+	opts := dudetm.Options{GroupSize: 16, Threads: 4, PersistThreads: 2, ReproThreads: 2}
+	srv, pool, addr := startServer(t, opts)
+	defer pool.Close()
+	defer srv.Shutdown(5 * time.Second)
+
+	res, err := Run(Opts{
+		Addr:     addr,
+		Proc:     Constant{Rate: 2000},
+		Duration: 500 * time.Millisecond,
+		Conns:    4,
+		Keys:     1 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduled != 1000 {
+		t.Fatalf("Scheduled = %d, want 1000", res.Scheduled)
+	}
+	if res.Sent != res.Scheduled || res.Acked != res.Scheduled || res.Errors != 0 {
+		t.Fatalf("sent=%d acked=%d errors=%d, want all %d sent+acked",
+			res.Sent, res.Acked, res.Errors, res.Scheduled)
+	}
+	if res.Latency.Count != res.Acked {
+		t.Fatalf("latency count %d != acked %d", res.Latency.Count, res.Acked)
+	}
+	if res.SendSkew.Count != res.Sent {
+		t.Fatalf("skew count %d != sent %d", res.SendSkew.Count, res.Sent)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.P999 < res.P99 {
+		t.Fatalf("quantiles out of order: p50=%v p99=%v p999=%v", res.P50, res.P99, res.P999)
+	}
+	if res.Offered < 1900 || res.Offered > 2100 {
+		t.Fatalf("Offered = %.0f, want ~2000", res.Offered)
+	}
+	if res.Served <= 0 {
+		t.Fatalf("Served = %v", res.Served)
+	}
+	if s := res.Shortfall(); s > 0.5 {
+		t.Fatalf("shortfall %.2f at trivial load", s)
+	}
+	if res.MaxTid == 0 {
+		t.Fatal("MaxTid not recorded")
+	}
+	if res.Process != "constant" {
+		t.Fatalf("Process = %q", res.Process)
+	}
+}
+
+// TestOpenLoopCrashAudit is the crash-safety drill: pull the plug on
+// the server mid-open-loop-run, then prove the recovered image plus
+// AuditRecovery cover every acknowledgment the generator observed.
+// UniqueKeys mode writes each key exactly once, so presence of the
+// acked generation under each acked key is an exact durability check.
+func TestOpenLoopCrashAudit(t *testing.T) {
+	opts := dudetm.Options{DataSize: 32 << 20, GroupSize: 16, Threads: 4, PersistThreads: 2, ReproThreads: 4}
+	srv, _, addr := startServer(t, opts)
+
+	var (
+		mu       sync.Mutex
+		ackedGen = make(map[uint64]uint64)
+		maxTid   uint64
+	)
+	resCh := make(chan Result, 1)
+	go func() {
+		res, _ := Run(Opts{ // the error is the crash itself — expected
+			Addr:         addr,
+			Proc:         Poisson{Rate: 4000},
+			Duration:     10 * time.Second, // the crash ends the run early
+			Conns:        4,
+			UniqueKeys:   true,
+			DrainTimeout: 200 * time.Millisecond,
+			OnAck: func(conn int, key, gen, tid uint64) {
+				mu.Lock()
+				ackedGen[key] = gen
+				if tid > maxTid {
+					maxTid = tid
+				}
+				mu.Unlock()
+			},
+		})
+		resCh <- res
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	img := srv.Kill() // power failure: unpersisted state is gone
+	res := <-resCh
+	mu.Lock()
+	acked, tid := len(ackedGen), maxTid
+	mu.Unlock()
+	if acked == 0 {
+		t.Fatal("no acks observed before the crash; drill proves nothing")
+	}
+	if res.Acked != uint64(acked) {
+		t.Fatalf("result Acked=%d, OnAck saw %d", res.Acked, acked)
+	}
+	if res.MaxTid != tid {
+		t.Fatalf("result MaxTid=%d, OnAck saw %d", res.MaxTid, tid)
+	}
+
+	// Remount with recovery; the audit must cover the acked frontier.
+	pool2, err := dudetm.OpenSnapshot(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	if err := pool2.AuditRecovery(tid); err != nil {
+		t.Fatalf("durability audit: %v", err)
+	}
+	srv2, err := server.New(pool2, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.Serve(ln2)
+	defer srv2.Shutdown(5 * time.Second)
+	c, err := server.Dial(ln2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for key, gen := range ackedGen {
+		v, found, err := c.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("acked key %d missing after recovery", key)
+		}
+		if got := binary.LittleEndian.Uint64(v[:8]); got != gen {
+			t.Fatalf("acked key %d recovered generation %d, want %d", key, got, gen)
+		}
+	}
+	t.Logf("crash drill: %d acked writes, maxTid %d, all present after recovery", acked, tid)
+}
+
+// TestRunRequiresProcess: a missing process is a loud error, not an
+// empty run that looks like a perfect score.
+func TestRunRequiresProcess(t *testing.T) {
+	if _, err := Run(Opts{Addr: "127.0.0.1:1"}); err == nil {
+		t.Fatal("Run accepted nil Proc")
+	}
+	if _, err := Run(Opts{Addr: "127.0.0.1:1", Proc: Constant{Rate: 0}}); err == nil {
+		t.Fatal("Run accepted an empty schedule")
+	}
+}

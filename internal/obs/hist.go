@@ -31,6 +31,23 @@ func (h *Histogram) Observe(v uint64) {
 	h.sum.Add(v)
 }
 
+// ObserveSince records the elapsed time nowNS-startNS, clamping
+// negatives to zero. This is the coordinated-omission-safe form: pass
+// the *intended* start (when the event was scheduled to begin), not the
+// actual start, so queueing delay before the event even started is
+// charged to the measured latency. A clock step or an event completing
+// ahead of its intended slot records as 0 rather than wrapping to a
+// huge unsigned value.
+//
+//dudelint:noalloc
+func (h *Histogram) ObserveSince(startNS, nowNS int64) {
+	d := nowNS - startNS
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
 func bucketOf(v uint64) int {
 	b := bits.Len64(v)
 	if b >= histBuckets {

@@ -25,9 +25,16 @@ type Client struct {
 	bw  *bufio.Writer
 
 	mu      sync.Mutex
-	pending map[uint64]chan wire.Response
+	pending map[uint64]pendingCall
 	nextID  uint64
 	err     error // set once the connection dies
+}
+
+// pendingCall is one in-flight request: either a Future's response
+// channel or a completion callback (GoFn), never both.
+type pendingCall struct {
+	ch chan wire.Response
+	fn func(*wire.Response, error)
 }
 
 // Dial connects to a dudesrv server.
@@ -39,7 +46,7 @@ func Dial(addr string) (*Client, error) {
 	c := &Client{
 		nc:      nc,
 		bw:      bufio.NewWriter(nc),
-		pending: make(map[uint64]chan wire.Response),
+		pending: make(map[uint64]pendingCall),
 	}
 	go c.readLoop()
 	return c, nil
@@ -66,12 +73,25 @@ func (c *Client) readLoop() {
 			return
 		}
 		c.mu.Lock()
-		ch := c.pending[resp.ID]
+		call, ok := c.pending[resp.ID]
 		delete(c.pending, resp.ID)
 		c.mu.Unlock()
-		if ch != nil {
-			ch <- resp
+		if !ok {
+			continue
 		}
+		if call.fn != nil {
+			// Callback path: invoked on the read loop at response
+			// arrival, so completion timestamps taken inside fn are
+			// arrival times, not reaper-scheduling times. fn must be
+			// fast (counters, histogram observes).
+			if resp.Status != wire.StatusOK {
+				call.fn(nil, fmt.Errorf("server: %s", resp.Err))
+			} else {
+				call.fn(&resp, nil)
+			}
+			continue
+		}
+		call.ch <- resp
 	}
 }
 
@@ -87,8 +107,12 @@ func (c *Client) fail(err error) {
 	c.pending = nil
 	c.mu.Unlock()
 	c.nc.Close()
-	for _, ch := range victims {
-		close(ch) // receivers translate a closed channel into c.err
+	for _, call := range victims {
+		if call.fn != nil {
+			call.fn(nil, err)
+			continue
+		}
+		close(call.ch) // receivers translate a closed channel into c.err
 	}
 }
 
@@ -122,15 +146,37 @@ func (f *Future) Wait() (*wire.Response, error) {
 // and the server batches their durability waits.
 func (c *Client) Go(ops []wire.Op, relaxed bool) (*Future, error) {
 	ch := make(chan wire.Response, 1)
+	if err := c.send(ops, relaxed, pendingCall{ch: ch}); err != nil {
+		return nil, err
+	}
+	return &Future{c: c, ch: ch}, nil
+}
+
+// GoFn sends one request and invokes fn exactly once when the response
+// arrives (on the connection's read goroutine) or when the connection
+// dies (fn receives the connection error). A send failure is returned
+// directly and fn is never called. Open-loop load generation uses this
+// form: completion timestamps are taken at response arrival with no
+// per-request goroutine, so tens of thousands of requests can be in
+// flight. fn must not block.
+func (c *Client) GoFn(ops []wire.Op, relaxed bool, fn func(*wire.Response, error)) error {
+	if fn == nil {
+		return errors.New("server: GoFn requires a callback")
+	}
+	return c.send(ops, relaxed, pendingCall{fn: fn})
+}
+
+// send registers the pending call and writes one request frame.
+func (c *Client) send(ops []wire.Op, relaxed bool, call pendingCall) error {
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return nil, err
+		return err
 	}
 	c.nextID++
 	id := c.nextID
-	c.pending[id] = ch
+	c.pending[id] = call
 	c.mu.Unlock()
 
 	payload, err := wire.AppendRequest(nil, &wire.Request{ID: id, Relaxed: relaxed, Ops: ops})
@@ -144,11 +190,18 @@ func (c *Client) Go(ops []wire.Op, relaxed bool) (*Future, error) {
 	}
 	if err != nil {
 		c.mu.Lock()
+		_, present := c.pending[id]
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, err
+		if !present && call.fn != nil {
+			// fail() raced the write error and already delivered the
+			// connection error to the callback; reporting the send
+			// failure too would double-count the request.
+			return nil
+		}
+		return err
 	}
-	return &Future{c: c, ch: ch}, nil
+	return nil
 }
 
 // Do sends one request and waits for its response.

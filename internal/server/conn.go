@@ -77,6 +77,10 @@ func (c *conn) readLoop(pending chan<- wire.Request) {
 		if err != nil {
 			return
 		}
+		// Offered load is counted at decode, before the pipeline queue:
+		// demand the client put on the wire, whether or not execution
+		// keeps up.
+		c.srv.offered.Add(1)
 		select {
 		case pending <- q:
 		case <-c.closed:
@@ -180,5 +184,9 @@ func (c *conn) writeResponse(bw *bufio.Writer, resp *wire.Response) bool {
 		return false
 	}
 	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-	return wire.WriteFrame(bw, payload) == nil
+	if wire.WriteFrame(bw, payload) != nil {
+		return false
+	}
+	c.srv.served.Add(1)
+	return true
 }

@@ -54,6 +54,8 @@ var requiredSeries = []string{
 	"dudesrv_connections_total",
 	"dudesrv_requests_total",
 	"dudesrv_acked_writes_total",
+	"dudesrv_offered_requests_total",
+	"dudesrv_served_responses_total",
 }
 
 func TestMetricsEndpoint(t *testing.T) {
@@ -108,6 +110,14 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if m["dudesrv_acked_writes_total"] < 50 {
 		t.Errorf("dudesrv_acked_writes_total = %v, want >= 50", m["dudesrv_acked_writes_total"])
+	}
+	// Offered counts at decode, served at response write; with the
+	// client fully drained they both cover all 50 requests.
+	if m["dudesrv_offered_requests_total"] < 50 {
+		t.Errorf("dudesrv_offered_requests_total = %v, want >= 50", m["dudesrv_offered_requests_total"])
+	}
+	if m["dudesrv_served_responses_total"] < 50 {
+		t.Errorf("dudesrv_served_responses_total = %v, want >= 50", m["dudesrv_served_responses_total"])
 	}
 	// 50 durable writes must have flushed log-region bytes; this pool
 	// was created fresh, so no recovery has run.

@@ -60,6 +60,13 @@ type ServerStats struct {
 	// AckedWrites is the number of write transactions acknowledged
 	// durable to clients.
 	AckedWrites uint64
+	// Offered is the number of requests decoded off the wire — demand
+	// as the server saw it, counted before execution or any queueing.
+	Offered uint64
+	// Served is the number of responses written back. Offered minus
+	// Served is the in-server backlog; an open-loop generator's
+	// offered/served rates come from deltas of these two counters.
+	Served uint64
 	// Notifier is the group-commit acknowledgment activity.
 	Notifier NotifierStats
 }
@@ -91,6 +98,8 @@ type Server struct {
 	acceptedConns atomic.Uint64
 	requests      atomic.Uint64
 	ackedWrites   atomic.Uint64
+	offered       atomic.Uint64
+	served        atomic.Uint64
 	// maxTid is the largest transaction ID handed out to any client;
 	// graceful shutdown waits for the durable frontier to cover it.
 	maxTid atomic.Uint64
@@ -301,6 +310,8 @@ func (s *Server) Stats() ServerStats {
 		Conns:       s.acceptedConns.Load(),
 		Requests:    s.requests.Load(),
 		AckedWrites: s.ackedWrites.Load(),
+		Offered:     s.offered.Load(),
+		Served:      s.served.Load(),
 		Notifier:    s.notif.Stats(),
 	}
 }

@@ -83,6 +83,19 @@ kill -TERM "$SRV_PID"
 wait "$SRV_PID"
 trap - EXIT
 
+echo "== open-loop load curve smoke (SLO gate + artifact check)"
+# Two offered-load points bracketing the calibrated capacity: the
+# experiment itself fails on any SLO violation, and dudectl loadcurve
+# -check holds the written artifact to its schema — at least two points,
+# every series present and finite, knee metadata consistent.
+LC_JSON=/tmp/dude.check.loadcurve.json
+rm -f "$LC_JSON"
+go run ./cmd/dudebench -experiment loadcurve -quick -loadcurve-points 2 \
+    -loadcurve-out "$LC_JSON"
+test -s "$LC_JSON" || { echo "loadcurve smoke wrote no report"; exit 1; }
+/tmp/dudectl.check loadcurve -check "$LC_JSON"
+rm -f "$LC_JSON"
+
 echo "== crash forensics gate (netbank drill + dudectl forensics)"
 # Run the netbank kill -9 drill (which itself audits recovery with
 # AuditRecovery), keep its pre-recovery crash image, and hold the
