@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	dudebench [-experiment all|fig2|table1|table2|table3|fig3|fig4|fig5|table4|recovery|repl|pipeline|loadcurve|smoke]
-//	          [-threads N] [-maxthreads N] [-quick] [-json]
-//	          [-loadcurve-out FILE] [-loadcurve-points N]
+//	dudebench [-experiment all|fig2|table1|table2|table3|fig3|fig4|fig5|table4|recovery|repl|pipeline|loadcurve|critpath|smoke]
+//	          [-threads N] [-maxthreads N] [-quick] [-json] [-list]
+//	          [-loadcurve-out FILE] [-loadcurve-points N] [-critpath-out FILE]
 //
 // With -json, the human-readable tables are suppressed and every
 // measured run is emitted to stdout as one JSON document with stable
@@ -36,6 +36,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable results on stdout instead of tables")
 	lcOut := flag.String("loadcurve-out", "", "write the loadcurve experiment's report JSON to this path")
 	lcPoints := flag.Int("loadcurve-points", 0, "offered-load points in the loadcurve sweep (default 5, min 2)")
+	cpOut := flag.String("critpath-out", "", "write the critpath experiment's report JSON to this path")
+	list := flag.Bool("list", false, "list the registered experiments with one-line descriptions and exit")
 	flag.Parse()
 
 	progress := io.Writer(os.Stdout)
@@ -45,30 +47,42 @@ func main() {
 		cfg.Out = io.Discard
 		progress = os.Stderr
 	}
-	fmt.Fprintf(progress, "dudebench: %d threads on %d CPUs, quick=%v\n\n",
-		*threads, runtime.NumCPU(), *quick)
 
 	type exp struct {
 		name string
+		desc string
 		run  func() error
 	}
+	// Declaration order is the run order of -experiment all and the
+	// (stable) output order of -list; scripts key off both.
 	exps := []exp{
-		{"fig2", func() error { return harness.Fig2(cfg) }},
-		{"table1", func() error { return harness.Table1(cfg) }},
-		{"table2", func() error { return harness.Table2(cfg) }},
-		{"table3", func() error { return harness.Table3(cfg) }},
-		{"fig3", func() error { return harness.Fig3(cfg) }},
-		{"fig4", func() error { return harness.Fig4(cfg) }},
-		{"fig5", func() error { return harness.Fig5(cfg, *maxThreads) }},
-		{"table4", func() error { return harness.Table4(cfg) }},
-		{"recovery", func() error { return harness.Recovery(cfg) }},
-		{"repl", func() error { return harness.Repl(cfg) }},
-		{"pipeline", func() error { return harness.Pipeline(cfg) }},
-		{"loadcurve", func() error {
+		{"fig2", "single-thread latency breakdown of one durable transaction (paper Fig. 2)", func() error { return harness.Fig2(cfg) }},
+		{"table1", "baseline STM vs durable-transaction throughput (paper Table 1)", func() error { return harness.Table1(cfg) }},
+		{"table2", "read/write-mix throughput across systems (paper Table 2)", func() error { return harness.Table2(cfg) }},
+		{"table3", "transaction-size sensitivity (paper Table 3)", func() error { return harness.Table3(cfg) }},
+		{"fig3", "throughput vs NVM write latency (paper Fig. 3)", func() error { return harness.Fig3(cfg) }},
+		{"fig4", "decoupled pipeline vs synchronous persist under load (paper Fig. 4)", func() error { return harness.Fig4(cfg) }},
+		{"fig5", "thread-count scaling sweep (paper Fig. 5)", func() error { return harness.Fig5(cfg, *maxThreads) }},
+		{"table4", "log-size and group-commit sensitivity (paper Table 4)", func() error { return harness.Table4(cfg) }},
+		{"recovery", "crash-recovery replay throughput and correctness drill", func() error { return harness.Recovery(cfg) }},
+		{"repl", "replicated durability: ship, quorum ack, failover", func() error { return harness.Repl(cfg) }},
+		{"pipeline", "per-stage utilization and backlog under steady load", func() error { return harness.Pipeline(cfg) }},
+		{"loadcurve", "open-loop latency-vs-offered-load sweep with SLO gate (BENCH_loadcurve.json)", func() error {
 			return harness.LoadCurve(cfg, harness.LoadCurveOpts{OutPath: *lcOut, Points: *lcPoints})
 		}},
-		{"smoke", func() error { return harness.Smoke(cfg) }},
+		{"critpath", "critical-path decomposition at knee-relative loads (BENCH_critpath.json)", func() error {
+			return harness.Critpath(cfg, harness.CritpathOpts{OutPath: *cpOut})
+		}},
+		{"smoke", "fast end-to-end sanity pass over the pipeline", func() error { return harness.Smoke(cfg) }},
 	}
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	fmt.Fprintf(progress, "dudebench: %d threads on %d CPUs, quick=%v\n\n",
+		*threads, runtime.NumCPU(), *quick)
 	ran := false
 	for _, e := range exps {
 		if *experiment != "all" && *experiment != e.name {

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// critpathSegments mirrors obs.CritSegment.String() in pipeline order;
+// the rendered table re-ranks them by attributed time.
+var critpathSegments = []string{
+	"ring_dwell", "seal_wait", "persist_fence", "repl_ship", "quorum_wait", "notify",
+}
+
+// runCritpath scrapes a dudesrv metrics endpoint twice and renders
+// where the commit→acked window of the interval's sampled transactions
+// went, ranked by attributed time. With no traffic in the window it
+// falls back to the process-lifetime totals, so the command is useful
+// both at live load and post-mortem.
+func runCritpath(args []string) {
+	fs := flag.NewFlagSet("critpath", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7071", "metrics endpoint (host:port, or a full /metrics URL)")
+	interval := fs.Duration("interval", 2*time.Second, "measurement window between the two scrapes")
+	fs.Parse(args)
+
+	url := *addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.Contains(url, "/metrics") {
+		url = strings.TrimRight(url, "/") + "/metrics"
+	}
+
+	first := scrape(url)
+	time.Sleep(*interval)
+	second := scrape(url)
+
+	window := fmt.Sprintf("%v window", *interval)
+	m := diffCritpath(second, first)
+	if m["dudetm_critpath_txns_total"] == 0 {
+		// Quiet window: report the lifetime aggregate instead.
+		m = second
+		window = "lifetime totals (no sampled txns in the window)"
+	}
+	renderCritpath(url, window, m)
+}
+
+// diffCritpath subtracts the critpath counters of two scrapes; gauges
+// the rendering needs (sampling period, quorum) pass through from the
+// later scrape.
+func diffCritpath(cur, prev map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range cur {
+		if strings.HasPrefix(k, "dudetm_critpath_") {
+			d := v - prev[k]
+			if d < 0 {
+				d = 0 // counter reset across a restart
+			}
+			out[k] = d
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func renderCritpath(url, window string, m map[string]float64) {
+	txns := m["dudetm_critpath_txns_total"]
+	fmt.Printf("dudetm critpath — %s (%s)\n", url, window)
+	fmt.Printf("  txns %.0f   incomplete %.0f   dropped %.0f   sampling 1-in-%.0f   quorum %.0f\n",
+		txns, m["dudetm_critpath_incomplete_total"], m["dudetm_critpath_dropped_total"],
+		m["dudetm_trace_sample_every"], m["dudetm_repl_quorum"])
+	if txns == 0 {
+		fmt.Println("  no decomposed transactions yet (is -trace-sample enabled?)")
+		return
+	}
+	e2e := m["dudetm_critpath_e2e_seconds_sum"]
+	fmt.Printf("  commit→acked mean %s over %.0f txns\n", secs(e2e/txns), txns)
+
+	type row struct {
+		name  string
+		total float64
+	}
+	rows := make([]row, 0, len(critpathSegments))
+	for _, seg := range critpathSegments {
+		rows = append(rows, row{seg, m[`dudetm_critpath_segment_seconds_total{segment="`+seg+`"}`]})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+	fmt.Printf("  %-4s %-14s %12s %8s\n", "rank", "segment", "per txn", "share")
+	for i, r := range rows {
+		share := 0.0
+		if e2e > 0 {
+			share = 100 * r.total / e2e
+		}
+		fmt.Printf("  %-4d %-14s %12s %7.1f%%\n", i+1, r.name, secs(r.total/txns), share)
+	}
+}

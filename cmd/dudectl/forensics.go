@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"dudetm/internal/dudetm"
+	"dudetm/internal/obs"
 	"dudetm/internal/pmem"
 )
 
@@ -16,9 +17,10 @@ import (
 func runForensics(args []string) {
 	fs := flag.NewFlagSet("forensics", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the crash report as JSON")
+	asChrome := fs.Bool("chrome", false, "emit the flight-recorder tail as Chrome trace-event JSON (load in Perfetto)")
 	verify := fs.Bool("verify", false, "also recover a scratch copy and check the report's frontier against it")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dudectl forensics [-json] [-verify] <image>")
+		fmt.Fprintln(os.Stderr, "usage: dudectl forensics [-json] [-chrome] [-verify] <image>")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -54,6 +56,12 @@ func runForensics(args []string) {
 		fmt.Fprintf(os.Stderr, "verify: recovered durable frontier %d matches the report\n", durable)
 	}
 
+	if *asChrome {
+		if err := obs.WriteChromeEvents(os.Stdout, forensicsChromeEvents(rep)); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -63,4 +71,31 @@ func runForensics(args []string) {
 		return
 	}
 	fmt.Println(rep.String())
+}
+
+// forensicsChromeEvents maps the flight-recorder tail onto one Perfetto
+// lane. Recorder stamps carry real wall-clock nanoseconds; the timeline
+// is rebased to its first event so it reads as elapsed time before the
+// crash.
+func forensicsChromeEvents(rep *dudetm.CrashReport) []obs.ChromeEvent {
+	events := []obs.ChromeEvent{
+		{Name: "process_name", Ph: "M", Pid: 1, Args: map[string]any{"name": "dudesrv (crashed)"}},
+		{Name: "thread_name", Ph: "M", Pid: 1, Tid: 1, Args: map[string]any{"name": "flight-recorder"}},
+	}
+	if len(rep.Events) == 0 {
+		return events
+	}
+	base := rep.Events[0].At
+	for _, e := range rep.Events {
+		events = append(events, obs.ChromeEvent{
+			Name: e.Kind,
+			Ph:   "i",
+			Ts:   float64(e.At-base) / 1e3,
+			Pid:  1,
+			Tid:  1,
+			S:    "t",
+			Args: map[string]any{"seq": e.Seq, "a": e.A, "b": e.B, "c": e.C},
+		})
+	}
+	return events
 }

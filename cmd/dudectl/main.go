@@ -9,6 +9,7 @@
 //	dudectl forensics <image>   decode the flight recorder into a crash report (-json, -verify)
 //	dudectl lint [dirs]         run the dudelint analyzers (default: whole module)
 //	dudectl top [flags]         live pipeline view from a dudesrv -metrics endpoint
+//	dudectl critpath [flags]    rank critical-path segments from a dudesrv -metrics endpoint
 //	dudectl loadcurve [flags] <report.json>   render or -check a BENCH_loadcurve.json
 package main
 
@@ -31,6 +32,10 @@ func main() {
 		runTop(os.Args[2:])
 		return
 	}
+	if len(os.Args) >= 2 && os.Args[1] == "critpath" {
+		runCritpath(os.Args[2:])
+		return
+	}
 	if len(os.Args) >= 2 && os.Args[1] == "loadcurve" {
 		runLoadCurve(os.Args[2:])
 		return
@@ -40,7 +45,7 @@ func main() {
 		return
 	}
 	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: dudectl inspect|recover|forensics <image> | dudectl lint [dirs] | dudectl top [flags] | dudectl loadcurve [-check] <report.json>")
+		fmt.Fprintln(os.Stderr, "usage: dudectl inspect|recover|forensics <image> | dudectl lint [dirs] | dudectl top [flags] | dudectl critpath [flags] | dudectl loadcurve [-check] <report.json>")
 		os.Exit(2)
 	}
 	cmd, path := os.Args[1], os.Args[2]

@@ -34,6 +34,19 @@ var requiredSeries = []string{
 	"dudetm_repro_epoch_coalesce_ratio",
 	"dudetm_repro_epoch_groups_count",
 	"dudetm_repro_lines_flushed_total",
+	"dudetm_critpath_txns_total",
+	"dudetm_critpath_incomplete_total",
+	"dudetm_critpath_dropped_total",
+	"dudetm_critpath_e2e_seconds_count",
+	"dudetm_critpath_e2e_seconds_sum",
+	`dudetm_critpath_segment_seconds_total{segment="ring_dwell"}`,
+	`dudetm_critpath_segment_seconds_total{segment="seal_wait"}`,
+	`dudetm_critpath_segment_seconds_total{segment="persist_fence"}`,
+	`dudetm_critpath_segment_seconds_total{segment="repl_ship"}`,
+	`dudetm_critpath_segment_seconds_total{segment="quorum_wait"}`,
+	`dudetm_critpath_segment_seconds_total{segment="notify"}`,
+	`dudetm_critpath_segment_share{segment="persist_fence"}`,
+	`dudetm_critpath_segment_p99_seconds{segment="persist_fence"}`,
 	"dudetm_watchdog_stalls_total",
 	"dudetm_recovery_runs_total",
 	"dudetm_recovery_replay_seconds",

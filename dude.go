@@ -379,6 +379,20 @@ func (p *Pool) ReplicaAcked(peer string, frontier uint64) { p.sys.ReplicaAcked(p
 // the flagged local-only fallback.
 func (p *Pool) ReplicaLive(peer string, live bool) { p.sys.ReplicaLive(peer, live) }
 
+// ReplicaGroupSent stamps a group's frame fully written to a peer's
+// socket (the sender's optional tracing surface; peer is the index
+// into its peer list).
+func (p *Pool) ReplicaGroupSent(peer int, minTid, maxTid uint64) {
+	p.sys.ReplicaGroupSent(peer, minTid, maxTid)
+}
+
+// ReplicaGroupAcked stamps a replica's group acknowledgment carrying
+// its self-measured ingest duration, extending sampled transactions'
+// timelines across nodes (see Pool.CritpathOf).
+func (p *Pool) ReplicaGroupAcked(peer int, minTid, maxTid uint64, ingestNanos int64) {
+	p.sys.ReplicaGroupAcked(peer, minTid, maxTid, ingestNanos)
+}
+
 // ReplStats returns a snapshot of the replication quorum gate.
 func (p *Pool) ReplStats() ReplQuorumStats { return p.sys.ReplStats() }
 
@@ -425,6 +439,21 @@ func (p *Pool) TraceOf(tid uint64) []TraceRecord { return p.sys.TraceOf(tid) }
 // TraceTail returns the most recent n trace records across the pool's
 // trace rings (all of them when n <= 0), oldest first.
 func (p *Pool) TraceTail(n int) []TraceRecord { return p.sys.TraceTail(n) }
+
+// Critpath is one sampled transaction's critical-path decomposition:
+// the commit→acknowledged window tiled into named segments whose sum
+// equals the measured end-to-end latency exactly (see Pool.CritpathOf).
+type Critpath = obs.Critpath
+
+// CritSegment names one critical-path segment (ring_dwell, seal_wait,
+// persist_fence, repl_ship, quorum_wait, notify).
+type CritSegment = obs.CritSegment
+
+// CritpathOf decomposes a sampled transaction's commit→acknowledged
+// latency into critical-path segments from the live trace rings. ok is
+// false when the timeline is incomplete: the transaction was not
+// sampled, its records were overwritten, or it is not yet quorum-acked.
+func (p *Pool) CritpathOf(tid uint64) (Critpath, bool) { return p.sys.CritpathOf(tid) }
 
 // LastStall returns the most recent watchdog stall report, or nil.
 func (p *Pool) LastStall() *StallReport { return p.sys.LastStall() }

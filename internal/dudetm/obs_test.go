@@ -155,6 +155,101 @@ func TestTraceCrashRecovery(t *testing.T) {
 	s2.Close()
 }
 
+// TestCritpathFenceBudget pins the zero-added-fence contract of the
+// tracing and critpath paths: an identical deterministic workload run
+// with sampling off and with sampling 1-in-1 issues exactly the same
+// number of device persist barriers, and the persist stage spends one
+// fence per group in both. The critpath collector fully settles before
+// the counters are read, so its work is proven to never touch the
+// device.
+func TestCritpathFenceBudget(t *testing.T) {
+	const n = 100
+	run := func(sample int) (regions map[string]uint64, stageFences, groups uint64) {
+		cfg := testConfig()
+		cfg.Threads = 1
+		cfg.GroupSize = 1 // every txn its own group: fence count is exact
+		cfg.TraceSampleEvery = sample
+		s, err := Create(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last uint64
+		for i := uint64(0); i < n; i++ {
+			tid, err := s.Run(0, func(tx *Tx) error { tx.Store(i*8, i+1); return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = tid
+		}
+		if err := s.WaitDurable(last); err != nil {
+			t.Fatal(err)
+		}
+		s.Drain()
+		if sample > 0 {
+			// Wait for every sampled transaction to flow through the
+			// background decomposition before reading the fence counters.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				crit := s.Stats().Obs.Crit
+				if crit.Txns+crit.Incomplete+crit.Dropped >= n {
+					if crit.Txns != n {
+						t.Fatalf("sampling %d: decomposed %d of %d (incomplete %d, dropped %d)",
+							sample, crit.Txns, n, crit.Incomplete, crit.Dropped)
+					}
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("sampling %d: collector stuck at %+v", sample, crit)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		st := s.Stats()
+		s.Close()
+		return regionFences(t, st), st.Persist.Fences, st.Persist.Groups
+	}
+	rOff, fOff, gOff := run(0)
+	rOn, fOn, gOn := run(1)
+	if gOff != n || gOn != n {
+		t.Fatalf("groups = %d/%d, want %d each (GroupSize 1)", gOff, gOn, n)
+	}
+	// Steady-state cost: exactly one persist barrier per group, and the
+	// log region carries exactly that barrier — identical with tracing
+	// off and fully on.
+	if fOff != gOff || fOn != gOn {
+		t.Errorf("persist fences = %d/%d for %d groups, want one fence per group", fOff, fOn, n)
+	}
+	if rOff["log"] != n || rOn["log"] != n {
+		t.Errorf("log-region fences = %d/%d, want exactly %d with tracing off/on", rOff["log"], rOn["log"], n)
+	}
+	// Boot-time regions must match exactly; tracing happens after boot.
+	for _, region := range []string{"header", "blackbox"} {
+		if rOn[region] != rOff[region] {
+			t.Errorf("%s-region fences: %d with sampling on vs %d off", region, rOn[region], rOff[region])
+		}
+	}
+	// Batched maintenance (meta recycles on a deferral timer, data
+	// replay epochs under backlog) may split a batch differently when
+	// the tracer shifts timing by microseconds — but it must stay
+	// batched, nowhere near one fence per transaction.
+	for _, region := range []string{"meta", "data"} {
+		if rOn[region] > n/4 || rOff[region] > n/4 {
+			t.Errorf("%s-region fences = %d/%d for %d txns — maintenance no longer batched",
+				region, rOff[region], rOn[region], n)
+		}
+	}
+}
+
+// regionFences indexes a Stats snapshot's per-region fence counters.
+func regionFences(t *testing.T, st Stats) map[string]uint64 {
+	t.Helper()
+	out := map[string]uint64{}
+	for _, r := range st.Regions {
+		out[r.Name] = r.Fences
+	}
+	return out
+}
+
 // TestWatchdogQuietDuringPauseDrills pins the suppression contract:
 // PausePersist / PauseReproduce freeze a frontier with work queued
 // behind it — the exact shape of a stall — and the watchdog must not

@@ -138,6 +138,9 @@ func (s *System) EnableReplication(sink ReplSink, peers []string) error {
 		return errors.New("dudetm: replication already enabled")
 	}
 	s.acked.Store(rs.published)
+	// The critical-path pass now waits for the quorum-th replica fence
+	// before decomposing a sampled transaction.
+	s.obs.SetReplQuorum(rs.quorum)
 	if rs.quorum > 0 {
 		// No replica has connected yet: the gate starts degraded and
 		// heals as acks arrive. Waiters fail fast (or gate locally)
@@ -185,8 +188,7 @@ func (s *System) AckFrontier() uint64 { return s.acked.Load() }
 func (s *System) publishDurable(f uint64) {
 	rs := s.repl.Load()
 	if rs == nil {
-		storeMax(&s.acked, f)
-		s.notif.advance(f)
+		s.publishAcked(f)
 		return
 	}
 	rs.mu.Lock()
@@ -195,8 +197,20 @@ func (s *System) publishDurable(f uint64) {
 	}
 	pub := s.recomputePublishedLocked(rs)
 	rs.mu.Unlock()
-	storeMax(&s.acked, pub)
-	s.notif.advance(pub)
+	s.publishAcked(pub)
+}
+
+// publishAcked raises the acknowledgment frontier, stamps the acked
+// pass for every pending sampled transaction it covers (the
+// critical-path window end), and wakes waiters. Stamp before wake: a
+// waiter that returns from WaitDurable and immediately reads its trace
+// must see the acked record.
+//
+//dudelint:fencebudget 0
+func (s *System) publishAcked(f uint64) {
+	storeMax(&s.acked, f)
+	s.obs.AckedAdvanced(s.srcAckTrace(), f)
+	s.notif.advance(f)
 }
 
 // ReplicaAcked records a replica's durable frontier. Frontiers are
@@ -224,8 +238,7 @@ func (s *System) ReplicaAcked(peer string, frontier uint64) {
 	}
 	pub := s.recomputePublishedLocked(rs)
 	rs.mu.Unlock()
-	storeMax(&s.acked, pub)
-	s.notif.advance(pub)
+	s.publishAcked(pub)
 }
 
 // ReplicaLive records a replica connecting (live) or dying (not live).
@@ -248,8 +261,7 @@ func (s *System) ReplicaLive(peer string, live bool) {
 	s.updateDegradedLocked(rs)
 	pub := s.recomputePublishedLocked(rs)
 	rs.mu.Unlock()
-	storeMax(&s.acked, pub)
-	s.notif.advance(pub)
+	s.publishAcked(pub)
 }
 
 // updateDegradedLocked re-derives the degraded flag from peer liveness.
@@ -313,11 +325,38 @@ func (s *System) recomputePublishedLocked(rs *replState) uint64 {
 }
 
 // shipGroup hands a sealed group to the replication sink, if attached.
-// Called only from the Persist coordinator (dense tid order).
+// Called only from the Persist coordinator (dense tid order). The ship
+// stamp is taken after the synchronous part of ShipGroup (serialize,
+// compress, per-peer enqueue), so repl-ship critical-path time starts
+// where the coordinator's own work on the group ends.
+//
+//dudelint:fencebudget 0
 func (s *System) shipGroup(minTid, maxTid uint64, entries []redolog.Entry) {
 	if rs := s.repl.Load(); rs != nil {
 		rs.sink.ShipGroup(minTid, maxTid, entries)
+		s.obs.ReplShipped(s.srcReplTrace(), minTid, maxTid)
 	}
+}
+
+// ReplicaGroupSent stamps a group's frame fully written to a peer's
+// socket (called from the sender's per-peer write loops).
+//
+//dudelint:fencebudget 0
+//dudelint:noalloc
+func (s *System) ReplicaGroupSent(peer int, minTid, maxTid uint64) {
+	s.obs.ReplSent(s.srcReplTrace(), minTid, maxTid, peer)
+}
+
+// ReplicaGroupAcked stamps a replica's group acknowledgment: the
+// replica fenced [minTid,maxTid] into its local log, self-measuring
+// ingestNanos for the append+barrier (clock-free; the primary anchors
+// the replica's span at the ack's arrival). Called from the sender's
+// per-peer ack readers just before the frontier feeds ReplicaAcked.
+//
+//dudelint:fencebudget 0
+//dudelint:noalloc
+func (s *System) ReplicaGroupAcked(peer int, minTid, maxTid uint64, ingestNanos int64) {
+	s.obs.ReplicaFenced(s.srcReplTrace(), minTid, maxTid, peer, ingestNanos)
 }
 
 // storeMax raises an atomic to v if it is below it.

@@ -55,7 +55,10 @@ type System struct {
 	// Lifecycle tracing and latency histograms. Source-ring ownership:
 	// [0, Threads) the Perform threads, Threads the Persist
 	// coordinator, then the persist workers, then the Reproduce loop
-	// (srcCoord / srcWorker / srcRepro).
+	// (srcCoord / srcWorker / srcRepro), then two multi-writer
+	// replication rings serialized inside the Observer (srcReplTrace
+	// for ship/sent/replica-fence stamps, srcAckTrace for the
+	// acked-frontier stamps).
 	obs *obs.Observer
 
 	// Persistent flight recorder (nil when BlackboxEntries < 0): stamped
@@ -239,7 +242,7 @@ func build(cfg Config, dev *pmem.Device, lay layout, startTid uint64) (*System, 
 	s.applyCh = make(chan applyTask, cfg.ReproThreads)
 	s.obs = obs.New(obs.Config{
 		SampleEvery: cfg.TraceSampleEvery,
-		Sources:     cfg.Threads + 1 + cfg.PersistThreads + 1,
+		Sources:     cfg.Threads + 1 + cfg.PersistThreads + 3,
 		RingEntries: cfg.TraceRingEntries,
 	})
 	s.durable.Store(startTid)
@@ -305,10 +308,14 @@ func build(cfg Config, dev *pmem.Device, lay layout, startTid uint64) (*System, 
 }
 
 // Trace-ring source indices (see the obs field comment): each lifecycle
-// stamp comes from exactly one goroutine, the ring's single writer.
+// stamp comes from exactly one goroutine, the ring's single writer —
+// except the last two, whose several writers (per-peer sender
+// goroutines, frontier publishers) are serialized by the Observer.
 func (s *System) srcCoord() int        { return s.cfg.Threads }
 func (s *System) srcWorker(wi int) int { return s.cfg.Threads + 1 + wi }
 func (s *System) srcRepro() int        { return s.cfg.Threads + 1 + s.cfg.PersistThreads }
+func (s *System) srcReplTrace() int    { return s.srcRepro() + 1 }
+func (s *System) srcAckTrace() int     { return s.srcRepro() + 2 }
 
 func (s *System) bindWriters() {
 	for i, th := range s.threads {
@@ -623,6 +630,9 @@ func (s *System) Close() {
 	// ModeAsync: the persist loop observes stopping, drains the rings,
 	// seals the last group and closes reproCh itself.
 	s.wg.Wait()
+	// The pipeline's stamp sources are quiet: drain the critical-path
+	// collector so Stats() reflects every completed sampled transaction.
+	s.obs.Close()
 	// Every committed transaction is durable now; any waiter still
 	// subscribed is waiting for an ID the pipeline will never assign.
 	s.notif.fail(ErrClosed)
@@ -647,6 +657,7 @@ func (s *System) Crash() []byte {
 		close(s.reproCh)
 	}
 	s.wg.Wait()
+	s.obs.Close()
 	s.dev.Crash()
 	img := s.dev.PersistedImage()
 	s.notif.fail(ErrCrashed)
@@ -725,6 +736,12 @@ func (s *System) TraceOf(tid uint64) []obs.Record { return s.obs.TraceOf(tid) }
 // TraceTail returns the most recent n trace records across all rings
 // (all of them when n <= 0), oldest first.
 func (s *System) TraceTail(n int) []obs.Record { return s.obs.TraceTail(n) }
+
+// CritpathOf decomposes a sampled transaction's commit→acknowledged
+// window into critical-path segments from the live trace rings.
+// ok is false when the timeline is incomplete (unsampled, evicted, or
+// the transaction has not been quorum-acked yet).
+func (s *System) CritpathOf(tid uint64) (obs.Critpath, bool) { return s.obs.CritpathOf(tid) }
 
 // LastStall returns the most recent watchdog stall report, or nil.
 func (s *System) LastStall() *StallReport { return s.lastStall.Load() }

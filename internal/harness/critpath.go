@@ -1,0 +1,288 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"dudetm"
+	"dudetm/internal/loadgen"
+	"dudetm/internal/obs"
+	"dudetm/internal/server"
+)
+
+// critpathFracs are the knee-relative offered loads the decomposition
+// is recorded at: well under the knee (queueing negligible — the
+// decomposition shows the pipeline's intrinsic costs), just under it
+// (the operating point a capacity planner cares about), and just past
+// it (the segment that grows first is the bottleneck). Absolute rates
+// are host-dependent; knee-relative points are comparable across hosts.
+var critpathFracs = []struct {
+	label string
+	frac  float64
+}{
+	{"0.5x", 0.5},
+	{"0.9x", 0.9},
+	{"1.1x", 1.1},
+}
+
+// CritpathSegPoint is one segment's aggregate at one offered load.
+type CritpathSegPoint struct {
+	Segment string  `json:"segment"`
+	MeanNS  int64   `json:"mean_ns"`
+	P99NS   int64   `json:"p99_ns"`
+	Share   float64 `json:"share"`
+}
+
+// CritpathPoint is the decomposition recorded at one knee-relative
+// offered load.
+type CritpathPoint struct {
+	Label      string  `json:"label"`
+	KneeFrac   float64 `json:"knee_frac"`
+	OfferedTPS float64 `json:"offered_tps"`
+	ServedTPS  float64 `json:"served_tps"`
+	Shortfall  float64 `json:"shortfall"`
+	// Decomposed sampled transactions over the point (interval delta).
+	Txns       uint64 `json:"txns"`
+	Incomplete uint64 `json:"incomplete"`
+	Dropped    uint64 `json:"dropped"`
+	E2EMeanNS  int64  `json:"e2e_mean_ns"`
+	E2EP99NS   int64  `json:"e2e_p99_ns"`
+	// Segments in pipeline order; shares sum to ~1.
+	Segments []CritpathSegPoint `json:"segments"`
+}
+
+// CritpathReport is the BENCH_critpath.json document.
+type CritpathReport struct {
+	Experiment  string          `json:"experiment"`
+	CapacityTPS float64         `json:"capacity_tps"`
+	SampleEvery int             `json:"sample_every"`
+	Replicated  bool            `json:"replicated"`
+	Points      []CritpathPoint `json:"points"`
+}
+
+// CritpathOpts tunes the sweep; the zero value runs the standard
+// 3-point knee-relative recording.
+type CritpathOpts struct {
+	// PointDuration is the open-loop run length per point (default 2s;
+	// 1s under -quick).
+	PointDuration time.Duration
+	// Keys is the uniform keyspace (default 4Mi).
+	Keys uint64
+	// OutPath, when set, receives the CritpathReport as indented JSON
+	// (the BENCH_critpath.json artifact).
+	OutPath string
+}
+
+// Critpath records the critical-path decomposition of sampled
+// transactions at knee-relative offered loads. Topology: single
+// unreplicated node (the system under test matches the loadcurve
+// experiment), so the repl_ship and quorum_wait segments read zero —
+// the replicated decomposition is covered by the repl package's
+// reconciliation test; this experiment tracks where the local
+// pipeline's commit→ack window goes as load approaches saturation.
+// Aggregates are read straight from the pool's obs snapshot (interval
+// Sub around each point) rather than scraped, so the artifact carries
+// full nanosecond resolution.
+func Critpath(c ExpConfig, o CritpathOpts) error {
+	c.applyDefaults()
+	if o.PointDuration == 0 {
+		o.PointDuration = 2 * time.Second
+		if c.Quick {
+			o.PointDuration = time.Second
+		}
+	}
+	if o.Keys == 0 {
+		o.Keys = 4 << 20
+	}
+
+	opts := loadCurveOptions()
+	pool, err := dudetm.Create(opts)
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	srv, err := server.New(pool, server.Config{MaxConns: 128})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(10 * time.Second)
+
+	// Knee calibration, same two-step recipe as the loadcurve sweep: a
+	// closed-loop floor, then open-loop overload probes until the served
+	// rate stops following the offered rate.
+	calWrites := 400
+	if c.Quick {
+		calWrites = 150
+	}
+	cal, err := NetLoad(NetLoadOpts{
+		Addr: ln.Addr().String(), Conns: 8, WritesPerConn: calWrites, Keys: o.Keys,
+	})
+	if err != nil {
+		return fmt.Errorf("critpath calibration: %w", err)
+	}
+	if cal.TPS <= 0 {
+		return fmt.Errorf("critpath calibration measured no throughput")
+	}
+	capacity := cal.TPS
+	probeRate := 3 * cal.TPS
+	for iter := 0; iter < 4; iter++ {
+		probe, err := loadgen.Run(loadgen.Opts{
+			Addr:     ln.Addr().String(),
+			Proc:     loadgen.Constant{Rate: probeRate},
+			Duration: o.PointDuration,
+			Conns:    8,
+			Keys:     o.Keys,
+			Seed:     int64(47 + iter),
+		})
+		if err != nil {
+			return fmt.Errorf("critpath capacity probe at %.0f/s: %w", probeRate, err)
+		}
+		if probe.Served > capacity {
+			capacity = probe.Served
+		}
+		if probe.Shortfall() > 2*kneeTolerance {
+			break
+		}
+		probeRate *= 2
+	}
+	fmt.Fprintf(c.Out, "calibrated knee: %s served under overload (closed-loop floor %s)\n",
+		fmtTPS(capacity), fmtTPS(cal.TPS))
+
+	var points []CritpathPoint
+	for i, f := range critpathFracs {
+		rate := f.frac * capacity
+		before := pool.Stats().Obs.Crit
+		res, err := loadgen.Run(loadgen.Opts{
+			Addr:     ln.Addr().String(),
+			Proc:     loadgen.Poisson{Rate: rate},
+			Duration: o.PointDuration,
+			Conns:    8,
+			Keys:     o.Keys,
+			Seed:     int64(2000 + i),
+		})
+		if err != nil {
+			return fmt.Errorf("critpath point %s (offered %.0f/s): %w", f.label, rate, err)
+		}
+		// The collector folds samples in asynchronously; poll until the
+		// interval delta stops growing (two consecutive snapshots agree).
+		crit := pool.Stats().Obs.Crit.Sub(before)
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			time.Sleep(50 * time.Millisecond)
+			cur := pool.Stats().Obs.Crit.Sub(before)
+			if (cur.Txns == crit.Txns && cur.Txns > 0) || time.Now().After(deadline) {
+				crit = cur
+				break
+			}
+			crit = cur
+		}
+		if crit.Txns == 0 {
+			return fmt.Errorf("critpath point %s: no sampled transactions decomposed (sampling 1-in-%d, %d sent)",
+				f.label, opts.TraceSampleEvery, res.Sent)
+		}
+		points = append(points, critpathPointFrom(f.label, f.frac, res, crit))
+	}
+
+	renderCritpathTable(c, points)
+
+	for _, p := range points {
+		recordRaw(Record{
+			System: "DUDETM", Bench: "critpath/" + p.Label, Threads: 8,
+			TPS: p.ServedTPS, P99NS: p.E2EP99NS,
+			Process: "poisson", OfferedTPS: p.OfferedTPS, ServedTPS: p.ServedTPS,
+			Shortfall: p.Shortfall,
+		})
+	}
+
+	rep := CritpathReport{
+		Experiment:  "critpath",
+		CapacityTPS: capacity,
+		SampleEvery: opts.TraceSampleEvery,
+		Replicated:  false,
+		Points:      points,
+	}
+	if o.OutPath != "" {
+		f, err := os.Create(o.OutPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.Out, "critpath decomposition written to %s\n", o.OutPath)
+	}
+	return nil
+}
+
+// critpathPointFrom folds one point's generator result and interval
+// critpath delta into the report row.
+func critpathPointFrom(label string, frac float64, res loadgen.Result, crit obs.CritSnapshot) CritpathPoint {
+	p := CritpathPoint{
+		Label:      label,
+		KneeFrac:   frac,
+		OfferedTPS: res.Offered,
+		ServedTPS:  res.Served,
+		Shortfall:  res.Shortfall(),
+		Txns:       crit.Txns,
+		Incomplete: crit.Incomplete,
+		Dropped:    crit.Dropped,
+		E2EMeanNS:  int64(crit.E2E.Mean()),
+		E2EP99NS:   int64(crit.E2E.Quantile(0.99)),
+	}
+	for seg := obs.CritSegment(0); seg < obs.NumCritSegments; seg++ {
+		s := crit.Segments[seg]
+		share := 0.0
+		if crit.E2E.Sum > 0 {
+			share = float64(s.Sum) / float64(crit.E2E.Sum)
+		}
+		p.Segments = append(p.Segments, CritpathSegPoint{
+			Segment: seg.String(),
+			MeanNS:  int64(s.Mean()),
+			P99NS:   int64(s.Quantile(0.99)),
+			Share:   share,
+		})
+	}
+	return p
+}
+
+// renderCritpathTable prints one row per point with the segments
+// ranked by share, so the dominant cost reads left to right.
+func renderCritpathTable(c ExpConfig, points []CritpathPoint) {
+	tw := tabwriter.NewWriter(c.Out, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "point\toffered\tserved\ttxns\te2e mean\te2e p99\ttop segments (share)\t")
+	for _, p := range points {
+		ranked := append([]CritpathSegPoint(nil), p.Segments...)
+		sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Share > ranked[j].Share })
+		top := ""
+		for i, s := range ranked {
+			if i == 3 || s.Share <= 0 {
+				break
+			}
+			if i > 0 {
+				top += "  "
+			}
+			top += fmt.Sprintf("%s %.0f%%", s.Segment, 100*s.Share)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%v\t%v\t%s\t\n",
+			p.Label, fmtTPS(p.OfferedTPS), fmtTPS(p.ServedTPS), p.Txns,
+			time.Duration(p.E2EMeanNS).Round(time.Microsecond),
+			time.Duration(p.E2EP99NS).Round(time.Microsecond), top)
+	}
+	tw.Flush()
+}

@@ -31,7 +31,8 @@ var analyzerTraceStamp = &Analyzer{
 // the trace clock.
 var obsStampMethods = []string{
 	"Now", "Commit", "GroupSealed", "GroupPersisted", "GroupApplied",
-	"DurableAdvanced", "ReproducedAdvanced",
+	"DurableAdvanced", "ReproducedAdvanced", "AckedAdvanced",
+	"ReplShipped", "ReplSent", "ReplicaFenced",
 }
 
 // isObsStampCall reports whether call invokes a stamp method on

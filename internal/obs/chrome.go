@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: a sampled transaction's cross-node
+// timeline rendered as the JSON object format Perfetto and
+// chrome://tracing load directly ("JSON Array Format" with the
+// displayTimeUnit envelope). Primary-side stages appear as lanes of
+// process 1; replica fences as one lane per peer under process 2, so
+// the cross-node critical path reads left to right across two process
+// tracks.
+//
+// Timestamps: the trace-event format's ts/dur are microseconds; trace
+// records are nanoseconds since the observer epoch, so values are
+// divided by 1e3 and keep fractional precision. Replica fence spans
+// are anchored on the primary's clock (ack arrival minus the replica's
+// self-measured ingest duration) — see the critpath package comment.
+
+// ChromeEvent is one trace-event JSON object. Ph "X" is a complete
+// span (Ts..Ts+Dur), "i" an instant, "M" metadata (process/thread
+// names).
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+}
+
+// Chrome lane layout.
+const (
+	ChromePidPrimary  = 1 // primary pipeline lanes
+	ChromePidReplicas = 2 // one lane per replica peer
+
+	chromeLanePerform = 1 // commit + acked stamps
+	chromeLanePersist = 2 // group seal + persist fence
+	chromeLaneShip    = 3 // repl ship/sent stamps
+	chromeLaneRepro   = 4 // reproduce apply
+)
+
+// chromeMeta builds a process_name or thread_name metadata event.
+func chromeMeta(kind string, pid, tid int, name string) ChromeEvent {
+	return ChromeEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}}
+}
+
+// ChromeTraceOf converts one transaction's trace records (TraceOf
+// output, time-ordered) into trace events, metadata lanes included.
+func ChromeTraceOf(tid uint64, recs []Record) []ChromeEvent {
+	events := []ChromeEvent{
+		chromeMeta("process_name", ChromePidPrimary, 0, "primary"),
+		chromeMeta("thread_name", ChromePidPrimary, chromeLanePerform, "perform"),
+		chromeMeta("thread_name", ChromePidPrimary, chromeLanePersist, "persist"),
+		chromeMeta("thread_name", ChromePidPrimary, chromeLaneShip, "repl-ship"),
+		chromeMeta("thread_name", ChromePidPrimary, chromeLaneRepro, "reproduce"),
+	}
+	seen := map[int]bool{}
+	var peers []int
+	for _, r := range recs {
+		if r.Kind == EvReplicaFence && !seen[int(r.Arg)] {
+			seen[int(r.Arg)] = true
+			peers = append(peers, int(r.Arg))
+		}
+	}
+	sort.Ints(peers)
+	if len(peers) > 0 {
+		events = append(events, chromeMeta("process_name", ChromePidReplicas, 0, "replicas"))
+		for _, peer := range peers {
+			events = append(events, chromeMeta("thread_name", ChromePidReplicas, peer+1,
+				"replica "+itoa(peer)))
+		}
+	}
+	for _, r := range recs {
+		ev := ChromeEvent{
+			Name: r.Kind.String(),
+			Pid:  ChromePidPrimary,
+			Args: map[string]any{"min_tid": r.MinTid, "max_tid": r.MaxTid, "sampled_tid": tid},
+		}
+		switch r.Kind {
+		case EvCommit, EvAcked:
+			ev.Tid = chromeLanePerform
+		case EvGroupSeal, EvPersistFence:
+			ev.Tid = chromeLanePersist
+		case EvReplShip, EvReplSent:
+			ev.Tid = chromeLaneShip
+			if r.Kind == EvReplSent {
+				ev.Args["peer"] = r.Arg
+			}
+		case EvReplicaFence:
+			ev.Pid = ChromePidReplicas
+			ev.Tid = int(r.Arg) + 1
+			ev.Args["peer"] = r.Arg
+			ev.Args["ingest_ns"] = r.Dur
+		case EvReproApply:
+			ev.Tid = chromeLaneRepro
+		default:
+			ev.Tid = chromeLanePerform
+		}
+		if r.Dur > 0 {
+			// Duration-carrying stamps mark the END of their span.
+			ev.Ph = "X"
+			ev.Ts = float64(r.At-r.Dur) / 1e3
+			ev.Dur = float64(r.Dur) / 1e3
+		} else {
+			ev.Ph = "i"
+			ev.Ts = float64(r.At) / 1e3
+			ev.S = "t"
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// WriteChromeTrace renders one transaction's records as a complete
+// Chrome trace-event JSON document.
+func WriteChromeTrace(w io.Writer, tid uint64, recs []Record) error {
+	return WriteChromeEvents(w, ChromeTraceOf(tid, recs))
+}
+
+// WriteChromeEvents renders pre-built trace events as a complete
+// Chrome trace-event JSON document (the envelope dudectl forensics
+// -chrome shares).
+func WriteChromeEvents(w io.Writer, events []ChromeEvent) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{DisplayTimeUnit: "ns", TraceEvents: events})
+}
+
+// itoa avoids strconv for the tiny peer-index labels.
+func itoa(n int) string {
+	if n < 0 {
+		return "-" + itoa(-n)
+	}
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + string(rune('0'+n%10))
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestChromeTraceGolden pins the exporter's exact output and re-parses
+// it to prove the document is the trace-event JSON Perfetto loads:
+// top-level traceEvents array, every event carrying name/ph/pid/tid,
+// "X" spans with non-negative dur, metadata naming both processes.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, 8, replicatedTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("export drifted from golden (run with -update to regenerate)\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+
+	// Structural validation: the bytes must round-trip as the
+	// trace-event object format.
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	procs := map[int]string{}
+	var spans, instants int
+	sawReplicaLane := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event missing required keys: %+v", ev)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				procs[*ev.Pid] = ev.Args["name"].(string)
+			}
+		case "X":
+			spans++
+			if ev.Ts == nil || ev.Dur < 0 {
+				t.Fatalf("bad span: %+v", ev)
+			}
+		case "i":
+			instants++
+			if ev.Ts == nil || ev.S == "" {
+				t.Fatalf("instant missing ts or scope: %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+		if *ev.Pid == ChromePidReplicas && ev.Ph == "X" {
+			sawReplicaLane = true
+		}
+	}
+	if procs[ChromePidPrimary] != "primary" || procs[ChromePidReplicas] != "replicas" {
+		t.Fatalf("process names = %v", procs)
+	}
+	// Fixture: persist fence + 2 replica fences are spans, the rest
+	// instants.
+	if spans != 3 || instants != 5 {
+		t.Fatalf("spans = %d, instants = %d", spans, instants)
+	}
+	if !sawReplicaLane {
+		t.Fatal("no replica-lane span in export")
+	}
+}
+
+// The generic event writer (forensics -chrome path) emits the same
+// envelope around caller-built events.
+func TestWriteChromeEvents(t *testing.T) {
+	var buf bytes.Buffer
+	events := []ChromeEvent{
+		chromeMeta("process_name", 1, 0, "dudesrv"),
+		{Name: "seal", Ph: "i", Ts: 1.5, Pid: 1, Tid: 1, S: "t"},
+	}
+	if err := WriteChromeEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Fatalf("traceEvents missing: %s", buf.Bytes())
+	}
+}

@@ -38,11 +38,26 @@ type Config struct {
 // Observer records lifecycle traces and latency histograms for one
 // system instance. All methods are safe for concurrent use; each trace
 // ring additionally requires a single writer (the source goroutine it
-// belongs to).
+// belongs to) — except the two replication rings, which are written by
+// several goroutines (per-peer sender loops, the acked-frontier
+// publishers) and are serialized by a dedicated mutex each (replMu for
+// the ship/sent/replica-fence ring, mu for the acked ring, stamped only
+// inside the pendAck drain). One lock domain per ring: two independent
+// locks writing one ring would tear its position counter.
 type Observer struct {
 	sampleEvery uint64
 	epoch       time.Time
 	rings       []*traceRing
+
+	// replMu serializes the multi-writer replication trace ring
+	// (EvReplShip from the coordinator, EvReplSent / EvReplicaFence
+	// from per-peer sender goroutines).
+	replMu sync.Mutex
+
+	// crit is the critical-path collector (critpath.go): completed
+	// sampled transactions are decomposed off the hot path by a
+	// background goroutine fed through a non-blocking channel.
+	crit critState
 
 	// Histograms. Latencies are nanoseconds.
 	commitDurable Histogram // commit → durable-frontier pass (sampled)
@@ -62,6 +77,7 @@ type Observer struct {
 	mu        sync.Mutex
 	pendDur   []pendTx
 	pendRepro []pendTx
+	pendAck   []pendTx
 	pendN     atomic.Int64
 }
 
@@ -87,8 +103,16 @@ func New(cfg Config) *Observer {
 	for i := range o.rings {
 		o.rings[i] = newTraceRing(cfg.RingEntries)
 	}
+	if o.sampleEvery != 0 {
+		o.startCollector()
+	}
 	return o
 }
+
+// Close stops the critical-path collector after draining it. Call it
+// once the stamp sources have quiesced (e.g. after the pipeline's
+// goroutines joined); safe to call more than once.
+func (o *Observer) Close() { o.crit.close() }
 
 // Now returns nanoseconds since the observer's epoch on the monotonic
 // clock — the timestamp base of every trace record.
@@ -126,15 +150,16 @@ func (o *Observer) Commit(src int, tid uint64) {
 		return
 	}
 	at := o.Now()
-	o.rings[src].put(EvCommit, tid, tid, at)
+	o.rings[src].put(EvCommit, tid, tid, at, 0, 0)
 	o.sampledCommits.Add(1)
 	// The pending count is raised before the entries are visible, so a
 	// racing frontier advance can at worst take the mutex and find
 	// nothing — it can never miss a pending entry for good.
-	o.pendN.Add(2)
+	o.pendN.Add(3)
 	o.mu.Lock()
 	o.pendDur = append(o.pendDur, pendTx{tid: tid, at: at})
 	o.pendRepro = append(o.pendRepro, pendTx{tid: tid, at: at})
+	o.pendAck = append(o.pendAck, pendTx{tid: tid, at: at})
 	o.mu.Unlock()
 }
 
@@ -149,7 +174,7 @@ func (o *Observer) GroupSealed(src int, minTid, maxTid uint64, txns, entries int
 	o.groupEntries.Observe(uint64(entries))
 	at := o.Now()
 	if o.rangeSampled(minTid, maxTid) {
-		o.rings[src].put(EvGroupSeal, minTid, maxTid, at)
+		o.rings[src].put(EvGroupSeal, minTid, maxTid, at, 0, 0)
 	}
 	return at
 }
@@ -175,7 +200,11 @@ func (o *Observer) GroupPersisted(src int, minTid, maxTid uint64, sealAt, startA
 		}
 	}
 	if o.rangeSampled(minTid, maxTid) {
-		o.rings[src].put(EvPersistFence, minTid, maxTid, endAt)
+		d := endAt - startAt
+		if d < 0 {
+			d = 0
+		}
+		o.rings[src].put(EvPersistFence, minTid, maxTid, endAt, 0, d)
 	}
 }
 
@@ -186,7 +215,7 @@ func (o *Observer) GroupPersisted(src int, minTid, maxTid uint64, sealAt, startA
 //dudelint:noalloc
 func (o *Observer) GroupApplied(src int, minTid, maxTid uint64) {
 	if o.rangeSampled(minTid, maxTid) {
-		o.rings[src].put(EvReproApply, minTid, maxTid, o.Now())
+		o.rings[src].put(EvReproApply, minTid, maxTid, o.Now(), 0, 0)
 	}
 }
 
@@ -201,6 +230,87 @@ func (o *Observer) GroupApplied(src int, minTid, maxTid uint64) {
 func (o *Observer) EpochCoalesced(groups, combEntries int) {
 	o.epochGroups.Observe(uint64(groups))
 	o.epochEntries.Observe(uint64(combEntries))
+}
+
+// ReplShipped stamps a sealed group's handoff to the replication sink
+// (frame build + per-peer enqueue done). src is the shared replication
+// trace ring; the stamp is serialized with the per-peer sender stamps
+// by replMu.
+//
+//dudelint:fencebudget 0
+//dudelint:noalloc
+func (o *Observer) ReplShipped(src int, minTid, maxTid uint64) {
+	if !o.rangeSampled(minTid, maxTid) {
+		return
+	}
+	o.replMu.Lock()
+	o.rings[src].put(EvReplShip, minTid, maxTid, o.Now(), 0, 0)
+	o.replMu.Unlock()
+}
+
+// ReplSent stamps a group's frame fully written to peer's socket.
+//
+//dudelint:fencebudget 0
+//dudelint:noalloc
+func (o *Observer) ReplSent(src int, minTid, maxTid uint64, peer int) {
+	if !o.rangeSampled(minTid, maxTid) {
+		return
+	}
+	o.replMu.Lock()
+	o.rings[src].put(EvReplSent, minTid, maxTid, o.Now(), uint64(peer), 0)
+	o.replMu.Unlock()
+}
+
+// ReplicaFenced stamps a replica's acknowledgment of a group: the
+// replica appended and fenced it into its local log, self-measuring
+// ingestNanos for the append+barrier. The stamp's At is the ack's
+// arrival on the primary's clock; the replica's span is anchored
+// backward from it (clocks are never compared across nodes).
+//
+//dudelint:fencebudget 0
+//dudelint:noalloc
+func (o *Observer) ReplicaFenced(src int, minTid, maxTid uint64, peer int, ingestNanos int64) {
+	if !o.rangeSampled(minTid, maxTid) {
+		return
+	}
+	if ingestNanos < 0 {
+		ingestNanos = 0
+	}
+	o.replMu.Lock()
+	o.rings[src].put(EvReplicaFence, minTid, maxTid, o.Now(), uint64(peer), ingestNanos)
+	o.replMu.Unlock()
+}
+
+// AckedAdvanced stamps the acknowledged-frontier pass for every pending
+// sampled transaction the new acked frontier covers (EvAcked into the
+// src ring, written only here under mu) and hands each completed
+// transaction to the critical-path collector. On an unreplicated
+// system the acked frontier is the durable frontier and the
+// decomposition simply has empty replication segments.
+//
+//dudelint:fencebudget 0
+func (o *Observer) AckedAdvanced(src int, frontier uint64) {
+	if o.pendN.Load() == 0 {
+		return
+	}
+	now := o.Now()
+	o.mu.Lock()
+	kept := o.pendAck[:0]
+	done := 0
+	for _, p := range o.pendAck {
+		if p.tid <= frontier {
+			o.rings[src].put(EvAcked, p.tid, p.tid, now, 0, 0)
+			o.crit.offer(p.tid)
+			done++
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	o.pendAck = kept
+	o.mu.Unlock()
+	if done > 0 {
+		o.pendN.Add(-int64(done))
+	}
 }
 
 // DurableAdvanced records commit→durable latency for every pending
@@ -306,6 +416,8 @@ type Snapshot struct {
 	EpochGroups HistSnapshot
 	// EpochEntries is the coalesced-entries-per-replay-epoch histogram.
 	EpochEntries HistSnapshot
+	// Crit is the critical-path decomposition aggregate (critpath.go).
+	Crit CritSnapshot
 }
 
 // Snapshot captures the current histograms and counters.
@@ -321,6 +433,7 @@ func (o *Observer) Snapshot() Snapshot {
 		GroupEntries:     o.groupEntries.Snapshot(),
 		EpochGroups:      o.epochGroups.Snapshot(),
 		EpochEntries:     o.epochEntries.Snapshot(),
+		Crit:             o.crit.snapshot(),
 	}
 }
 
@@ -337,6 +450,7 @@ func (s Snapshot) Sub(b Snapshot) Snapshot {
 		GroupEntries:     s.GroupEntries.Sub(b.GroupEntries),
 		EpochGroups:      s.EpochGroups.Sub(b.EpochGroups),
 		EpochEntries:     s.EpochEntries.Sub(b.EpochEntries),
+		Crit:             s.Crit.Sub(b.Crit),
 	}
 }
 
@@ -354,5 +468,6 @@ func (s Snapshot) Merge(b Snapshot) Snapshot {
 		GroupEntries:     s.GroupEntries.Merge(b.GroupEntries),
 		EpochGroups:      s.EpochGroups.Merge(b.EpochGroups),
 		EpochEntries:     s.EpochEntries.Merge(b.EpochEntries),
+		Crit:             s.Crit.Merge(b.Crit),
 	}
 }

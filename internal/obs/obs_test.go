@@ -2,8 +2,10 @@ package obs
 
 import (
 	"math"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -63,7 +65,7 @@ func TestHistogramMergeSub(t *testing.T) {
 func TestTraceRingWrap(t *testing.T) {
 	r := newTraceRing(8)
 	for i := uint64(1); i <= 20; i++ {
-		r.put(EvCommit, i, i, int64(i))
+		r.put(EvCommit, i, i, int64(i), 0, 0)
 	}
 	recs := r.collect(nil, 0)
 	if len(recs) != 8 {
@@ -142,6 +144,7 @@ func TestPendingLatency(t *testing.T) {
 	}
 	o.DurableAdvanced(5)
 	o.ReproducedAdvanced(5)
+	o.AckedAdvanced(0, 5)
 	s = o.Snapshot()
 	if s.CommitDurable.Count != 2 || s.CommitReproduced.Count != 2 {
 		t.Fatalf("after full advance: durable %d reproduced %d, want 2/2",
@@ -150,6 +153,7 @@ func TestPendingLatency(t *testing.T) {
 	if o.pendN.Load() != 0 {
 		t.Fatalf("pendN = %d after draining everything", o.pendN.Load())
 	}
+	o.Close()
 }
 
 // TestDisabledHooksAllocFree pins the disabled-sampling hot path at
@@ -182,6 +186,7 @@ func TestSampledStampAllocFree(t *testing.T) {
 	o := New(Config{SampleEvery: 1, Sources: 1})
 	o.pendDur = make([]pendTx, 0, 4096)
 	o.pendRepro = make([]pendTx, 0, 4096)
+	o.pendAck = make([]pendTx, 0, 4096)
 	tid := uint64(0)
 	if n := testing.AllocsPerRun(1000, func() {
 		tid++
@@ -208,18 +213,88 @@ func TestTraceRingReaderRace(t *testing.T) {
 			default:
 			}
 			// Tear detection: every field of a stable record carries i.
-			r.put(EvCommit, i, i, int64(i))
+			r.put(EvCommit, i, i, int64(i), i, int64(i))
 		}
 	}()
 	for n := 0; n < 200; n++ {
 		for _, rec := range r.collect(nil, 0) {
-			if rec.MinTid != rec.MaxTid || rec.At != int64(rec.MinTid) {
+			if rec.MinTid != rec.MaxTid || rec.At != int64(rec.MinTid) ||
+				rec.Arg != rec.MinTid || rec.Dur != rec.At {
 				t.Fatalf("torn record: %+v", rec)
 			}
 		}
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestTraceOfWraparoundRace races TraceOf against a writer that laps a
+// tiny ring many times over: a timeline read mid-wrap must come back
+// either as internally consistent records or as a clean miss — never
+// torn — and once the writer quiesces, the newest transaction's full
+// timeline is reconstructible. Run under -race this also proves the
+// seqlock publication across the wrap boundary.
+func TestTraceOfWraparoundRace(t *testing.T) {
+	o := New(Config{SampleEvery: 1, Sources: 1, RingEntries: 8})
+	defer o.Close()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var lastTid atomic.Uint64
+	// One timeline = three adjacent stamps; a ring of 8 holds barely two
+	// timelines, so the reader constantly observes slots mid-overwrite.
+	stamp := func(tid uint64) {
+		o.rings[0].put(EvCommit, tid, tid, int64(tid*10), tid, int64(tid))
+		o.rings[0].put(EvGroupSeal, tid, tid, int64(tid*10+1), tid, int64(tid))
+		o.rings[0].put(EvPersistFence, tid, tid, int64(tid*10+2), tid, int64(tid))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			stamp(i)
+			lastTid.Store(i)
+		}
+	}()
+	for lastTid.Load() == 0 {
+		runtime.Gosched() // single-CPU hosts: let the writer start
+	}
+	for n := 0; n < 500; n++ {
+		tid := lastTid.Load()
+		recs := o.TraceOf(tid)
+		// Complete, partial-but-consistent, or clean miss — each
+		// surviving record must carry tid in every field (tear check)
+		// and the timeline must stay time-ordered.
+		var prevAt int64 = -1
+		for _, rec := range recs {
+			if rec.MinTid != tid || rec.MaxTid != tid || rec.Arg != tid ||
+				rec.Dur != int64(tid) || rec.At/10 != int64(tid) {
+				t.Fatalf("torn record for tid %d: %+v", tid, rec)
+			}
+			if rec.At <= prevAt {
+				t.Fatalf("timeline out of order for tid %d: %v", tid, recs)
+			}
+			prevAt = rec.At
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Quiescent: the newest timeline survived the last lap intact.
+	final := lastTid.Load()
+	recs := o.TraceOf(final)
+	if len(recs) != 3 {
+		t.Fatalf("quiescent TraceOf(%d) = %d records, want the complete 3-stamp timeline:\n%v",
+			final, len(recs), recs)
+	}
+	for i, kind := range []EventKind{EvCommit, EvGroupSeal, EvPersistFence} {
+		if recs[i].Kind != kind {
+			t.Fatalf("record %d kind %s, want %s", i, recs[i].Kind, kind)
+		}
+	}
 }
 
 func TestPromRoundTrip(t *testing.T) {

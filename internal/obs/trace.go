@@ -19,6 +19,21 @@ const (
 	// EvReproApply: the Reproduce step applied the group to the
 	// persistent data region.
 	EvReproApply
+	// EvReplShip: the Persist coordinator handed the sealed group to
+	// the replication sink (frame build + per-peer enqueue).
+	EvReplShip
+	// EvReplSent: a peer's write loop finished writing the group's
+	// frame to the socket. Arg is the peer index.
+	EvReplSent
+	// EvReplicaFence: a replica acknowledged the group: its local log
+	// append and persist barrier completed. At is the ack's arrival
+	// time on the primary's clock; Dur is the replica's self-measured
+	// ingest duration (clock-free, so the fence span is anchored at
+	// At-Dur..At). Arg is the peer index.
+	EvReplicaFence
+	// EvAcked: the quorum-gated acknowledged frontier covered the
+	// transaction — client notifiers may fire from here.
+	EvAcked
 )
 
 // String returns the lifecycle-stage name.
@@ -32,6 +47,14 @@ func (k EventKind) String() string {
 		return "persist-fence"
 	case EvReproApply:
 		return "reproduce-apply"
+	case EvReplShip:
+		return "repl-ship"
+	case EvReplSent:
+		return "repl-sent"
+	case EvReplicaFence:
+		return "replica-fence"
+	case EvAcked:
+		return "acked"
 	}
 	return "unknown"
 }
@@ -40,11 +63,17 @@ func (k EventKind) String() string {
 // (MinTid == MaxTid); group stamps cover the sealed ID range. At is
 // nanoseconds since the observer's epoch (monotonic), so subtracting
 // two records of one transaction gives the stage latency between them.
+// Arg carries a kind-specific operand (peer index on replication
+// stamps); Dur a kind-specific duration in nanoseconds (fence span on
+// EvPersistFence, replica ingest span on EvReplicaFence), zero when
+// the kind has none.
 type Record struct {
 	Kind   EventKind
 	MinTid uint64
 	MaxTid uint64
 	At     int64
+	Arg    uint64
+	Dur    int64
 }
 
 // traceRing is one event source's fixed-size trace buffer: a single
@@ -65,6 +94,8 @@ type traceSlot struct {
 	minTid atomic.Uint64
 	maxTid atomic.Uint64
 	at     atomic.Int64
+	arg    atomic.Uint64
+	dur    atomic.Int64
 }
 
 func newTraceRing(capacity int) *traceRing {
@@ -78,7 +109,7 @@ func newTraceRing(capacity int) *traceRing {
 // put stamps one record. Single writer per ring.
 //
 //dudelint:noalloc
-func (r *traceRing) put(kind EventKind, minTid, maxTid uint64, at int64) {
+func (r *traceRing) put(kind EventKind, minTid, maxTid uint64, at int64, arg uint64, dur int64) {
 	p := r.pos.Load()
 	s := &r.slots[p&r.mask]
 	s.seq.Store(2*p + 1) // odd: write in progress
@@ -86,6 +117,8 @@ func (r *traceRing) put(kind EventKind, minTid, maxTid uint64, at int64) {
 	s.minTid.Store(minTid)
 	s.maxTid.Store(maxTid)
 	s.at.Store(at)
+	s.arg.Store(arg)
+	s.dur.Store(dur)
 	s.seq.Store(2*p + 2) // even: stable
 	r.pos.Store(p + 1)
 }
@@ -105,6 +138,8 @@ func (r *traceRing) collect(dst []Record, tid uint64) []Record {
 			MinTid: s.minTid.Load(),
 			MaxTid: s.maxTid.Load(),
 			At:     s.at.Load(),
+			Arg:    s.arg.Load(),
+			Dur:    s.dur.Load(),
 		}
 		if s.seq.Load() != seq {
 			continue // overwritten mid-read

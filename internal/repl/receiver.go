@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dudetm/internal/dudetm"
 	"dudetm/internal/lz4"
@@ -170,18 +171,27 @@ func (r *Receiver) ServeConn(conn net.Conn) error {
 			return fmt.Errorf("repl: group [%d,%d] payload is not an entry array", m.MinTid, m.MaxTid)
 		}
 		before := r.rep.Durable()
+		start := time.Now()
 		if err := r.rep.IngestGroup(m.MinTid, m.MaxTid, entries); err != nil {
 			if errors.Is(err, dudetm.ErrReplGap) {
 				r.gaps.Add(1)
 			}
 			return err
 		}
+		// The ack names the group this connection just fenced and the
+		// measured ingest (append + persist barrier) duration, feeding
+		// the primary's critical-path decomposition. The duration is
+		// clock-free — the two nodes' clocks are never compared. A
+		// catch-up duplicate re-acks the frontier with a zero range.
+		ackMin, ackMax := m.MinTid, m.MaxTid
+		ingest := time.Since(start).Nanoseconds()
 		if m.MaxTid <= before {
 			r.dupes.Add(1)
+			ackMin, ackMax, ingest = 0, 0, 0
 		} else {
 			r.groups.Add(1)
 		}
-		if err := wire.WriteFrame(conn, wire.AppendReplAck(nil, r.rep.Durable())); err != nil {
+		if err := wire.WriteFrame(conn, wire.AppendReplAck(nil, r.rep.Durable(), ackMin, ackMax, ingest)); err != nil {
 			return err
 		}
 	}

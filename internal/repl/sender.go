@@ -44,6 +44,17 @@ type Primary interface {
 	ReplicaLive(peer string, live bool)
 }
 
+// PrimaryTracer is the optional tracing surface of a Primary: when the
+// quorum gate also implements it (dudetm.System and dude.Pool do), the
+// sender stamps per-peer frame-sent and replica-fence events into the
+// primary's trace rings, extending a sampled transaction's timeline
+// across nodes for critical-path decomposition. peer is the index into
+// Config.Peers.
+type PrimaryTracer interface {
+	ReplicaGroupSent(peer int, minTid, maxTid uint64)
+	ReplicaGroupAcked(peer int, minTid, maxTid uint64, ingestNanos int64)
+}
+
 // Config configures a Sender.
 type Config struct {
 	// Peers are the replica addresses (host:port); each is also the
@@ -87,6 +98,7 @@ func (c *Config) applyDefaults() {
 type Sender struct {
 	cfg     Config
 	pri     Primary
+	tracer  PrimaryTracer // pri's optional tracing surface (may be nil)
 	peers   []*peer
 	closed  atomic.Bool
 	closeCh chan struct{}
@@ -107,9 +119,9 @@ type Sender struct {
 // wire frame (shared read-only across peers) plus what ack tracking
 // needs.
 type shipped struct {
-	frame  []byte
-	maxTid uint64
-	shipAt int64 // UnixNano at ShipGroup
+	frame          []byte
+	minTid, maxTid uint64
+	shipAt         int64 // UnixNano at ShipGroup
 }
 
 // NewSender builds a Sender for the given peers. It does not connect;
@@ -118,8 +130,9 @@ type shipped struct {
 func NewSender(pri Primary, cfg Config) *Sender {
 	cfg.applyDefaults()
 	s := &Sender{cfg: cfg, pri: pri, closeCh: make(chan struct{})}
-	for _, addr := range cfg.Peers {
-		p := &peer{name: addr, s: s}
+	s.tracer, _ = pri.(PrimaryTracer)
+	for i, addr := range cfg.Peers {
+		p := &peer{name: addr, idx: i, s: s}
 		p.cond = sync.NewCond(&p.mu)
 		s.peers = append(s.peers, p)
 	}
@@ -170,7 +183,7 @@ func (s *Sender) ShipGroup(minTid, maxTid uint64, entries []redolog.Entry) {
 	s.groupsShipped.Add(1)
 	s.rawBytes.Add(uint64(len(raw)))
 	s.wireBytes.Add(uint64(len(frame)))
-	g := shipped{frame: frame, maxTid: maxTid, shipAt: time.Now().UnixNano()}
+	g := shipped{frame: frame, minTid: minTid, maxTid: maxTid, shipAt: time.Now().UnixNano()}
 	for _, p := range s.peers {
 		p.enqueue(g)
 	}
@@ -262,6 +275,7 @@ func (s *Sender) Close() {
 // goroutine that drives dial/handshake/stream/reconnect.
 type peer struct {
 	name string
+	idx  int // index into Config.Peers (the trace-stamp peer id)
 	s    *Sender
 
 	mu   sync.Mutex
@@ -436,11 +450,14 @@ func (p *peer) writeLoop(conn net.Conn, gen int) {
 			p.mu.Unlock()
 			return
 		}
-		frame := p.queue[p.sent].frame
+		g := p.queue[p.sent]
 		p.sent++
 		p.mu.Unlock()
-		if _, err := conn.Write(frame); err != nil {
+		if _, err := conn.Write(g.frame); err != nil {
 			return
+		}
+		if t := p.s.tracer; t != nil {
+			t.ReplicaGroupSent(p.idx, g.minTid, g.maxTid)
 		}
 	}
 }
@@ -457,6 +474,13 @@ func (p *peer) readAcks(conn net.Conn, gen int) {
 		m, err := wire.DecodeRepl(pl)
 		if err != nil || m.Kind != wire.ReplAck {
 			break
+		}
+		// Stamp the replica fence BEFORE the frontier feeds the quorum
+		// gate: the acked-frontier advance may complete the sampled
+		// transaction's timeline, which must already hold this fence.
+		// A zero tid range is a pure re-ack (catch-up duplicate).
+		if t := p.s.tracer; t != nil && m.MinTid != 0 {
+			t.ReplicaGroupAcked(p.idx, m.MinTid, m.MaxTid, m.IngestNanos)
 		}
 		p.mu.Lock()
 		p.trimLocked(m.Frontier, time.Now().UnixNano())

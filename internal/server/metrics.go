@@ -113,6 +113,32 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		p.Sample("dudetm_commit_reproduced_latency_seconds", `quantile="`+q.label+`"`, float64(ob.CommitReproduced.Quantile(q.q))*1e-9)
 	}
 
+	// Critical-path decomposition of sampled transactions: where the
+	// commit→acked window goes, segment by segment. The segment set is
+	// fixed (unreplicated nodes report zero repl segments), so the
+	// scrape contract is stable across topologies.
+	crit := ob.Crit
+	p.Counter("dudetm_critpath_txns_total", "Sampled transactions decomposed into critical-path segments.", float64(crit.Txns))
+	p.Counter("dudetm_critpath_incomplete_total", "Sampled transactions whose timeline was missing a required stamp.", float64(crit.Incomplete))
+	p.Counter("dudetm_critpath_dropped_total", "Samples dropped because the critpath collector was behind.", float64(crit.Dropped))
+	p.Histogram("dudetm_critpath_e2e_seconds", "Commit to quorum-acked latency of decomposed transactions.", crit.E2E, 1e-9)
+	p.Header("dudetm_critpath_segment_seconds_total", "counter", "Critical-path time attributed per segment across decomposed transactions.")
+	for seg := obs.CritSegment(0); seg < obs.NumCritSegments; seg++ {
+		p.Sample("dudetm_critpath_segment_seconds_total", `segment="`+seg.String()+`"`, float64(crit.Segments[seg].Sum)*1e-9)
+	}
+	p.Header("dudetm_critpath_segment_share", "gauge", "Fraction of total critical-path time attributed per segment.")
+	for seg := obs.CritSegment(0); seg < obs.NumCritSegments; seg++ {
+		share := 0.0
+		if crit.E2E.Sum > 0 {
+			share = float64(crit.Segments[seg].Sum) / float64(crit.E2E.Sum)
+		}
+		p.Sample("dudetm_critpath_segment_share", `segment="`+seg.String()+`"`, share)
+	}
+	p.Header("dudetm_critpath_segment_p99_seconds", "gauge", "Per-transaction p99 of each critical-path segment.")
+	for seg := obs.CritSegment(0); seg < obs.NumCritSegments; seg++ {
+		p.Sample("dudetm_critpath_segment_p99_seconds", `segment="`+seg.String()+`"`, float64(crit.Segments[seg].Quantile(0.99))*1e-9)
+	}
+
 	p.Counter("dudetm_watchdog_stalls_total", "Pipeline stall episodes detected by the watchdog.", float64(st.Stalls))
 
 	// Recovery observability. The gauges exist (at zero) on a fresh
@@ -230,10 +256,13 @@ func (s *Server) DebugHandler() http.Handler {
 }
 
 // handleTrace serves lifecycle trace records. ?tid=N reconstructs one
-// sampled transaction's timeline; without it the most recent ?n=
-// records (default 64) across all rings are dumped, oldest first.
+// sampled transaction's timeline (&format=chrome renders it as a
+// Chrome trace-event / Perfetto JSON document); without it the most
+// recent ?n= records (default 64) across all rings are dumped, oldest
+// first. An unknown tid is a 404, not an empty 200 — scripts piping
+// the output into Perfetto should fail loudly, and the body says why
+// the tid has no records.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if tidStr := r.URL.Query().Get("tid"); tidStr != "" {
 		tid, err := strconv.ParseUint(tidStr, 10, 64)
 		if err != nil {
@@ -242,13 +271,27 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		recs := s.pool.TraceOf(tid)
 		if len(recs) == 0 {
-			fmt.Fprintf(w, "tid %d: no trace records (unsampled, or evicted from the trace rings)\n", tid)
+			every := s.pool.Stats().Obs.SampleEvery
+			if every == 0 {
+				http.Error(w, fmt.Sprintf("tid %d not sampled; tracing is off (start with -trace-sample)", tid), http.StatusNotFound)
+				return
+			}
+			http.Error(w, fmt.Sprintf("tid %d not sampled; sampling is 1-in-%d (or the records were evicted from the trace rings)", tid, every), http.StatusNotFound)
 			return
 		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := obs.WriteChromeTrace(w, tid, recs); err != nil {
+				fmt.Fprintf(w, "\n// write error: %v\n", err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "tid %d lifecycle:\n", tid)
 		writeTrace(w, recs)
 		return
 	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	n := 64
 	if nStr := r.URL.Query().Get("n"); nStr != "" {
 		v, err := strconv.Atoi(nStr)
@@ -272,8 +315,15 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 func writeTrace(w io.Writer, recs []dudetm.TraceRecord) {
 	base := recs[0].At
 	for _, rec := range recs {
-		fmt.Fprintf(w, "  +%-12v %-15s tids [%d,%d]\n",
+		fmt.Fprintf(w, "  +%-12v %-15s tids [%d,%d]",
 			time.Duration(rec.At-base), rec.Kind, rec.MinTid, rec.MaxTid)
+		if rec.Kind == obs.EvReplSent || rec.Kind == obs.EvReplicaFence {
+			fmt.Fprintf(w, " peer %d", rec.Arg)
+		}
+		if rec.Dur > 0 {
+			fmt.Fprintf(w, " dur %v", time.Duration(rec.Dur))
+		}
+		fmt.Fprintln(w)
 	}
 }
 

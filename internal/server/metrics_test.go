@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"io"
 	"math"
 	"net/http"
@@ -35,6 +36,16 @@ var requiredSeries = []string{
 	"dudetm_repro_epoch_coalesce_ratio",
 	"dudetm_repro_epoch_groups_count",
 	"dudetm_repro_lines_flushed_total",
+	"dudetm_critpath_txns_total",
+	"dudetm_critpath_incomplete_total",
+	"dudetm_critpath_dropped_total",
+	"dudetm_critpath_e2e_seconds_count",
+	"dudetm_critpath_e2e_seconds_sum",
+	`dudetm_critpath_segment_seconds_total{segment="ring_dwell"}`,
+	`dudetm_critpath_segment_seconds_total{segment="persist_fence"}`,
+	`dudetm_critpath_segment_seconds_total{segment="quorum_wait"}`,
+	`dudetm_critpath_segment_share{segment="persist_fence"}`,
+	`dudetm_critpath_segment_p99_seconds{segment="persist_fence"}`,
 	"dudetm_watchdog_stalls_total",
 	"dudetm_recovery_runs_total",
 	"dudetm_recovery_replay_seconds",
@@ -144,6 +155,44 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("dudetm_repl_frontier_lag = %v, want >= 0", m["dudetm_repl_frontier_lag"])
 	}
 
+	// Critical-path decomposition: all 50 writes were sampled and acked
+	// before the scrape, so the background collector folds them in; poll
+	// briefly for the async drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for m["dudetm_critpath_txns_total"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("critpath collector never decomposed a txn: txns=%v incomplete=%v dropped=%v",
+				m["dudetm_critpath_txns_total"], m["dudetm_critpath_incomplete_total"], m["dudetm_critpath_dropped_total"])
+		}
+		time.Sleep(10 * time.Millisecond)
+		resp, err := http.Get(hs.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err = obs.ParseProm(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m["dudetm_critpath_e2e_seconds_count"] != m["dudetm_critpath_txns_total"] {
+		t.Errorf("e2e count %v != txns %v",
+			m["dudetm_critpath_e2e_seconds_count"], m["dudetm_critpath_txns_total"])
+	}
+	// Unreplicated node: replication segments stay zero, the pipeline
+	// segments carry all the attributed time, and shares sum to ~1.
+	if m[`dudetm_critpath_segment_seconds_total{segment="repl_ship"}`] != 0 ||
+		m[`dudetm_critpath_segment_seconds_total{segment="quorum_wait"}`] != 0 {
+		t.Error("replication segments nonzero on an unreplicated node")
+	}
+	var share float64
+	for _, seg := range []string{"ring_dwell", "seal_wait", "persist_fence", "repl_ship", "quorum_wait", "notify"} {
+		share += m[`dudetm_critpath_segment_share{segment="`+seg+`"}`]
+	}
+	if math.Abs(share-1) > 0.01 {
+		t.Errorf("segment shares sum to %v, want ~1", share)
+	}
+
 	// /debug/trace: the tail shows lifecycle stamps; a specific durable
 	// tid reconstructs its timeline (sampling is 1-in-1).
 	body := getBody(t, hs.URL+"/debug/trace")
@@ -155,6 +204,42 @@ func TestMetricsEndpoint(t *testing.T) {
 	body = getBody(t, hs.URL+"/debug/trace?tid=25")
 	if !strings.Contains(body, "tid 25 lifecycle") || !strings.Contains(body, "commit") {
 		t.Errorf("/debug/trace?tid=25:\n%s", body)
+	}
+	// An unknown tid is a 404 whose body explains the sampling period.
+	resp, err = http.Get(hs.URL + "/debug/trace?tid=999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/trace with unknown tid: %s, want 404", resp.Status)
+	}
+	if !strings.Contains(string(nb), "not sampled") || !strings.Contains(string(nb), "1-in-1") {
+		t.Errorf("404 body = %q, want sampling explanation", nb)
+	}
+	// format=chrome renders the timeline as a Perfetto-loadable
+	// trace-event document.
+	resp, err = http.Get(hs.URL + "/debug/trace?tid=25&format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace?format=chrome: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("chrome trace Content-Type = %q", ct)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(cb, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, cb)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("chrome trace has no events")
 	}
 	if body = getBody(t, hs.URL+"/debug/stall"); !strings.Contains(body, "no stalls recorded") {
 		t.Errorf("/debug/stall: %q", body)

@@ -59,8 +59,12 @@ func (k ReplKind) String() string {
 // dialed the replication port by mistake).
 const ReplMagic = 0x4455_4445_5245_504c // "DUDEREPL"
 
-// ReplVersion is the replication protocol version.
-const ReplVersion = 1
+// ReplVersion is the replication protocol version. Version 2 enriched
+// ReplAck with the acked group's tid range and the replica's measured
+// ingest (fence) duration, feeding the primary's cross-node critical-path
+// decomposition. Both ends of a stream must speak the same version — the
+// hello handshake rejects a mismatch before any group flows.
+const ReplVersion = 2
 
 const replGroupFlagCompressed = 1 << 0
 
@@ -78,7 +82,17 @@ type ReplMsg struct {
 	// group at or below it is fenced into the replica's log.
 	Frontier uint64
 	// MinTid and MaxTid delimit the group's dense transaction-ID range.
+	// On a ReplAck they name the group this ack fenced (zero when the
+	// ack carries no new group — a catch-up duplicate re-ack).
 	MinTid, MaxTid uint64
+	// IngestNanos is the replica's measured ingest duration for the
+	// acked group — its local log append plus persist barrier — in
+	// nanoseconds on the replica's clock (ReplAck only). The primary
+	// cannot compare replica timestamps against its own clock, but a
+	// duration is clock-free: the critical-path pass anchors the
+	// replica's fence span at the ack's arrival time and extends it
+	// backward by this much.
+	IngestNanos int64
 	// Compressed marks Payload as lz4 block-compressed.
 	Compressed bool
 	// RawLen is the uncompressed payload length in bytes (== len(Payload)
@@ -112,9 +126,15 @@ func AppendReplHelloAck(dst []byte, frontier uint64) []byte {
 }
 
 // AppendReplAck appends an encoded frontier acknowledgment to dst.
-func AppendReplAck(dst []byte, frontier uint64) []byte {
+// minTid/maxTid name the group this ack fenced (pass zeros for a pure
+// frontier re-ack, e.g. a catch-up duplicate) and ingestNanos is the
+// replica's measured append+fence duration for it.
+func AppendReplAck(dst []byte, frontier, minTid, maxTid uint64, ingestNanos int64) []byte {
 	dst = append(dst, byte(ReplAck))
-	return binary.LittleEndian.AppendUint64(dst, frontier)
+	dst = binary.LittleEndian.AppendUint64(dst, frontier)
+	dst = binary.LittleEndian.AppendUint64(dst, minTid)
+	dst = binary.LittleEndian.AppendUint64(dst, maxTid)
+	return binary.LittleEndian.AppendUint64(dst, uint64(ingestNanos))
 }
 
 // AppendReplGroup appends an encoded group message to dst. payload is
@@ -168,10 +188,33 @@ func DecodeRepl(payload []byte) (ReplMsg, error) {
 		if m.Epoch, err = r.u64(); err != nil {
 			return m, err
 		}
-	case ReplHelloAck, ReplAck:
+	case ReplHelloAck:
 		if m.Frontier, err = r.u64(); err != nil {
 			return m, err
 		}
+	case ReplAck:
+		if m.Frontier, err = r.u64(); err != nil {
+			return m, err
+		}
+		if m.MinTid, err = r.u64(); err != nil {
+			return m, err
+		}
+		if m.MaxTid, err = r.u64(); err != nil {
+			return m, err
+		}
+		// Zero range = pure frontier re-ack; a named group must be a
+		// valid range the frontier covers.
+		if m.MinTid == 0 != (m.MaxTid == 0) || m.MaxTid < m.MinTid {
+			return m, fmt.Errorf("wire: repl ack group range [%d,%d]", m.MinTid, m.MaxTid)
+		}
+		ingest, err := r.u64()
+		if err != nil {
+			return m, err
+		}
+		if ingest > 1<<62 {
+			return m, fmt.Errorf("wire: repl ack ingest duration overflows")
+		}
+		m.IngestNanos = int64(ingest)
 	case ReplGroup:
 		if m.MinTid, err = r.u64(); err != nil {
 			return m, err

@@ -23,12 +23,26 @@ func TestReplControlRoundTrip(t *testing.T) {
 	if hack.Kind != ReplHelloAck || hack.Frontier != 7 {
 		t.Fatalf("hello ack: %+v", hack)
 	}
-	ack, err := DecodeRepl(AppendReplAck(nil, 99))
+	ack, err := DecodeRepl(AppendReplAck(nil, 99, 98, 99, 12345))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ack.Kind != ReplAck || ack.Frontier != 99 {
+	if ack.Kind != ReplAck || ack.Frontier != 99 || ack.MinTid != 98 || ack.MaxTid != 99 || ack.IngestNanos != 12345 {
 		t.Fatalf("ack: %+v", ack)
+	}
+	// Pure frontier re-ack: zero group range, zero ingest duration.
+	ack, err = DecodeRepl(AppendReplAck(nil, 50, 0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.MinTid != 0 || ack.MaxTid != 0 || ack.IngestNanos != 0 {
+		t.Fatalf("re-ack: %+v", ack)
+	}
+	// Half-zero or inverted ack ranges are rejected.
+	for _, bad := range [][2]uint64{{0, 3}, {3, 0}, {9, 3}} {
+		if _, err := DecodeRepl(AppendReplAck(nil, 99, bad[0], bad[1], 0)); err == nil {
+			t.Fatalf("decoded ack with group range [%d,%d]", bad[0], bad[1])
+		}
 	}
 }
 
@@ -92,7 +106,7 @@ func TestReplDecodeRejectsGarbage(t *testing.T) {
 	for _, msg := range [][]byte{
 		AppendReplHello(nil, 1),
 		AppendReplHelloAck(nil, 2),
-		AppendReplAck(nil, 3),
+		AppendReplAck(nil, 3, 2, 3, 777),
 		group,
 	} {
 		for i := 0; i < len(msg); i++ {
@@ -194,7 +208,8 @@ func FuzzDecodeReplFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(AppendFrame(nil, AppendReplHello(nil, 3)))
 	f.Add(AppendFrame(nil, AppendReplHelloAck(nil, 17)))
-	f.Add(AppendFrame(nil, AppendReplAck(nil, 123456)))
+	f.Add(AppendFrame(nil, AppendReplAck(nil, 123456, 123450, 123456, 98765)))
+	f.Add(AppendFrame(nil, AppendReplAck(nil, 123456, 0, 0, 0)))
 	raw := bytes.Repeat([]byte{0xaa, 0xbb}, 100)
 	g, _ := AppendReplGroup(nil, 8, 9, raw, false, uint32(len(raw)), ReplPayloadCRC(raw))
 	f.Add(AppendFrame(nil, g))
@@ -224,7 +239,7 @@ func FuzzDecodeReplFrame(f *testing.F) {
 		case ReplHelloAck:
 			re = AppendReplHelloAck(nil, m.Frontier)
 		case ReplAck:
-			re = AppendReplAck(nil, m.Frontier)
+			re = AppendReplAck(nil, m.Frontier, m.MinTid, m.MaxTid, m.IngestNanos)
 		case ReplGroup:
 			re, err = AppendReplGroup(nil, m.MinTid, m.MaxTid, m.Payload, m.Compressed, m.RawLen, m.PayloadCRC)
 			if err != nil {

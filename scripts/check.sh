@@ -53,6 +53,14 @@ echo "== go test -race (stm, redolog, dudetm, server, obs, repl; 4 stage threads
 # its sender/receiver goroutines race real TCP reconnects.
 DUDETM_STAGE_THREADS=4 DUDETM_TRACE_SAMPLE=4 go test -race -count=1 ./internal/stm ./internal/redolog ./internal/dudetm ./internal/server ./internal/obs ./internal/repl
 
+echo "== dudebench -list (experiment registry)"
+# The registry is scriptable surface: stable order, one line per
+# experiment. The observability experiments must stay registered.
+go run ./cmd/dudebench -list | tee /tmp/dudebench.list.txt
+grep -q '^loadcurve ' /tmp/dudebench.list.txt || { echo "dudebench -list lost the loadcurve experiment"; exit 1; }
+grep -q '^critpath ' /tmp/dudebench.list.txt || { echo "dudebench -list lost the critpath experiment"; exit 1; }
+rm -f /tmp/dudebench.list.txt
+
 echo "== dudebench smoke (stage utilization counters)"
 # Fails if the persist or reproduce utilization counters stay zero — a
 # regression that routed work around the worker pools.
@@ -79,6 +87,35 @@ done
 go run ./examples/netbank -addr "$SRV_ADDR" >/dev/null
 /tmp/dudectl.check top -addr "$MET_ADDR" -n 1
 /tmp/dudectl.check top -addr "$MET_ADDR" -check
+
+echo "== metrics/docs consistency (live /metrics vs DESIGN.md inventory)"
+# The "Metrics inventory" section of DESIGN.md is a checked contract:
+# every dudetm_*/dudesrv_* family the live endpoint exports must be
+# documented there, and every family documented there must still be
+# exported. Catches both undocumented additions and stale docs.
+curl -fsS "http://$MET_ADDR/metrics" >/tmp/dude.check.metrics.txt
+python3 - <<'EOF'
+import re, sys
+live = set()
+for line in open("/tmp/dude.check.metrics.txt"):
+    m = re.match(r"# TYPE ((?:dudetm|dudesrv)_[a-z0-9_]+) ", line)
+    if m:
+        live.add(m.group(1))
+design = open("DESIGN.md").read()
+m = re.search(r"^## Metrics inventory$(.*?)^## ", design, re.S | re.M)
+if not m:
+    sys.exit("DESIGN.md lacks a '## Metrics inventory' section")
+documented = set(re.findall(r"`((?:dudetm|dudesrv)_[a-z0-9_]+)`", m.group(1)))
+undocumented = sorted(live - documented)
+stale = sorted(documented - live)
+if undocumented:
+    sys.exit(f"exported but missing from DESIGN.md metrics inventory: {undocumented}")
+if stale:
+    sys.exit(f"in DESIGN.md metrics inventory but not exported: {stale}")
+print(f"metrics/docs consistency: {len(live)} families documented and exported")
+EOF
+rm -f /tmp/dude.check.metrics.txt
+
 kill -TERM "$SRV_PID"
 wait "$SRV_PID"
 trap - EXIT
